@@ -1,0 +1,75 @@
+// E13 — per-packet loop-freedom audit and empirical path-length
+// distribution (paper §3.5, Theorem 1 made empirical).
+//
+// Every UDP packet of a permutation workload is followed hop by hop via
+// the simulator's frame tap. The auditor asserts, per packet: no switch
+// visited twice, no valley (down then up), <= 5 switch hops. The hop
+// histogram is the fabric's empirical path-length distribution (2/4/6
+// link hops = 1/3/5 switch hops for same-edge/same-pod/inter-pod pairs).
+// The audit repeats under random link failures: rerouted paths must obey
+// the same invariants.
+#include "bench/bench_util.h"
+#include "core/path_audit.h"
+
+using namespace portland;
+using namespace portland::bench;
+
+namespace {
+
+void run_audit(int k, bool with_failures) {
+  auto fabric = make_fabric(k, 1234 + static_cast<std::uint64_t>(k));
+  core::PathAuditor auditor(*fabric);
+
+  Rng rng(99);
+  const auto& hosts = fabric->hosts();
+  const auto perm = host::permutation_pairing(hosts.size(), rng);
+  std::vector<std::unique_ptr<ProbeFlow>> flows;
+  std::uint16_t port = 7100;
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    flows.push_back(std::make_unique<ProbeFlow>(*hosts[i], *hosts[perm[i]],
+                                                port++, millis(1)));
+  }
+
+  if (with_failures) {
+    fabric->failures().fail_random_links_at(
+        fabric->fabric_links(), 3, fabric->sim().now() + millis(100), rng);
+  }
+  fabric->sim().run_until(fabric->sim().now() + millis(400));
+  for (auto& f : flows) f->sender->stop();
+  fabric->sim().run_until(fabric->sim().now() + millis(20));
+
+  std::printf("\nk=%d, %zu permutation flows%s: %llu packets audited\n", k,
+              flows.size(), with_failures ? " + 3 link failures" : "",
+              static_cast<unsigned long long>(auditor.packets_completed()));
+  std::printf("  %-14s %10s %10s\n", "switch_hops", "packets", "share");
+  std::uint64_t total = 0;
+  for (const auto& [hops, n] : auditor.hop_histogram()) total += n;
+  for (const auto& [hops, n] : auditor.hop_histogram()) {
+    std::printf("  %-14zu %10llu %9.1f%%\n", hops,
+                static_cast<unsigned long long>(n),
+                100.0 * static_cast<double>(n) / static_cast<double>(total));
+  }
+  if (auditor.violations().empty()) {
+    std::printf("  invariants: PASS — 0 violations (no loops, no valleys, "
+                "<=5 hops)\n");
+  } else {
+    std::printf("  invariants: FAIL — %zu violations, first: %s\n",
+                auditor.violations().size(),
+                auditor.violations().front().c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  print_header(
+      "E13 Per-packet loop-freedom audit + empirical path lengths (§3.5)");
+  run_audit(4, /*with_failures=*/false);
+  run_audit(6, /*with_failures=*/false);
+  run_audit(4, /*with_failures=*/true);
+  std::printf(
+      "\n1/3/5 switch hops correspond to same-edge / same-pod / inter-pod\n"
+      "destinations; failures shift traffic but never create loops or\n"
+      "valleys — the paper's Theorem 1, checked packet by packet.\n");
+  return 0;
+}

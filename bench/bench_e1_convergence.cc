@@ -1,0 +1,108 @@
+// E1 — "Convergence time with increasing faults" (paper Fig. ~9).
+//
+// Methodology (as in the paper): constant-rate UDP probe flows cross the
+// fabric; n random fabric links fail simultaneously; a flow's convergence
+// time is the gap between the last packet before the outage and the first
+// packet after rerouting. The paper's testbed measured ~65 ms for a single
+// failure (50 ms LDM timeout + notification + reroute), growing modestly
+// with the number of faults.
+//
+// Output: one row per fault count with mean/p95/max convergence across
+// affected flows, averaged over several seeds.
+#include <algorithm>
+#include <string_view>
+
+#include "bench/bench_util.h"
+#include "common/stats.h"
+
+using namespace portland;
+using namespace portland::bench;
+
+namespace {
+
+struct Sample {
+  std::vector<double> gaps_ms;  // affected flows only
+};
+
+Sample run_trial(int k, std::size_t failures, std::uint64_t seed,
+                 bool sequential) {
+  auto fabric = make_fabric(k, seed);
+  Rng rng(seed * 7919 + failures);
+  auto flows = random_interpod_flows(*fabric, 20, rng);
+
+  // Warm up: ARP resolution + steady state.
+  fabric->sim().run_until(fabric->sim().now() + millis(200));
+
+  const SimTime fail_at = fabric->sim().now();
+  SimTime window_end = fail_at + millis(400);
+  if (sequential) {
+    // The paper's methodology: faults injected one after another (here
+    // 150 ms apart), convergence measured across the whole episode.
+    const auto picks = rng.sample_indices(fabric->fabric_links().size(),
+                                          failures);
+    SimTime t = fail_at;
+    for (const std::size_t idx : picks) {
+      fabric->failures().fail_link_at(*fabric->fabric_links()[idx], t);
+      t += millis(150);
+    }
+    window_end = t + millis(400);
+  } else {
+    fabric->failures().fail_random_links_at(fabric->fabric_links(), failures,
+                                            fail_at, rng);
+  }
+  // Detection (50 ms) + reroute + slack.
+  fabric->sim().run_until(window_end + millis(200));
+
+  Sample sample;
+  for (const auto& flow : flows) {
+    // Ignore flows that ended up with no live path (rare at these counts).
+    if (flow->receiver->last_arrival_time() < window_end) continue;
+    const SimDuration gap =
+        flow->receiver->max_gap(fail_at - millis(5), window_end);
+    if (gap < millis(20)) continue;  // flow untouched by these failures
+    sample.gaps_ms.push_back(to_millis(gap));
+  }
+  return sample;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int k = argc > 1 ? std::atoi(argv[1]) : 6;
+  const int seeds = argc > 2 ? std::atoi(argv[2]) : 5;
+  const bool sequential =
+      argc > 3 && std::string_view(argv[3]) == "sequential";
+
+  print_header(
+      "E1  Convergence time vs. number of failures (paper Fig. 9: ~65 ms at "
+      "1 fault,\n     growing modestly; LDM period 10 ms, timeout 50 ms)");
+  std::printf("k=%d fat tree, 20 probe flows @1000 pkt/s, %d seeds/row, "
+              "%s failures\n\n",
+              k, seeds, sequential ? "sequential (150 ms apart)" : "simultaneous");
+  std::printf("%9s %10s %12s %12s %12s %10s\n", "failures", "flows_hit",
+              "mean_ms", "p95_ms", "max_ms", "paper_ms");
+
+  for (const std::size_t failures : {1, 2, 4, 6, 8, 12, 16}) {
+    Accumulator acc;
+    std::vector<double> all;
+    for (int s = 0; s < seeds; ++s) {
+      const Sample sample = run_trial(
+          k, failures, 1000 + static_cast<std::uint64_t>(s), sequential);
+      for (const double g : sample.gaps_ms) {
+        acc.add(g);
+        all.push_back(g);
+      }
+    }
+    // Paper reference band (reconstructed): ~65 ms at 1 fault to ~140 ms
+    // at 16 sequential faults.
+    const double paper = 65.0 + 75.0 * (static_cast<double>(failures) - 1) / 15.0;
+    std::printf("%9zu %10llu %12.1f %12.1f %12.1f %10.0f\n", failures,
+                static_cast<unsigned long long>(acc.count()), acc.mean(),
+                percentile(all, 95), acc.max(), paper);
+  }
+  std::printf(
+      "\nShape check: single-fault convergence is dominated by the 50 ms\n"
+      "LDM timeout; additional non-overlapping faults add little because\n"
+      "detection and reroute run per fault in parallel.\n");
+  return 0;
+}

@@ -1,0 +1,138 @@
+// E6 — fabric-manager ARP scalability (paper Fig. ~12/13).
+//
+// The paper estimates the CPU the fabric manager needs to answer proxy-ARP
+// queries for a 27,648-host data center (k=48) at 25/50/100 ARP misses per
+// second per host, concluding a modest number of cores suffices.
+//
+// Here google-benchmark measures the *real* CPU cost of this
+// implementation's ARP service on one core — both the raw registry lookup
+// and the full control-message path (serialize + deliver + parse + handle
+// + response serialize) — then derives the cores-needed table exactly as
+// the paper does.
+#include <benchmark/benchmark.h>
+
+#include "core/control_plane.h"
+#include "core/fabric_manager.h"
+#include "core/messages.h"
+#include "sim/simulator.h"
+
+using namespace portland;
+using namespace portland::core;
+
+namespace {
+
+constexpr std::size_t kHosts = 27'648;  // k=48 fat tree
+
+struct LoadedFm {
+  sim::Simulator sim;
+  ControlPlane control{sim, 0};
+  FabricManager fm{sim, control, PortlandConfig{}};
+  std::vector<Ipv4Address> ips;
+
+  LoadedFm() {
+    ips.reserve(kHosts);
+    for (std::size_t i = 0; i < kHosts; ++i) {
+      const Ipv4Address ip(10, static_cast<std::uint8_t>((i >> 16) & 0xFF),
+                           static_cast<std::uint8_t>((i >> 8) & 0xFF),
+                           static_cast<std::uint8_t>(i & 0xFF));
+      FabricManager::HostRecord record;
+      record.pmac = MacAddress::from_u64(i + 1);
+      record.amac = MacAddress::from_u64(0x020000000000ULL + i);
+      record.edge = 0x1000 + i / 24;
+      fm.register_host_direct(ip, record);
+      ips.push_back(ip);
+    }
+  }
+};
+
+LoadedFm& loaded_fm() {
+  static LoadedFm fm;
+  return fm;
+}
+
+void BM_FmRegistryLookup(benchmark::State& state) {
+  LoadedFm& fx = loaded_fm();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto pmac = fx.fm.lookup_pmac(fx.ips[i]);
+    benchmark::DoNotOptimize(pmac);
+    i = (i + 7919) % fx.ips.size();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FmRegistryLookup);
+
+void BM_FmFullArpQueryPath(benchmark::State& state) {
+  LoadedFm& fx = loaded_fm();
+  // Full wire path: build ArpQuery, serialize, parse, dispatch, serialize
+  // the response (the control plane does all of this per message).
+  std::size_t i = 0;
+  std::uint32_t qid = 1;
+  for (auto _ : state) {
+    const ControlMessage query{0x1000, ArpQuery{qid++, fx.ips[i]}};
+    const auto bytes = serialize_control(query);
+    const auto parsed = parse_control(bytes);
+    benchmark::DoNotOptimize(parsed);
+    fx.fm.handle_message(*parsed);
+    i = (i + 104729) % fx.ips.size();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FmFullArpQueryPath);
+
+void BM_FmHostRegister(benchmark::State& state) {
+  LoadedFm& fx = loaded_fm();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    // Refresh registrations (same pmac: no migration machinery).
+    const auto rec = fx.fm.host(fx.ips[i]);
+    const ControlMessage reg{
+        rec->edge, HostRegister{fx.ips[i], rec->amac, rec->pmac, 0}};
+    fx.fm.handle_message(reg);
+    i = (i + 7) % fx.ips.size();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FmHostRegister);
+
+/// Prints the paper-style cores-needed table after the benchmarks ran.
+class CoresReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.benchmark_name() == "BM_FmFullArpQueryPath") {
+        per_query_seconds_ = run.GetAdjustedRealTime() * 1e-9;
+      }
+    }
+  }
+  void Finalize() override {
+    ConsoleReporter::Finalize();
+    if (per_query_seconds_ <= 0) return;
+    const double qps_per_core = 1.0 / per_query_seconds_;
+    std::printf(
+        "\nE6  Fabric-manager CPU requirements for %zu hosts (paper Fig.: a\n"
+        "    handful of cores even at 100 ARPs/sec/host):\n\n", kHosts);
+    std::printf("%22s %18s %12s\n", "ARP misses/sec/host", "total ARPs/sec",
+                "cores");
+    for (const int rate : {25, 50, 100}) {
+      const double total = static_cast<double>(kHosts) * rate;
+      std::printf("%22d %18.0f %12.2f\n", rate, total, total / qps_per_core);
+    }
+    std::printf("\nSingle-core ARP service throughput: %.2f M queries/sec\n",
+                qps_per_core / 1e6);
+  }
+
+ private:
+  double per_query_seconds_ = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  CoresReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,74 @@
+// E7 — control-plane overhead (paper §3.4/§3.6 analysis).
+//
+// Measures, per fabric size k:
+//   * LDP wire overhead: LDM bytes/sec/link (the always-on discovery +
+//     liveness cost — one small frame per port per 10 ms);
+//   * steady-state fabric-manager traffic (hello keepalives);
+//   * fault fan-out: how many switches receive reroute (PruneUpdate)
+//     messages for one edge-agg link failure — the paper's "the fabric
+//     manager informs affected switches" made concrete.
+#include "bench/bench_util.h"
+
+using namespace portland;
+using namespace portland::bench;
+
+int main() {
+  print_header(
+      "E7  Control overhead: LDP wire cost, fabric-manager keepalives, and\n"
+      "     per-fault reroute fan-out");
+
+  std::printf("\n%4s %10s %14s %16s %14s %18s %16s\n", "k", "switches",
+              "ldm_B/s/link", "fm_msgs/s", "fm_B/s", "fault_msgs", "fault_fanout");
+
+  for (const int k : {4, 6, 8}) {
+    auto fabric = make_fabric(k, 31);
+    const SimTime t0 = fabric->sim().now();
+
+    // --- steady state over 2 s ---
+    const std::uint64_t msgs0 = fabric->control().messages_sent();
+    const std::uint64_t bytes0 = fabric->control().bytes_sent();
+    std::uint64_t ldm_bytes0 = 0;
+    for (const core::PortlandSwitch* sw : fabric->switches()) {
+      ldm_bytes0 += sw->ldp().ldm_bytes_sent();
+    }
+    fabric->sim().run_until(t0 + seconds(2));
+    std::uint64_t ldm_bytes1 = 0;
+    for (const core::PortlandSwitch* sw : fabric->switches()) {
+      ldm_bytes1 += sw->ldp().ldm_bytes_sent();
+    }
+    const double fm_msgs_per_s =
+        static_cast<double>(fabric->control().messages_sent() - msgs0) / 2.0;
+    const double fm_bytes_per_s =
+        static_cast<double>(fabric->control().bytes_sent() - bytes0) / 2.0;
+    // Each fabric link sees LDMs from both sides; host links from one.
+    const double total_ports =
+        static_cast<double>(fabric->switches().size()) * k;
+    const double ldm_bytes_per_link_s =
+        static_cast<double>(ldm_bytes1 - ldm_bytes0) / 2.0 / total_ports * 2.0;
+
+    // --- one edge-agg fault ---
+    const std::uint64_t prune_msgs0 =
+        fabric->control().counters().get("prune_update");
+    sim::Link* victim =
+        fabric->network().find_link(fabric->edge_at(0, 0), fabric->agg_at(0, 0));
+    const SimTime fail_at = fabric->sim().now();
+    victim->set_up(false);
+    fabric->sim().run_until(fail_at + millis(200));
+    const std::uint64_t fault_msgs =
+        fabric->control().counters().get("prune_update") - prune_msgs0;
+
+    std::printf("%4d %10zu %14.0f %16.1f %14.0f %18llu %15.0f%%\n", k,
+                fabric->switches().size(), ldm_bytes_per_link_s, fm_msgs_per_s,
+                fm_bytes_per_s, static_cast<unsigned long long>(fault_msgs),
+                100.0 * static_cast<double>(fault_msgs) /
+                    static_cast<double>(fabric->switches().size()));
+  }
+
+  std::printf(
+      "\nNotes: LDM cost is constant per link (34 B frame / 10 ms / "
+      "direction ~=\n6.8 kB/s) independent of fabric size — the protocol's "
+      "key scaling property.\nFault fan-out counts one PruneUpdate per "
+      "affected switch; an edge-agg\nfailure touches all edges (they pick "
+      "uplinks per destination) but no cores.\n");
+  return 0;
+}

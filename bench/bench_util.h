@@ -1,0 +1,82 @@
+// Shared helpers for the experiment benches: fabric construction, flow
+// wiring, and table printing. Each bench binary regenerates one table or
+// figure of the paper (see DESIGN.md §4 and EXPERIMENTS.md).
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/fabric.h"
+#include "host/apps.h"
+
+namespace portland::bench {
+
+inline std::unique_ptr<core::PortlandFabric> make_fabric(
+    int k, std::uint64_t seed, core::PortlandConfig config = {},
+    std::set<std::size_t> skip = {}) {
+  core::PortlandFabric::Options options;
+  options.k = k;
+  options.seed = seed;
+  options.config = config;
+  options.skip_host_indices = std::move(skip);
+  auto fabric = std::make_unique<core::PortlandFabric>(options);
+  if (!fabric->run_until_converged()) {
+    std::fprintf(stderr, "FATAL: LDP did not converge (k=%d seed=%llu)\n", k,
+                 static_cast<unsigned long long>(seed));
+    std::abort();
+  }
+  return fabric;
+}
+
+/// One measured UDP probe flow (sender + receiver + gap bookkeeping).
+struct ProbeFlow {
+  host::Host* src = nullptr;
+  host::Host* dst = nullptr;
+  std::unique_ptr<host::UdpFlowReceiver> receiver;
+  std::unique_ptr<host::UdpFlowSender> sender;
+
+  ProbeFlow(host::Host& from, host::Host& to, std::uint16_t port,
+            SimDuration interval = millis(1), std::size_t payload_bytes = 64) {
+    src = &from;
+    dst = &to;
+    receiver = std::make_unique<host::UdpFlowReceiver>(to, port);
+    host::UdpFlowSender::Config cfg;
+    cfg.dst = to.ip();
+    cfg.src_port = port;
+    cfg.dst_port = port;
+    cfg.interval = interval;
+    cfg.payload_bytes = payload_bytes;
+    sender = std::make_unique<host::UdpFlowSender>(from, cfg);
+    sender->start();
+  }
+};
+
+/// Creates `count` probe flows between random hosts in distinct pods.
+inline std::vector<std::unique_ptr<ProbeFlow>> random_interpod_flows(
+    core::PortlandFabric& fabric, std::size_t count, Rng& rng,
+    SimDuration interval = millis(1)) {
+  std::vector<std::unique_ptr<ProbeFlow>> flows;
+  const auto& hosts = fabric.hosts();
+  std::uint16_t port = 7100;
+  while (flows.size() < count) {
+    host::Host* a = hosts[rng.next_below(hosts.size())];
+    host::Host* b = hosts[rng.next_below(hosts.size())];
+    if (a == b) continue;
+    // Distinct pods (IP plan: 10.pod.edge.host).
+    if (((a->ip().value() >> 16) & 0xFF) == ((b->ip().value() >> 16) & 0xFF)) {
+      continue;
+    }
+    flows.push_back(std::make_unique<ProbeFlow>(*a, *b, port++, interval));
+  }
+  return flows;
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("\n==================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("==================================================================\n");
+}
+
+}  // namespace portland::bench

@@ -1,0 +1,83 @@
+// Failover demo: watch PortLand route around a failed link in tens of
+// milliseconds, then heal when it returns.
+//
+// A UDP probe stream crosses pods while one on-path link fails and is
+// later repaired; the timeline printed at the end shows the loss window
+// (LDM timeout 50 ms + notification + reroute ~= the paper's ~65 ms) and
+// the fabric-manager bookkeeping at each step.
+//
+//   $ ./failover_demo
+#include <cstdio>
+
+#include "core/fabric.h"
+#include "host/apps.h"
+
+using namespace portland;
+
+int main() {
+  core::PortlandFabric::Options options;
+  options.k = 4;
+  options.seed = 2026;
+  core::PortlandFabric fabric(options);
+  if (!fabric.run_until_converged()) {
+    std::printf("discovery failed\n");
+    return 1;
+  }
+
+  host::Host& src = fabric.host_at(0, 0, 0);
+  host::Host& dst = fabric.host_at(3, 0, 0);
+  std::printf("Probe flow: %s -> %s, 1000 packets/sec\n", src.name().c_str(),
+              dst.name().c_str());
+
+  host::UdpFlowReceiver receiver(dst, 7001);
+  host::UdpFlowSender::Config cfg;
+  cfg.dst = dst.ip();
+  cfg.interval = millis(1);
+  host::UdpFlowSender sender(src, cfg);
+  sender.start();
+  fabric.sim().run_until(fabric.sim().now() + millis(100));
+
+  // Pick the uplink actually carrying the flow.
+  const auto& edge = fabric.edge_at(0, 0);
+  sim::Link* victim = nullptr;
+  std::uint64_t best = 0;
+  for (const sim::PortId p : edge.ldp().up_ports()) {
+    sim::Link* l = edge.port_link(p);
+    if (l->tx_frames(0) + l->tx_frames(1) > best) {
+      best = l->tx_frames(0) + l->tx_frames(1);
+      victim = l;
+    }
+  }
+
+  const SimTime fail_at = fabric.sim().now() + millis(100);
+  const SimTime repair_at = fail_at + millis(400);
+  fabric.failures().fail_link_at(*victim, fail_at);
+  fabric.failures().repair_link_at(*victim, repair_at);
+  std::printf("Failing %s<->%s at t=%s; repairing at t=%s\n",
+              victim->device(0).name().c_str(),
+              victim->device(1).name().c_str(), format_time(fail_at).c_str(),
+              format_time(repair_at).c_str());
+
+  fabric.sim().run_until(repair_at + millis(400));
+  sender.stop();
+
+  const auto& fm = fabric.fabric_manager();
+  std::printf("\nTimeline:\n");
+  for (const auto& [start, gap] : receiver.gaps_over(millis(10))) {
+    std::printf("  t=%-12s outage of %s\n", format_time(start).c_str(),
+                format_time(gap).c_str());
+  }
+  std::printf("\nFabric manager: %llu fault notifications, %llu repairs, "
+              "%llu reroute updates pushed\n",
+              static_cast<unsigned long long>(
+                  fm.counters().get("fault_notifications")),
+              static_cast<unsigned long long>(fm.counters().get("fault_repairs")),
+              static_cast<unsigned long long>(
+                  fm.counters().get("prune_updates_sent")));
+  std::printf("Residual reroute state after repair: %zu destination keys "
+              "(expected 0)\n", fm.installed_prune_keys());
+  std::printf("Delivered %llu / %llu packets\n",
+              static_cast<unsigned long long>(receiver.packets_received()),
+              static_cast<unsigned long long>(sender.packets_sent()));
+  return 0;
+}

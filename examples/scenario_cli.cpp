@@ -1,0 +1,183 @@
+// scenario_cli: drive a PortLand fabric from the command line — build a
+// fat tree, run discovery, launch probe flows, inject failures, and print
+// a delivery/convergence report. Useful for exploring parameters without
+// writing C++.
+//
+//   $ ./scenario_cli --k 6 --flows 10 --fail 3 --fail-at-ms 500 \
+//                    --repair-at-ms 900 --duration-ms 2000 --ecmp spray
+//
+// Flags (all optional):
+//   --k N              fat-tree arity (even, >= 2; default 4)
+//   --seed N           RNG seed (default 1)
+//   --flows N          inter-pod UDP probe flows at 1000 pkt/s (default 8)
+//   --fail N           random fabric links to fail (default 1)
+//   --fail-at-ms T     failure instant (default 500)
+//   --repair-at-ms T   repair instant (0 = never; default 0)
+//   --duration-ms T    total run (default 2000)
+//   --ecmp hash|spray  ECMP mode (default hash)
+//   --fm-failover-ms T wipe the fabric manager's soft state at T (0 = off)
+#include <cstdio>
+#include <cstring>
+
+#include "core/fabric.h"
+#include "host/apps.h"
+
+using namespace portland;
+
+namespace {
+
+struct Args {
+  int k = 4;
+  std::uint64_t seed = 1;
+  int flows = 8;
+  int fail = 1;
+  SimDuration fail_at = millis(500);
+  SimDuration repair_at = 0;
+  SimDuration duration = millis(2000);
+  SimDuration fm_failover_at = 0;
+  core::PortlandConfig::EcmpMode ecmp =
+      core::PortlandConfig::EcmpMode::kFlowHash;
+};
+
+bool parse_args(int argc, char** argv, Args* out) {
+  for (int i = 1; i < argc; ++i) {
+    auto next_int = [&](long long* value) {
+      if (i + 1 >= argc) return false;
+      *value = std::atoll(argv[++i]);
+      return true;
+    };
+    long long v = 0;
+    if (!std::strcmp(argv[i], "--k") && next_int(&v)) {
+      out->k = static_cast<int>(v);
+    } else if (!std::strcmp(argv[i], "--seed") && next_int(&v)) {
+      out->seed = static_cast<std::uint64_t>(v);
+    } else if (!std::strcmp(argv[i], "--flows") && next_int(&v)) {
+      out->flows = static_cast<int>(v);
+    } else if (!std::strcmp(argv[i], "--fail") && next_int(&v)) {
+      out->fail = static_cast<int>(v);
+    } else if (!std::strcmp(argv[i], "--fail-at-ms") && next_int(&v)) {
+      out->fail_at = millis(v);
+    } else if (!std::strcmp(argv[i], "--repair-at-ms") && next_int(&v)) {
+      out->repair_at = millis(v);
+    } else if (!std::strcmp(argv[i], "--duration-ms") && next_int(&v)) {
+      out->duration = millis(v);
+    } else if (!std::strcmp(argv[i], "--fm-failover-ms") && next_int(&v)) {
+      out->fm_failover_at = millis(v);
+    } else if (!std::strcmp(argv[i], "--ecmp") && i + 1 < argc) {
+      const char* mode = argv[++i];
+      if (!std::strcmp(mode, "spray")) {
+        out->ecmp = core::PortlandConfig::EcmpMode::kPacketSpray;
+      } else if (!std::strcmp(mode, "hash")) {
+        out->ecmp = core::PortlandConfig::EcmpMode::kFlowHash;
+      } else {
+        std::fprintf(stderr, "unknown --ecmp mode '%s'\n", mode);
+        return false;
+      }
+    } else {
+      std::fprintf(stderr, "unknown or incomplete flag '%s'\n", argv[i]);
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parse_args(argc, argv, &args)) return 2;
+
+  core::PortlandFabric::Options options;
+  options.k = args.k;
+  options.seed = args.seed;
+  options.config.ecmp_mode = args.ecmp;
+  core::PortlandFabric fabric(options);
+  std::printf("fabric: k=%d, %zu switches, %zu hosts, seed=%llu, ecmp=%s\n",
+              args.k, fabric.switches().size(), fabric.hosts().size(),
+              static_cast<unsigned long long>(args.seed),
+              args.ecmp == core::PortlandConfig::EcmpMode::kFlowHash
+                  ? "flow-hash"
+                  : "packet-spray");
+  if (!fabric.run_until_converged()) {
+    std::printf("discovery did not converge\n");
+    return 1;
+  }
+  std::printf("discovery converged at %s\n",
+              format_time(fabric.sim().now()).c_str());
+  const SimTime t0 = fabric.sim().now();
+
+  // Flows.
+  Rng rng(args.seed ^ 0xF10F);
+  struct Flow {
+    std::unique_ptr<host::UdpFlowReceiver> rx;
+    std::unique_ptr<host::UdpFlowSender> tx;
+    std::string name;
+  };
+  std::vector<Flow> flows;
+  const auto& hosts = fabric.hosts();
+  std::uint16_t port = 7100;
+  while (static_cast<int>(flows.size()) < args.flows) {
+    host::Host* a = hosts[rng.next_below(hosts.size())];
+    host::Host* b = hosts[rng.next_below(hosts.size())];
+    if (a == b) continue;
+    Flow f;
+    f.rx = std::make_unique<host::UdpFlowReceiver>(*b, port);
+    host::UdpFlowSender::Config cfg;
+    cfg.dst = b->ip();
+    cfg.src_port = cfg.dst_port = port;
+    cfg.interval = millis(1);
+    f.tx = std::make_unique<host::UdpFlowSender>(*a, cfg);
+    f.tx->start();
+    f.name = a->name() + " -> " + b->name();
+    flows.push_back(std::move(f));
+    ++port;
+  }
+
+  // Failures.
+  std::vector<sim::Link*> victims;
+  if (args.fail > 0) {
+    victims = fabric.failures().fail_random_links_at(
+        fabric.fabric_links(), static_cast<std::size_t>(args.fail),
+        t0 + args.fail_at, rng);
+    for (sim::Link* l : victims) {
+      std::printf("will fail %s <-> %s at +%s\n",
+                  l->device(0).name().c_str(), l->device(1).name().c_str(),
+                  format_time(args.fail_at).c_str());
+      if (args.repair_at > 0) {
+        fabric.failures().repair_link_at(*l, t0 + args.repair_at);
+      }
+    }
+  }
+  if (args.fm_failover_at > 0) {
+    fabric.sim().at(t0 + args.fm_failover_at, [&fabric] {
+      std::printf("fabric manager failover (soft state wiped)\n");
+      fabric.fabric_manager().simulate_failover();
+    });
+  }
+
+  fabric.sim().run_until(t0 + args.duration);
+  for (auto& f : flows) f.tx->stop();
+
+  // Report.
+  std::printf("\n%-44s %8s %8s %12s\n", "flow", "sent", "recv", "max_gap");
+  for (const Flow& f : flows) {
+    std::printf("%-44s %8llu %8llu %12s\n", f.name.c_str(),
+                static_cast<unsigned long long>(f.tx->packets_sent()),
+                static_cast<unsigned long long>(f.rx->packets_received()),
+                format_time(f.rx->max_gap(t0, t0 + args.duration)).c_str());
+  }
+  const auto& fm = fabric.fabric_manager();
+  std::printf("\nfabric manager: %llu faults, %llu repairs, %llu reroute "
+              "updates, %zu active prune keys, %zu failed links\n",
+              static_cast<unsigned long long>(
+                  fm.counters().get("fault_notifications")),
+              static_cast<unsigned long long>(fm.counters().get("fault_repairs")),
+              static_cast<unsigned long long>(
+                  fm.counters().get("prune_updates_sent")),
+              fm.installed_prune_keys(), fm.graph().failed_link_count());
+  std::printf("control plane: %llu messages, %llu bytes\n",
+              static_cast<unsigned long long>(
+                  fabric.control().messages_sent()),
+              static_cast<unsigned long long>(fabric.control().bytes_sent()));
+  return 0;
+}

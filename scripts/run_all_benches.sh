@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Runs every experiment bench in order, as cited by EXPERIMENTS.md.
+set -u
+cd "$(dirname "$0")/.."
+for b in build/bench/bench_e1_convergence \
+         build/bench/bench_e2_tcp_convergence \
+         build/bench/bench_e3_multicast_convergence \
+         build/bench/bench_e4_vm_migration \
+         build/bench/bench_e5_state_table \
+         build/bench/bench_e6_fm_arp_scaling \
+         build/bench/bench_e7_control_overhead \
+         build/bench/bench_e8_baseline_ethernet \
+         build/bench/bench_e9_ecmp_loopfree \
+         build/bench/bench_e10_micro \
+         build/bench/bench_e11_ecmp_ablation \
+         build/bench/bench_e12_ldp_scale \
+         build/bench/bench_e13_path_audit; do
+  echo
+  echo "################  $(basename "$b")  ################"
+  "$b" || echo "BENCH FAILED: $b"
+done

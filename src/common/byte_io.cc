@@ -1,0 +1,32 @@
+#include "common/byte_io.h"
+
+#include <algorithm>
+
+namespace portland {
+
+void ByteWriter::str(const std::string& s) {
+  const std::size_t n = std::min<std::size_t>(s.size(), 0xFFFF);
+  u16(static_cast<std::uint16_t>(n));
+  bytes(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(s.data()), n));
+}
+
+void ByteReader::bytes(std::span<std::uint8_t> out) {
+  if (!check(out.size())) {
+    std::fill(out.begin(), out.end(), std::uint8_t{0});
+    return;
+  }
+  std::copy_n(data_.begin() + static_cast<std::ptrdiff_t>(pos_), out.size(),
+              out.begin());
+  pos_ += out.size();
+}
+
+std::string ByteReader::str() {
+  const std::uint16_t n = u16();
+  if (!check(n)) return {};
+  std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n);
+  pos_ += n;
+  return s;
+}
+
+}  // namespace portland

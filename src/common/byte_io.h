@@ -1,0 +1,130 @@
+// Bounds-checked big-endian (network byte order) byte readers and writers.
+//
+// Every wire format in this codebase (Ethernet, ARP, IPv4, UDP, TCP, LDP,
+// fabric-manager control messages) serializes through these two classes so
+// that framing bugs surface as explicit failures rather than memory errors.
+//
+// `ByteWriter` appends to a caller-owned std::vector<uint8_t>.
+// `ByteReader` walks a borrowed span of bytes; all reads are checked and
+// the reader latches into a failed state on the first out-of-bounds read
+// (subsequent reads return zeros). Callers check `ok()` once at the end of
+// parsing rather than after every field.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace portland {
+
+class ByteWriter {
+ public:
+  /// Appends to `out`; the vector must outlive the writer.
+  explicit ByteWriter(std::vector<std::uint8_t>& out) : out_(&out) {}
+
+  void u8(std::uint8_t v) { out_->push_back(v); }
+  void u16(std::uint16_t v) {
+    out_->push_back(static_cast<std::uint8_t>(v >> 8));
+    out_->push_back(static_cast<std::uint8_t>(v));
+  }
+  void u32(std::uint32_t v) {
+    out_->push_back(static_cast<std::uint8_t>(v >> 24));
+    out_->push_back(static_cast<std::uint8_t>(v >> 16));
+    out_->push_back(static_cast<std::uint8_t>(v >> 8));
+    out_->push_back(static_cast<std::uint8_t>(v));
+  }
+  void u64(std::uint64_t v) {
+    u32(static_cast<std::uint32_t>(v >> 32));
+    u32(static_cast<std::uint32_t>(v));
+  }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+  void bytes(std::span<const std::uint8_t> data) {
+    out_->insert(out_->end(), data.begin(), data.end());
+  }
+
+  /// Writes a length-prefixed (u16) string.
+  void str(const std::string& s);
+
+  /// Number of bytes written so far (size of the backing vector).
+  [[nodiscard]] std::size_t size() const { return out_->size(); }
+
+ private:
+  std::vector<std::uint8_t>* out_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  [[nodiscard]] std::uint8_t u8() {
+    if (!check(1)) return 0;
+    return data_[pos_++];
+  }
+  [[nodiscard]] std::uint16_t u16() {
+    if (!check(2)) return 0;
+    const std::uint16_t v = static_cast<std::uint16_t>(
+        (static_cast<std::uint16_t>(data_[pos_]) << 8) | data_[pos_ + 1]);
+    pos_ += 2;
+    return v;
+  }
+  [[nodiscard]] std::uint32_t u32() {
+    if (!check(4)) return 0;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v = (v << 8) | data_[pos_ + static_cast<std::size_t>(i)];
+    pos_ += 4;
+    return v;
+  }
+  [[nodiscard]] std::uint64_t u64() {
+    const std::uint64_t hi = u32();
+    const std::uint64_t lo = u32();
+    return (hi << 32) | lo;
+  }
+  [[nodiscard]] std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+
+  /// Reads exactly `n` bytes into `out`; on underflow fails and zero-fills.
+  void bytes(std::span<std::uint8_t> out);
+
+  /// Reads a length-prefixed (u16) string.
+  [[nodiscard]] std::string str();
+
+  /// Skips `n` bytes.
+  void skip(std::size_t n) {
+    if (check(n)) pos_ += n;
+  }
+
+  /// Remaining unread bytes as a view (does not consume them).
+  [[nodiscard]] std::span<const std::uint8_t> remaining() const {
+    return data_.subspan(pos_);
+  }
+
+  /// Consumes and returns the remaining bytes as a view.
+  [[nodiscard]] std::span<const std::uint8_t> take_remaining() {
+    auto r = data_.subspan(pos_);
+    pos_ = data_.size();
+    return r;
+  }
+
+  [[nodiscard]] std::size_t position() const { return pos_; }
+  [[nodiscard]] std::size_t remaining_size() const { return data_.size() - pos_; }
+
+  /// True if no read has run past the end of the buffer.
+  [[nodiscard]] bool ok() const { return ok_; }
+
+ private:
+  [[nodiscard]] bool check(std::size_t n) {
+    if (!ok_ || pos_ + n > data_.size()) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace portland

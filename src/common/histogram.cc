@@ -1,0 +1,51 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/strings.h"
+
+namespace portland {
+
+Histogram::Histogram(double lo, double hi, std::size_t bucket_count)
+    : lo_(lo), hi_(hi), counts_(bucket_count, 0) {
+  assert(bucket_count >= 1);
+  assert(hi > lo);
+}
+
+void Histogram::add(double x) {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto idx = static_cast<std::ptrdiff_t>((x - lo_) / width);
+  idx = std::clamp<std::ptrdiff_t>(idx, 0,
+                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+double Histogram::bucket_lower(std::size_t i) const {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(i);
+}
+
+double Histogram::cdf_at(std::size_t i) const {
+  if (total_ == 0) return 0.0;
+  std::uint64_t cum = 0;
+  for (std::size_t j = 0; j <= i; ++j) cum += counts_[j];
+  return static_cast<double>(cum) / static_cast<double>(total_);
+}
+
+std::string Histogram::render_cdf() const {
+  std::string out;
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cum += counts_[i];
+    if (counts_[i] == 0) continue;
+    const double frac =
+        total_ ? static_cast<double>(cum) / static_cast<double>(total_) : 0.0;
+    out += str_format("%12.4f %8.4f\n", bucket_lower(i) + width, frac);
+  }
+  return out;
+}
+
+}  // namespace portland

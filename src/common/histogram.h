@@ -1,0 +1,37 @@
+// Fixed-bucket histogram with CDF rendering, used by benches to print
+// distribution rows the way the paper's CDF figures do.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace portland {
+
+class Histogram {
+ public:
+  /// Buckets span [lo, hi) uniformly; values outside are clamped into the
+  /// first/last bucket. `bucket_count` must be >= 1.
+  Histogram(double lo, double hi, std::size_t bucket_count);
+
+  void add(double x);
+
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] std::size_t bucket_count() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const { return counts_[i]; }
+  [[nodiscard]] double bucket_lower(std::size_t i) const;
+
+  /// Cumulative fraction of samples <= upper edge of bucket i.
+  [[nodiscard]] double cdf_at(std::size_t i) const;
+
+  /// Multi-line "x cdf" table suitable for plotting.
+  [[nodiscard]] std::string render_cdf() const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace portland

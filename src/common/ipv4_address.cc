@@ -1,0 +1,31 @@
+#include "common/ipv4_address.h"
+
+#include <cstdio>
+
+#include "common/byte_io.h"
+#include "common/strings.h"
+
+namespace portland {
+
+Ipv4Address Ipv4Address::parse(const std::string& text) {
+  unsigned a = 0, b = 0, c = 0, d = 0;
+  if (std::sscanf(text.c_str(), "%u.%u.%u.%u", &a, &b, &c, &d) != 4) {
+    return Ipv4Address();
+  }
+  if (a > 255 || b > 255 || c > 255 || d > 255) return Ipv4Address();
+  return Ipv4Address(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b),
+                     static_cast<std::uint8_t>(c), static_cast<std::uint8_t>(d));
+}
+
+std::string Ipv4Address::to_string() const {
+  return str_format("%u.%u.%u.%u", (value_ >> 24) & 0xFF, (value_ >> 16) & 0xFF,
+                    (value_ >> 8) & 0xFF, value_ & 0xFF);
+}
+
+void Ipv4Address::serialize(ByteWriter& w) const { w.u32(value_); }
+
+Ipv4Address Ipv4Address::deserialize(ByteReader& r) {
+  return Ipv4Address(r.u32());
+}
+
+}  // namespace portland

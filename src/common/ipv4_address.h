@@ -1,0 +1,58 @@
+// IPv4 address value type.
+//
+// PortLand is a layer-2 fabric: all hosts share one subnet and IP addresses
+// act purely as host identifiers that survive VM migration (requirement R1).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace portland {
+
+class ByteReader;
+class ByteWriter;
+
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() = default;
+  explicit constexpr Ipv4Address(std::uint32_t v) : value_(v) {}
+  constexpr Ipv4Address(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                        std::uint8_t d)
+      : value_((static_cast<std::uint32_t>(a) << 24) |
+               (static_cast<std::uint32_t>(b) << 16) |
+               (static_cast<std::uint32_t>(c) << 8) | d) {}
+
+  /// Parses dotted-quad "10.0.0.1"; returns the zero address on error.
+  [[nodiscard]] static Ipv4Address parse(const std::string& text);
+
+  [[nodiscard]] constexpr std::uint32_t value() const { return value_; }
+  [[nodiscard]] constexpr bool is_zero() const { return value_ == 0; }
+
+  [[nodiscard]] std::string to_string() const;
+
+  void serialize(ByteWriter& w) const;
+  [[nodiscard]] static Ipv4Address deserialize(ByteReader& r);
+
+  friend constexpr bool operator==(Ipv4Address a, Ipv4Address b) {
+    return a.value_ == b.value_;
+  }
+  friend constexpr bool operator!=(Ipv4Address a, Ipv4Address b) {
+    return a.value_ != b.value_;
+  }
+  friend constexpr bool operator<(Ipv4Address a, Ipv4Address b) {
+    return a.value_ < b.value_;
+  }
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+}  // namespace portland
+
+template <>
+struct std::hash<portland::Ipv4Address> {
+  std::size_t operator()(portland::Ipv4Address a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value());
+  }
+};

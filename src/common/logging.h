@@ -1,0 +1,45 @@
+// Minimal leveled logging.
+//
+// The simulator is deterministic and single-threaded, so the logger is a
+// plain global with a mutable level; benches silence it, debugging turns
+// on kDebug/kTrace. Messages go to stderr. Use the PLOG_* macros so
+// disabled levels pay only an integer compare.
+#pragma once
+
+#include <string>
+
+#include "common/strings.h"
+
+namespace portland {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+/// Sets the global minimum level that will be emitted.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+/// Emits one log line (used by the macros; prefer those).
+void log_message(LogLevel level, const std::string& msg);
+
+}  // namespace portland
+
+#define PLOG_AT(level, ...)                                          \
+  do {                                                               \
+    if (static_cast<int>(level) >=                                   \
+        static_cast<int>(::portland::log_level())) {                 \
+      ::portland::log_message(level, ::portland::str_format(__VA_ARGS__)); \
+    }                                                                \
+  } while (0)
+
+#define PLOG_TRACE(...) PLOG_AT(::portland::LogLevel::kTrace, __VA_ARGS__)
+#define PLOG_DEBUG(...) PLOG_AT(::portland::LogLevel::kDebug, __VA_ARGS__)
+#define PLOG_INFO(...) PLOG_AT(::portland::LogLevel::kInfo, __VA_ARGS__)
+#define PLOG_WARN(...) PLOG_AT(::portland::LogLevel::kWarn, __VA_ARGS__)
+#define PLOG_ERROR(...) PLOG_AT(::portland::LogLevel::kError, __VA_ARGS__)

@@ -1,0 +1,36 @@
+#include "common/mac_address.h"
+
+#include <cstdio>
+
+#include "common/byte_io.h"
+#include "common/strings.h"
+
+namespace portland {
+
+MacAddress MacAddress::parse(const std::string& text) {
+  std::array<unsigned, kSize> v{};
+  const int n = std::sscanf(text.c_str(), "%x:%x:%x:%x:%x:%x", &v[0], &v[1],
+                            &v[2], &v[3], &v[4], &v[5]);
+  if (n != static_cast<int>(kSize)) return zero();
+  std::array<std::uint8_t, kSize> b{};
+  for (std::size_t i = 0; i < kSize; ++i) {
+    if (v[i] > 0xFF) return zero();
+    b[i] = static_cast<std::uint8_t>(v[i]);
+  }
+  return MacAddress(b);
+}
+
+std::string MacAddress::to_string() const {
+  return str_format("%02x:%02x:%02x:%02x:%02x:%02x", bytes_[0], bytes_[1],
+                    bytes_[2], bytes_[3], bytes_[4], bytes_[5]);
+}
+
+void MacAddress::serialize(ByteWriter& w) const { w.bytes(bytes_); }
+
+MacAddress MacAddress::deserialize(ByteReader& r) {
+  std::array<std::uint8_t, kSize> b{};
+  r.bytes(b);
+  return MacAddress(b);
+}
+
+}  // namespace portland

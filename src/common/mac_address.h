@@ -1,0 +1,93 @@
+// 48-bit Ethernet MAC address value type.
+//
+// MacAddress is a trivially-copyable value type used both for hosts'
+// actual MACs (AMACs) and for PortLand's hierarchical pseudo-MACs (PMACs);
+// the PMAC field encoding lives in core/pmac.h.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace portland {
+
+class ByteReader;
+class ByteWriter;
+
+class MacAddress {
+ public:
+  static constexpr std::size_t kSize = 6;
+
+  constexpr MacAddress() = default;
+  explicit constexpr MacAddress(std::array<std::uint8_t, kSize> bytes)
+      : bytes_(bytes) {}
+
+  /// Builds an address from the low 48 bits of `v` (big-endian layout:
+  /// bits 47..40 become byte 0).
+  [[nodiscard]] static constexpr MacAddress from_u64(std::uint64_t v) {
+    std::array<std::uint8_t, kSize> b{};
+    for (std::size_t i = 0; i < kSize; ++i) {
+      b[kSize - 1 - i] = static_cast<std::uint8_t>(v >> (8 * i));
+    }
+    return MacAddress(b);
+  }
+
+  /// The broadcast address ff:ff:ff:ff:ff:ff.
+  [[nodiscard]] static constexpr MacAddress broadcast() {
+    return from_u64(0xFFFF'FFFF'FFFFULL);
+  }
+
+  /// The all-zero address (used as "unset").
+  [[nodiscard]] static constexpr MacAddress zero() { return MacAddress(); }
+
+  /// Parses "aa:bb:cc:dd:ee:ff"; returns zero() on malformed input.
+  [[nodiscard]] static MacAddress parse(const std::string& text);
+
+  [[nodiscard]] constexpr std::uint64_t to_u64() const {
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < kSize; ++i) v = (v << 8) | bytes_[i];
+    return v;
+  }
+
+  [[nodiscard]] constexpr bool is_broadcast() const {
+    return to_u64() == 0xFFFF'FFFF'FFFFULL;
+  }
+  [[nodiscard]] constexpr bool is_zero() const { return to_u64() == 0; }
+
+  /// IEEE group bit: set for multicast and broadcast destinations.
+  [[nodiscard]] constexpr bool is_multicast() const {
+    return (bytes_[0] & 0x01) != 0;
+  }
+
+  [[nodiscard]] const std::array<std::uint8_t, kSize>& bytes() const {
+    return bytes_;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  void serialize(ByteWriter& w) const;
+  [[nodiscard]] static MacAddress deserialize(ByteReader& r);
+
+  friend constexpr bool operator==(const MacAddress& a, const MacAddress& b) {
+    return a.bytes_ == b.bytes_;
+  }
+  friend constexpr bool operator!=(const MacAddress& a, const MacAddress& b) {
+    return !(a == b);
+  }
+  friend constexpr bool operator<(const MacAddress& a, const MacAddress& b) {
+    return a.to_u64() < b.to_u64();
+  }
+
+ private:
+  std::array<std::uint8_t, kSize> bytes_{};
+};
+
+}  // namespace portland
+
+template <>
+struct std::hash<portland::MacAddress> {
+  std::size_t operator()(const portland::MacAddress& m) const noexcept {
+    return std::hash<std::uint64_t>{}(m.to_u64());
+  }
+};

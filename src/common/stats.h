@@ -1,0 +1,62 @@
+// Streaming statistics accumulators and named counters.
+//
+// `Accumulator` keeps count/mean/variance (Welford) plus min/max without
+// storing samples. `CounterSet` is a string-keyed map of monotonically
+// increasing counters used by devices to expose packet/byte/drop counts to
+// tests and benches.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace portland {
+
+class Accumulator {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double mean() const { return count_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return count_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+  void reset();
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+class CounterSet {
+ public:
+  /// Adds `delta` to counter `name`, creating it at zero if absent.
+  void add(const std::string& name, std::uint64_t delta = 1);
+
+  /// Current value; zero if the counter has never been touched.
+  [[nodiscard]] std::uint64_t get(const std::string& name) const;
+
+  /// All counters, sorted by name (map iteration order).
+  [[nodiscard]] const std::map<std::string, std::uint64_t>& all() const {
+    return counters_;
+  }
+
+  void reset();
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+};
+
+/// Computes the p-th percentile (0..100) of `values` by sorting a copy.
+/// Returns 0 for an empty vector.
+[[nodiscard]] double percentile(std::vector<double> values, double p);
+
+}  // namespace portland

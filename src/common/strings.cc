@@ -1,0 +1,49 @@
+#include "common/strings.h"
+
+#include <cstdio>
+
+namespace portland {
+
+std::string str_vformat(const char* fmt, va_list ap) {
+  va_list ap_copy;
+  va_copy(ap_copy, ap);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, ap_copy);
+  va_end(ap_copy);
+  if (needed <= 0) return {};
+  std::string out(static_cast<std::size_t>(needed), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, ap);
+  return out;
+}
+
+std::string str_format(const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  std::string out = str_vformat(fmt, ap);
+  va_end(ap);
+  return out;
+}
+
+std::string join(const std::vector<std::string>& parts, const std::string& sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = s.find(sep, start);
+    if (pos == std::string::npos) {
+      out.push_back(s.substr(start));
+      return out;
+    }
+    out.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+}  // namespace portland

@@ -1,0 +1,28 @@
+// printf-style string formatting helpers.
+//
+// libstdc++ 12 does not ship std::format, so we provide a small, safe
+// vsnprintf wrapper. Callers pass standard printf format strings; the
+// result is returned as a std::string.
+#pragma once
+
+#include <cstdarg>
+#include <string>
+#include <vector>
+
+namespace portland {
+
+/// Formats like printf into a std::string.
+[[nodiscard]] std::string str_format(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// va_list variant of str_format.
+[[nodiscard]] std::string str_vformat(const char* fmt, va_list ap);
+
+/// Joins elements with a separator: join({"a","b"}, ",") == "a,b".
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               const std::string& sep);
+
+/// Splits `s` on character `sep`; empty fields are preserved.
+[[nodiscard]] std::vector<std::string> split(const std::string& s, char sep);
+
+}  // namespace portland

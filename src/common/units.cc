@@ -1,0 +1,16 @@
+#include "common/units.h"
+
+#include "common/strings.h"
+
+namespace portland {
+
+std::string format_time(SimTime t) {
+  if (t < kMicrosecond) return str_format("%ldns", static_cast<long>(t));
+  if (t < kMillisecond)
+    return str_format("%.3fus", static_cast<double>(t) / kMicrosecond);
+  if (t < kSecond)
+    return str_format("%.3fms", static_cast<double>(t) / kMillisecond);
+  return str_format("%.6fs", static_cast<double>(t) / kSecond);
+}
+
+}  // namespace portland

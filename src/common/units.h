@@ -1,0 +1,43 @@
+// Simulation time units.
+//
+// All simulated time in this codebase is an integer count of nanoseconds
+// since the start of the simulation (`SimTime`). Durations use the same
+// representation (`SimDuration`). Helper constructors keep call sites
+// readable: `millis(10)`, `micros(50)`, `seconds(1)`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace portland {
+
+/// Absolute simulated time, in nanoseconds since simulation start.
+using SimTime = std::int64_t;
+
+/// A span of simulated time, in nanoseconds.
+using SimDuration = std::int64_t;
+
+constexpr SimDuration kNanosecond = 1;
+constexpr SimDuration kMicrosecond = 1'000;
+constexpr SimDuration kMillisecond = 1'000'000;
+constexpr SimDuration kSecond = 1'000'000'000;
+
+[[nodiscard]] constexpr SimDuration nanos(std::int64_t n) { return n; }
+[[nodiscard]] constexpr SimDuration micros(std::int64_t n) { return n * kMicrosecond; }
+[[nodiscard]] constexpr SimDuration millis(std::int64_t n) { return n * kMillisecond; }
+[[nodiscard]] constexpr SimDuration seconds(std::int64_t n) { return n * kSecond; }
+
+/// Converts a duration to floating-point seconds (for reporting only).
+[[nodiscard]] constexpr double to_seconds(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+
+/// Converts a duration to floating-point milliseconds (for reporting only).
+[[nodiscard]] constexpr double to_millis(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+
+/// Renders a time as a compact human-readable string, e.g. "12.345ms".
+[[nodiscard]] std::string format_time(SimTime t);
+
+}  // namespace portland

@@ -1,0 +1,31 @@
+#include "core/control_plane.h"
+
+#include "common/logging.h"
+
+namespace portland::core {
+
+void ControlPlane::send(SwitchId to, const ControlMessage& msg,
+                        SimDuration extra_delay) {
+  const std::vector<std::uint8_t> bytes = serialize_control(msg);
+  ++messages_sent_;
+  bytes_sent_ += bytes.size();
+  const char* type = control_type_name(msg.body);
+  counters_.add(type);
+  counters_.add(std::string(type) + "_bytes", bytes.size());
+
+  sim_->after(latency_ + extra_delay, [this, to, bytes = std::move(bytes)] {
+    const auto it = endpoints_.find(to);
+    if (it == endpoints_.end()) {
+      counters_.add("undeliverable");
+      return;
+    }
+    const auto parsed = parse_control(bytes);
+    if (!parsed.has_value()) {
+      counters_.add("parse_error");
+      return;
+    }
+    it->second(*parsed);
+  });
+}
+
+}  // namespace portland::core

@@ -1,0 +1,61 @@
+// The out-of-band control network connecting every switch to the fabric
+// manager (paper §3.1: "a separate control network is feasible at modest
+// cost"). Modeled as a message channel with configurable one-way latency.
+//
+// Every message is serialized to bytes on send and parsed on delivery —
+// both for fidelity and so the control-overhead experiment (E7) counts
+// true message and byte volumes, broken down by message type.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "common/stats.h"
+#include "common/units.h"
+#include "core/messages.h"
+#include "sim/simulator.h"
+
+namespace portland::core {
+
+class ControlPlane {
+ public:
+  using Handler = std::function<void(const ControlMessage&)>;
+
+  ControlPlane(sim::Simulator& sim, SimDuration one_way_latency)
+      : sim_(&sim), latency_(one_way_latency) {}
+
+  /// Registers the endpoint for control address `id` (a switch id or
+  /// kFabricManagerId). Re-registering replaces the handler.
+  void register_endpoint(SwitchId id, Handler handler) {
+    endpoints_[id] = std::move(handler);
+  }
+
+  void unregister_endpoint(SwitchId id) { endpoints_.erase(id); }
+
+  /// Sends `msg` to endpoint `to`; delivered after the one-way latency
+  /// plus `extra_delay` (used to model fabric-manager processing and
+  /// per-switch flow-installation costs). Messages to unknown endpoints
+  /// are counted and dropped.
+  void send(SwitchId to, const ControlMessage& msg,
+            SimDuration extra_delay = 0);
+
+  [[nodiscard]] std::uint64_t messages_sent() const { return messages_sent_; }
+  [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_; }
+
+  /// Message and byte counts per control type ("<type>" and "<type>_bytes").
+  [[nodiscard]] const CounterSet& counters() const { return counters_; }
+  [[nodiscard]] CounterSet& counters() { return counters_; }
+
+  [[nodiscard]] SimDuration latency() const { return latency_; }
+
+ private:
+  sim::Simulator* sim_;
+  SimDuration latency_;
+  std::unordered_map<SwitchId, Handler> endpoints_;
+  std::uint64_t messages_sent_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+  CounterSet counters_;
+};
+
+}  // namespace portland::core

@@ -1,0 +1,181 @@
+#include "core/fabric.h"
+
+#include <cassert>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "core/pmac.h"
+
+namespace portland::core {
+
+namespace {
+/// Switch ids start well above kFabricManagerId.
+constexpr SwitchId kSwitchIdBase = 0x1000;
+}  // namespace
+
+Ipv4Address PortlandFabric::ip_at(std::size_t pod, std::size_t edge,
+                                  std::size_t port) {
+  assert(pod < 256 && edge < 256 && port < 255);
+  return Ipv4Address(10, static_cast<std::uint8_t>(pod),
+                     static_cast<std::uint8_t>(edge),
+                     static_cast<std::uint8_t>(port + 1));
+}
+
+PortlandFabric::PortlandFabric(Options options)
+    : options_(std::move(options)),
+      tree_(options_.k),
+      net_(options_.seed),
+      injector_(net_) {
+  control_ = std::make_unique<ControlPlane>(net_.sim(),
+                                            options_.config.control_latency);
+  fm_ = std::make_unique<FabricManager>(net_.sim(), *control_,
+                                        options_.config);
+
+  const std::size_t half = static_cast<std::size_t>(options_.k) / 2;
+  const std::size_t cores_per_group =
+      options_.cores_per_group == 0
+          ? half
+          : std::min(options_.cores_per_group, half);
+  Rng rng = net_.rng().fork();
+  SwitchId next_id = kSwitchIdBase;
+
+  // Switches, in FatTree order: edge, agg, core.
+  auto make_switch = [&](const std::string& name) -> PortlandSwitch& {
+    return net_.add_device<PortlandSwitch>(
+        name, next_id++, static_cast<std::size_t>(options_.k), *control_,
+        options_.config, rng.fork());
+  };
+  for (std::size_t pod = 0; pod < tree_.pods(); ++pod) {
+    for (std::size_t e = 0; e < half; ++e) {
+      edges_.push_back(&make_switch(str_format("edge-p%zu-%zu", pod, e)));
+    }
+  }
+  for (std::size_t pod = 0; pod < tree_.pods(); ++pod) {
+    for (std::size_t a = 0; a < half; ++a) {
+      aggs_.push_back(&make_switch(str_format("agg-p%zu-%zu", pod, a)));
+    }
+  }
+  for (std::size_t i = 0; i < half; ++i) {
+    for (std::size_t j = 0; j < cores_per_group; ++j) {
+      cores_.push_back(&make_switch(str_format("core-%zu-%zu", i, j)));
+    }
+  }
+  switches_ = edges_;
+  switches_.insert(switches_.end(), aggs_.begin(), aggs_.end());
+  switches_.insert(switches_.end(), cores_.begin(), cores_.end());
+
+  // Hosts (except skipped indices) and their access links.
+  host_by_index_.assign(tree_.num_hosts(), nullptr);
+  host_link_by_index_.assign(tree_.num_hosts(), nullptr);
+  std::uint32_t host_counter = 0;
+  for (std::size_t pod = 0; pod < tree_.pods(); ++pod) {
+    for (std::size_t e = 0; e < half; ++e) {
+      for (std::size_t p = 0; p < half; ++p) {
+        const std::size_t index = tree_.host_index(pod, e, p);
+        ++host_counter;
+        if (options_.skip_host_indices.count(index) != 0) continue;
+        host::Host& h = net_.add_device<host::Host>(
+            str_format("host-p%zu-e%zu-h%zu", pod, e, p),
+            make_amac(host_counter), ip_at(pod, e, p), options_.host_config);
+        host_by_index_[index] = &h;
+        hosts_.push_back(&h);
+        sim::Link& link =
+            net_.connect(h, 0, *edges_[pod * half + e], p, options_.host_link);
+        host_link_by_index_[index] = &link;
+      }
+    }
+  }
+
+  // Edge <-> aggregation.
+  for (std::size_t pod = 0; pod < tree_.pods(); ++pod) {
+    for (std::size_t e = 0; e < half; ++e) {
+      for (std::size_t a = 0; a < half; ++a) {
+        fabric_links_.push_back(&net_.connect(
+            *edges_[pod * half + e], half + a, *aggs_[pod * half + a], e,
+            options_.fabric_link));
+      }
+    }
+  }
+  // Aggregation <-> core. With oversubscription, aggregation uplink ports
+  // beyond cores_per_group stay unwired — LDP simply never finds a
+  // neighbor there.
+  for (std::size_t pod = 0; pod < tree_.pods(); ++pod) {
+    for (std::size_t a = 0; a < half; ++a) {
+      for (std::size_t j = 0; j < cores_per_group; ++j) {
+        fabric_links_.push_back(
+            &net_.connect(*aggs_[pod * half + a], half + j,
+                          *cores_[a * cores_per_group + j], pod,
+                          options_.fabric_link));
+      }
+    }
+  }
+
+  net_.start_all();
+}
+
+host::Host* PortlandFabric::host(std::size_t index) const {
+  assert(index < host_by_index_.size());
+  return host_by_index_[index];
+}
+
+host::Host& PortlandFabric::host_at(std::size_t pod, std::size_t edge,
+                                    std::size_t port) const {
+  host::Host* h = host(tree_.host_index(pod, edge, port));
+  assert(h != nullptr && "host index was skipped");
+  return *h;
+}
+
+PortlandSwitch& PortlandFabric::edge_at(std::size_t pod,
+                                        std::size_t pos) const {
+  const std::size_t half = static_cast<std::size_t>(options_.k) / 2;
+  return *edges_[pod * half + pos];
+}
+
+PortlandSwitch& PortlandFabric::agg_at(std::size_t pod,
+                                       std::size_t pos) const {
+  const std::size_t half = static_cast<std::size_t>(options_.k) / 2;
+  return *aggs_[pod * half + pos];
+}
+
+PortlandSwitch& PortlandFabric::core_at(std::size_t group,
+                                        std::size_t member) const {
+  const std::size_t half = static_cast<std::size_t>(options_.k) / 2;
+  const std::size_t per_group = options_.cores_per_group == 0
+                                    ? half
+                                    : std::min(options_.cores_per_group, half);
+  return *cores_[group * per_group + member];
+}
+
+sim::Link* PortlandFabric::host_link(std::size_t index) const {
+  assert(index < host_link_by_index_.size());
+  return host_link_by_index_[index];
+}
+
+bool PortlandFabric::all_located() const {
+  for (const PortlandSwitch* sw : switches_) {
+    if (!sw->locator().located()) return false;
+  }
+  return true;
+}
+
+bool PortlandFabric::run_until_converged(SimDuration limit) {
+  const SimTime deadline = sim().now() + limit;
+  while (!all_located()) {
+    if (sim().now() >= deadline) return false;
+    sim().run_until(sim().now() + millis(10));
+  }
+  // Location discovery is done; re-announce every host so each edge
+  // assigns PMACs and the fabric manager's registry becomes complete
+  // (the boot-time gratuitous ARPs may have preceded discovery).
+  for (host::Host* h : hosts_) h->send_gratuitous_arp();
+  sim().run_until(sim().now() + millis(20));
+  return true;
+}
+
+std::size_t PortlandFabric::total_switch_state() const {
+  std::size_t n = 0;
+  for (const PortlandSwitch* sw : switches_) n += sw->forwarding_state_size();
+  return n;
+}
+
+}  // namespace portland::core

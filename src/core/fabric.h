@@ -1,0 +1,122 @@
+// PortlandFabric: one-call construction of a complete PortLand deployment —
+// a k-ary fat tree of PortlandSwitches, unmodified Hosts, the fabric
+// manager, and the out-of-band control network — plus the convergence and
+// failure-injection helpers every experiment uses.
+//
+// This is the library's main entry point:
+//
+//   core::PortlandFabric fabric({.k = 4, .seed = 42});
+//   fabric.run_until_converged();
+//   host::Host& a = fabric.host_at(0, 0, 0);
+//   host::Host& b = fabric.host_at(3, 1, 1);
+//   a.send_udp(b.ip(), 7000, 7001, payload);
+//   fabric.sim().run_until(seconds(1));
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "core/config.h"
+#include "core/control_plane.h"
+#include "core/fabric_manager.h"
+#include "core/portland_switch.h"
+#include "host/host.h"
+#include "sim/failure.h"
+#include "sim/network.h"
+#include "topo/fat_tree.h"
+
+namespace portland::core {
+
+class PortlandFabric {
+ public:
+  struct Options {
+    int k = 4;
+    std::uint64_t seed = 1;
+    PortlandConfig config;
+    sim::Link::Config host_link;
+    sim::Link::Config fabric_link;
+    host::HostConfig host_config;
+    /// Host indices (FatTree numbering) to leave unattached — their edge
+    /// ports stay free, e.g. as VM-migration targets.
+    std::set<std::size_t> skip_host_indices;
+    /// Cores wired per group (1..k/2; 0 = full k/2). Values below k/2
+    /// build an oversubscribed multi-rooted tree — fewer core uplinks per
+    /// aggregation switch — which PortLand must handle identically (the
+    /// paper targets general multi-rooted trees, not only pristine fat
+    /// trees). With c cores/group the oversubscription ratio is (k/2)/c.
+    std::size_t cores_per_group = 0;
+  };
+
+  explicit PortlandFabric(Options options);
+
+  // --- plumbing ----------------------------------------------------------
+  [[nodiscard]] sim::Network& network() { return net_; }
+  [[nodiscard]] sim::Simulator& sim() { return net_.sim(); }
+  [[nodiscard]] ControlPlane& control() { return *control_; }
+  [[nodiscard]] FabricManager& fabric_manager() { return *fm_; }
+  [[nodiscard]] const topo::FatTree& tree() const { return tree_; }
+  [[nodiscard]] sim::FailureInjector& failures() { return injector_; }
+  [[nodiscard]] const Options& options() const { return options_; }
+
+  // --- topology accessors --------------------------------------------------
+  /// Host by FatTree index; nullptr if the index was skipped.
+  [[nodiscard]] host::Host* host(std::size_t index) const;
+  [[nodiscard]] host::Host& host_at(std::size_t pod, std::size_t edge,
+                                    std::size_t port) const;
+  [[nodiscard]] PortlandSwitch& edge_at(std::size_t pod,
+                                        std::size_t pos) const;
+  [[nodiscard]] PortlandSwitch& agg_at(std::size_t pod, std::size_t pos) const;
+  [[nodiscard]] PortlandSwitch& core_at(std::size_t group,
+                                        std::size_t member) const;
+  [[nodiscard]] const std::vector<PortlandSwitch*>& switches() const {
+    return switches_;
+  }
+  /// All attached hosts (skipped indices excluded).
+  [[nodiscard]] const std::vector<host::Host*>& hosts() const {
+    return hosts_;
+  }
+  /// The access link of host `index`; nullptr if skipped.
+  [[nodiscard]] sim::Link* host_link(std::size_t index) const;
+  [[nodiscard]] const std::vector<sim::Link*>& fabric_links() const {
+    return fabric_links_;
+  }
+
+  /// The deterministic IP plan: host at (pod, edge, port) owns
+  /// 10.pod.edge.(port+1).
+  [[nodiscard]] static Ipv4Address ip_at(std::size_t pod, std::size_t edge,
+                                         std::size_t port);
+
+  // --- lifecycle helpers ---------------------------------------------------
+  /// Runs the simulation until every switch has discovered its full
+  /// location (level, pod, position), then has every host announce itself
+  /// so the fabric manager's PMAC registry is complete. Returns false if
+  /// discovery did not converge within `limit`.
+  bool run_until_converged(SimDuration limit = seconds(5));
+
+  [[nodiscard]] bool all_located() const;
+
+  /// Sum of forwarding-state entries across all switches (E5).
+  [[nodiscard]] std::size_t total_switch_state() const;
+
+ private:
+  Options options_;
+  topo::FatTree tree_;
+  sim::Network net_;
+  std::unique_ptr<ControlPlane> control_;
+  std::unique_ptr<FabricManager> fm_;
+
+  std::vector<host::Host*> hosts_;                 // attached only
+  std::vector<host::Host*> host_by_index_;         // nullptr where skipped
+  std::vector<sim::Link*> host_link_by_index_;     // nullptr where skipped
+  std::vector<PortlandSwitch*> edges_;
+  std::vector<PortlandSwitch*> aggs_;
+  std::vector<PortlandSwitch*> cores_;
+  std::vector<PortlandSwitch*> switches_;
+  std::vector<sim::Link*> fabric_links_;
+  sim::FailureInjector injector_;
+};
+
+}  // namespace portland::core

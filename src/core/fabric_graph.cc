@@ -1,0 +1,219 @@
+#include "core/fabric_graph.h"
+
+#include <algorithm>
+
+namespace portland::core {
+
+bool FabricGraph::apply_hello(SwitchId id, const SwitchHello& hello) {
+  SwitchState& st = switches_[id];
+  const SwitchLocator old_locator = st.locator;
+  const std::map<std::uint16_t, SwitchId> old_ports = st.port_to_neighbor;
+
+  st.locator = hello.self;
+  st.port_to_neighbor.clear();
+  st.neighbor_set.clear();
+  for (const NeighborEntry& n : hello.neighbors) {
+    st.port_to_neighbor[n.port] = n.neighbor.switch_id;
+    st.neighbor_set.insert(n.neighbor.switch_id);
+    // Newly learned links default to alive.
+    link_alive_.emplace(link_key(id, n.neighbor.switch_id), true);
+  }
+  return old_locator != st.locator || old_ports != st.port_to_neighbor;
+}
+
+bool FabricGraph::set_link_state(SwitchId a, SwitchId b, bool up) {
+  auto [it, inserted] = link_alive_.emplace(link_key(a, b), up);
+  if (!inserted && it->second == up) return false;
+  it->second = up;
+  return true;
+}
+
+const SwitchLocator* FabricGraph::locator(SwitchId id) const {
+  const auto it = switches_.find(id);
+  return it == switches_.end() ? nullptr : &it->second.locator;
+}
+
+bool FabricGraph::link_alive(SwitchId a, SwitchId b) const {
+  const auto it = link_alive_.find(link_key(a, b));
+  return it != link_alive_.end() && it->second;
+}
+
+bool FabricGraph::adjacent(SwitchId a, SwitchId b) const {
+  const auto it = switches_.find(a);
+  return it != switches_.end() && it->second.neighbor_set.count(b) != 0;
+}
+
+int FabricGraph::port_between(SwitchId from, SwitchId to) const {
+  const auto it = switches_.find(from);
+  if (it == switches_.end()) return -1;
+  for (const auto& [port, nbr] : it->second.port_to_neighbor) {
+    if (nbr == to) return static_cast<int>(port);
+  }
+  return -1;
+}
+
+std::vector<SwitchId> FabricGraph::switches_at(Level level) const {
+  std::vector<SwitchId> out;
+  for (const auto& [id, st] : switches_) {
+    if (st.locator.level == level) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<SwitchId> FabricGraph::edges_in_pod(std::uint16_t pod) const {
+  std::vector<SwitchId> out;
+  for (const auto& [id, st] : switches_) {
+    if (st.locator.level == Level::kEdge && st.locator.pod == pod) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+std::vector<SwitchId> FabricGraph::aggs_in_pod(std::uint16_t pod) const {
+  std::vector<SwitchId> out;
+  for (const auto& [id, st] : switches_) {
+    if (st.locator.level == Level::kAggregation && st.locator.pod == pod) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+std::vector<SwitchId> FabricGraph::cores() const {
+  return switches_at(Level::kCore);
+}
+
+const std::set<SwitchId>& FabricGraph::neighbors(SwitchId id) const {
+  static const std::set<SwitchId> kEmpty;
+  const auto it = switches_.find(id);
+  return it == switches_.end() ? kEmpty : it->second.neighbor_set;
+}
+
+std::size_t FabricGraph::failed_link_count() const {
+  std::size_t n = 0;
+  for (const auto& [key, alive] : link_alive_) {
+    if (!alive) ++n;
+  }
+  return n;
+}
+
+SwitchId FabricGraph::edge_at(std::uint16_t pod, std::uint8_t position) const {
+  for (const auto& [id, st] : switches_) {
+    if (st.locator.level == Level::kEdge && st.locator.pod == pod &&
+        st.locator.position == position) {
+      return id;
+    }
+  }
+  return kInvalidSwitchId;
+}
+
+std::set<SwitchId> FabricGraph::cores_reaching(std::uint16_t pod,
+                                               SwitchId target) const {
+  std::set<SwitchId> ok;
+  for (const SwitchId core : cores()) {
+    for (const SwitchId agg : neighbors(core)) {
+      const SwitchLocator* loc = locator(agg);
+      if (loc == nullptr || loc->level != Level::kAggregation ||
+          loc->pod != pod) {
+        continue;
+      }
+      if (!link_alive(core, agg)) continue;
+      if (target == kInvalidSwitchId) {
+        ok.insert(core);  // pod-level reachability
+        break;
+      }
+      if (adjacent(agg, target) && link_alive(agg, target)) {
+        ok.insert(core);
+        break;
+      }
+    }
+  }
+  return ok;
+}
+
+PruneMap FabricGraph::compute_prunes(const DstKey& key) const {
+  PruneMap out;
+  const bool pod_level = key.position == kUnknownPosition;
+  const SwitchId target_edge =
+      pod_level ? kInvalidSwitchId : edge_at(key.pod, key.position);
+  if (!pod_level && target_edge == kInvalidSwitchId) return out;
+
+  // Cores that can still deliver to the destination.
+  const std::set<SwitchId> ok_cores =
+      cores_reaching(key.pod, target_edge);
+
+  // 1. Aggregation switches in other pods avoid cores that lost the
+  //    destination.
+  for (const auto& [agg, st] : switches_) {
+    if (st.locator.level != Level::kAggregation) continue;
+    if (st.locator.pod == key.pod) continue;
+    for (const SwitchId nbr : st.neighbor_set) {
+      const SwitchLocator* loc = locator(nbr);
+      if (loc == nullptr || loc->level != Level::kCore) continue;
+      if (ok_cores.count(nbr) == 0) out[agg].insert(nbr);
+    }
+  }
+
+  // 2. Edge switches in other pods avoid aggregation switches with no
+  //    surviving core toward the destination (counting only cores they can
+  //    still reach over alive uplinks).
+  for (const auto& [edge, st] : switches_) {
+    if (st.locator.level != Level::kEdge) continue;
+    if (st.locator.pod == key.pod) continue;
+    for (const SwitchId agg : st.neighbor_set) {
+      const SwitchLocator* aloc = locator(agg);
+      if (aloc == nullptr || aloc->level != Level::kAggregation) continue;
+      bool has_path = false;
+      for (const SwitchId core : neighbors(agg)) {
+        const SwitchLocator* cloc = locator(core);
+        if (cloc == nullptr || cloc->level != Level::kCore) continue;
+        if (!link_alive(agg, core)) continue;
+        if (ok_cores.count(core) != 0) {
+          has_path = true;
+          break;
+        }
+      }
+      if (!has_path) out[edge].insert(agg);
+    }
+  }
+
+  // 3. Edges inside the destination pod avoid aggregation switches whose
+  //    downlink to the destination edge died (edge-locator keys only).
+  if (!pod_level) {
+    for (const SwitchId edge : edges_in_pod(key.pod)) {
+      if (edge == target_edge) continue;
+      for (const SwitchId agg : neighbors(edge)) {
+        const SwitchLocator* aloc = locator(agg);
+        if (aloc == nullptr || aloc->level != Level::kAggregation) continue;
+        if (!adjacent(agg, target_edge) || !link_alive(agg, target_edge)) {
+          out[edge].insert(agg);
+        }
+      }
+    }
+  }
+
+  return out;
+}
+
+std::vector<DstKey> FabricGraph::keys_for_link(SwitchId a, SwitchId b) const {
+  const SwitchLocator* la = locator(a);
+  const SwitchLocator* lb = locator(b);
+  if (la == nullptr || lb == nullptr) return {};
+
+  // Normalize so `la` is the lower level.
+  if (static_cast<int>(la->level) > static_cast<int>(lb->level)) {
+    std::swap(la, lb);
+  }
+  if (la->level == Level::kEdge && lb->level == Level::kAggregation) {
+    if (la->pod == kUnknownPod || la->position == kUnknownPosition) return {};
+    return {DstKey{la->pod, la->position}};
+  }
+  if (la->level == Level::kAggregation && lb->level == Level::kCore) {
+    if (la->pod == kUnknownPod) return {};
+    return {DstKey{la->pod, kUnknownPosition}};
+  }
+  return {};
+}
+
+}  // namespace portland::core

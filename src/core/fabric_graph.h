@@ -1,0 +1,104 @@
+// The fabric manager's soft-state topology view (paper §3.1: network
+// configuration + fault matrix).
+//
+// Built entirely from SwitchHello reports (locators + neighbor tables) and
+// FaultNotify events (the fault matrix). From this view the FM computes,
+// per destination, which next-hop switches each forwarding switch must
+// avoid — the `PruneEntry` sets pushed to "affected switches" after a
+// failure (paper §3.6).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "core/messages.h"
+
+namespace portland::core {
+
+/// Key identifying a destination whose reachability a fault can restrict:
+/// a specific edge locator (pod, position) or a whole pod
+/// (position == kUnknownPosition).
+struct DstKey {
+  std::uint16_t pod = kUnknownPod;
+  std::uint8_t position = kUnknownPosition;
+
+  friend bool operator==(const DstKey&, const DstKey&) = default;
+  friend bool operator<(const DstKey& a, const DstKey& b) {
+    if (a.pod != b.pod) return a.pod < b.pod;
+    return a.position < b.position;
+  }
+};
+
+/// For one destination key: per affected switch, the set of next-hop
+/// switch ids to avoid.
+using PruneMap = std::map<SwitchId, std::set<SwitchId>>;
+
+class FabricGraph {
+ public:
+  /// Ingests a switch's location + adjacency report. Newly reported links
+  /// default to alive. Returns true when the switch's locator or
+  /// adjacency actually changed (callers re-derive routing state then).
+  bool apply_hello(SwitchId id, const SwitchHello& hello);
+
+  /// Marks the (a, b) link up/down in the fault matrix. Returns true if
+  /// the state changed.
+  bool set_link_state(SwitchId a, SwitchId b, bool up);
+
+  [[nodiscard]] const SwitchLocator* locator(SwitchId id) const;
+  [[nodiscard]] bool link_alive(SwitchId a, SwitchId b) const;
+  [[nodiscard]] bool adjacent(SwitchId a, SwitchId b) const;
+
+  /// Port on `from` that faces `to`; -1 if not adjacent.
+  [[nodiscard]] int port_between(SwitchId from, SwitchId to) const;
+
+  [[nodiscard]] std::vector<SwitchId> switches_at(Level level) const;
+  [[nodiscard]] std::vector<SwitchId> edges_in_pod(std::uint16_t pod) const;
+  [[nodiscard]] std::vector<SwitchId> aggs_in_pod(std::uint16_t pod) const;
+  [[nodiscard]] std::vector<SwitchId> cores() const;
+  [[nodiscard]] const std::set<SwitchId>& neighbors(SwitchId id) const;
+  [[nodiscard]] std::size_t switch_count() const { return switches_.size(); }
+  [[nodiscard]] std::size_t failed_link_count() const;
+
+  /// The edge switch registered at (pod, position); kInvalidSwitchId if
+  /// unknown.
+  [[nodiscard]] SwitchId edge_at(std::uint16_t pod,
+                                 std::uint8_t position) const;
+
+  /// Computes the complete avoid-sets for destination `key` given the
+  /// current fault matrix:
+  ///   * key = (p, e): cores that cannot deliver to edge (p, e) are avoided
+  ///     by aggregation switches in other pods; aggregation switches with
+  ///     no surviving path are avoided by the edges below them; in-pod
+  ///     edges avoid aggregation switches whose downlink to (p, e) died.
+  ///   * key = (p, any): same structure, one level coarser, for
+  ///     aggregation<->core faults.
+  /// A switch absent from the result has nothing to avoid.
+  [[nodiscard]] PruneMap compute_prunes(const DstKey& key) const;
+
+  /// The destination keys directly restricted by the (a, b) link.
+  [[nodiscard]] std::vector<DstKey> keys_for_link(SwitchId a, SwitchId b) const;
+
+ private:
+  struct SwitchState {
+    SwitchLocator locator;
+    std::map<std::uint16_t, SwitchId> port_to_neighbor;
+    std::set<SwitchId> neighbor_set;
+  };
+
+  [[nodiscard]] static std::pair<SwitchId, SwitchId> link_key(SwitchId a,
+                                                              SwitchId b) {
+    return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  }
+
+  /// Cores with an alive path into edge `target` (or any edge of the pod
+  /// when `target` is kInvalidSwitchId).
+  [[nodiscard]] std::set<SwitchId> cores_reaching(std::uint16_t pod,
+                                                  SwitchId target) const;
+
+  std::map<SwitchId, SwitchState> switches_;
+  std::map<std::pair<SwitchId, SwitchId>, bool> link_alive_;
+};
+
+}  // namespace portland::core

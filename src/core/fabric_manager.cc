@@ -1,0 +1,285 @@
+#include "core/fabric_manager.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace portland::core {
+
+FabricManager::FabricManager(sim::Simulator& sim, ControlPlane& control,
+                             PortlandConfig config)
+    : sim_(&sim), control_(&control), config_(config) {
+  control_->register_endpoint(
+      kFabricManagerId, [this](const ControlMessage& m) { handle_message(m); });
+}
+
+void FabricManager::send(SwitchId to, ControlBody body, SimDuration extra) {
+  control_->send(to, ControlMessage{kFabricManagerId, std::move(body)}, extra);
+}
+
+void FabricManager::handle_message(const ControlMessage& msg) {
+  counters_.add("rx_total");
+  struct Dispatcher {
+    FabricManager& fm;
+    SwitchId sender;
+    void operator()(const SwitchHello& m) { fm.on_hello(sender, m); }
+    void operator()(const PodRequest&) { fm.on_pod_request(sender); }
+    void operator()(const HostRegister& m) { fm.on_host_register(sender, m); }
+    void operator()(const ArpQuery& m) { fm.on_arp_query(sender, m); }
+    void operator()(const FaultNotify& m) { fm.on_fault_notify(sender, m); }
+    void operator()(const McastJoin& m) { fm.on_mcast_join(sender, m); }
+    void operator()(const McastLeave& m) { fm.on_mcast_leave(sender, m); }
+    void operator()(const McastSenderSeen& m) {
+      fm.on_mcast_sender_seen(sender, m);
+    }
+    // Messages the FM only sends:
+    void operator()(const PodAssignment&) {}
+    void operator()(const ArpResponse&) {}
+    void operator()(const PruneUpdate&) {}
+    void operator()(const McastInstall&) {}
+    void operator()(const McastRemove&) {}
+    void operator()(const InvalidateHost&) {}
+  };
+  std::visit(Dispatcher{*this, msg.sender}, msg.body);
+}
+
+// ---------------------------------------------------------------------------
+// Topology & pods
+// ---------------------------------------------------------------------------
+
+void FabricManager::simulate_failover() {
+  counters_.add("failovers");
+  graph_ = FabricGraph();
+  pod_by_requester_.clear();
+  next_pod_ = 0;
+  hosts_.clear();
+  installed_prunes_.clear();
+  groups_.clear();
+  installed_trees_.clear();
+  synced_switches_.clear();
+}
+
+void FabricManager::on_hello(SwitchId sender, const SwitchHello& m) {
+  // First hello from a switch this incarnation: flush any reroute state a
+  // previous FM installed — this FM will recompute what is still needed.
+  if (synced_switches_.insert(sender).second) {
+    send(sender, PruneUpdate{/*flush=*/true, {}});
+  }
+  // Pod numbers are soft state too: re-learn the allocator's high-water
+  // mark from locators so a failed-over FM never re-issues a pod in use.
+  if (m.self.pod != kUnknownPod &&
+      static_cast<std::uint16_t>(m.self.pod + 1) > next_pod_) {
+    next_pod_ = static_cast<std::uint16_t>(m.self.pod + 1);
+  }
+  if (!graph_.apply_hello(sender, m)) return;
+  // Adjacency or location changed. Re-derive any routing state built on
+  // the old view: a repair's FaultNotify can arrive before the hellos
+  // that restore the adjacency it needs, so prune withdrawal must also
+  // run here. (No-op while nothing is installed, i.e. all of bootstrap.)
+  if (!installed_prunes_.empty()) {
+    recompute_prunes({}, config_.fm_fault_processing);
+  }
+  if (!groups_.empty()) {
+    recompute_all_groups(config_.fm_multicast_processing);
+  }
+}
+
+void FabricManager::on_pod_request(SwitchId sender) {
+  // Idempotent: one pod per requesting switch (the position-0 edge).
+  auto [it, inserted] = pod_by_requester_.emplace(sender, next_pod_);
+  if (inserted) ++next_pod_;
+  send(sender, PodAssignment{it->second});
+}
+
+// ---------------------------------------------------------------------------
+// Hosts, proxy ARP, migration
+// ---------------------------------------------------------------------------
+
+void FabricManager::on_host_register(SwitchId sender, const HostRegister& m) {
+  if (m.ip.is_zero()) return;
+  const auto it = hosts_.find(m.ip);
+  if (it != hosts_.end() && it->second.pmac != m.pmac) {
+    // The IP is reachable at a new PMAC: a VM migrated (paper §3.7).
+    // Invalidate the stale mapping at the previous edge switch, which will
+    // trap in-flight frames and correct stale ARP caches.
+    counters_.add("migrations_detected");
+    send(it->second.edge,
+         InvalidateHost{m.ip, it->second.pmac, m.pmac});
+  }
+  hosts_[m.ip] = HostRecord{m.pmac, m.amac, sender, m.edge_port};
+}
+
+void FabricManager::on_arp_query(SwitchId sender, const ArpQuery& m) {
+  counters_.add("arp_queries");
+  const auto it = hosts_.find(m.ip);
+  if (it == hosts_.end()) {
+    counters_.add("arp_misses");
+    send(sender, ArpResponse{m.query_id, m.ip, MacAddress::zero(), false});
+    return;
+  }
+  counters_.add("arp_hits");
+  send(sender, ArpResponse{m.query_id, m.ip, it->second.pmac, true});
+}
+
+std::optional<MacAddress> FabricManager::lookup_pmac(Ipv4Address ip) const {
+  const auto it = hosts_.find(ip);
+  if (it == hosts_.end()) return std::nullopt;
+  return it->second.pmac;
+}
+
+void FabricManager::register_host_direct(Ipv4Address ip,
+                                         const HostRecord& record) {
+  hosts_[ip] = record;
+}
+
+std::optional<FabricManager::HostRecord> FabricManager::host(
+    Ipv4Address ip) const {
+  const auto it = hosts_.find(ip);
+  if (it == hosts_.end()) return std::nullopt;
+  return it->second;
+}
+
+// ---------------------------------------------------------------------------
+// Fault matrix & reroutes
+// ---------------------------------------------------------------------------
+
+void FabricManager::on_fault_notify(SwitchId sender, const FaultNotify& m) {
+  counters_.add(m.link_up ? "fault_repairs" : "fault_notifications");
+  if (!graph_.set_link_state(sender, m.neighbor, m.link_up)) {
+    return;  // both endpoints report; second notification is a no-op
+  }
+  const std::vector<DstKey> keys = graph_.keys_for_link(sender, m.neighbor);
+  recompute_prunes(keys, config_.fm_fault_processing);
+  recompute_all_groups(config_.fm_multicast_processing);
+}
+
+void FabricManager::recompute_prunes(const std::vector<DstKey>& event_keys,
+                                     SimDuration base_delay) {
+  // Faults interact (a core link failure changes which aggs can serve an
+  // earlier edge-link failure's destination), so refresh every key that is
+  // either implicated by this event or already has prunes installed.
+  std::set<DstKey> keys(event_keys.begin(), event_keys.end());
+  for (const auto& [key, pm] : installed_prunes_) keys.insert(key);
+
+  std::map<SwitchId, PruneUpdate> batches;
+  for (const DstKey& key : keys) {
+    PruneMap fresh = graph_.compute_prunes(key);
+    PruneMap& old = installed_prunes_[key];
+
+    for (const auto& [sw, avoid] : fresh) {
+      const auto oit = old.find(sw);
+      for (const SwitchId id : avoid) {
+        if (oit == old.end() || oit->second.count(id) == 0) {
+          batches[sw].entries.push_back(
+              PruneEntry{key.pod, key.position, id, /*add=*/true});
+        }
+      }
+    }
+    for (const auto& [sw, avoid] : old) {
+      const auto fit = fresh.find(sw);
+      for (const SwitchId id : avoid) {
+        if (fit == fresh.end() || fit->second.count(id) == 0) {
+          batches[sw].entries.push_back(
+              PruneEntry{key.pod, key.position, id, /*add=*/false});
+        }
+      }
+    }
+
+    if (fresh.empty()) {
+      installed_prunes_.erase(key);
+    } else {
+      installed_prunes_[key] = std::move(fresh);
+    }
+  }
+
+  counters_.add("prune_updates_sent", batches.size());
+  for (auto& [sw, update] : batches) {
+    send(sw, std::move(update), base_delay + config_.flow_install_cost);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Multicast
+// ---------------------------------------------------------------------------
+
+void FabricManager::on_mcast_join(SwitchId sender, const McastJoin& m) {
+  groups_[m.group].receivers[sender].insert(m.host_port);
+  recompute_group(m.group, config_.fm_multicast_processing);
+}
+
+void FabricManager::on_mcast_leave(SwitchId sender, const McastLeave& m) {
+  const auto git = groups_.find(m.group);
+  if (git == groups_.end()) return;
+  const auto rit = git->second.receivers.find(sender);
+  if (rit != git->second.receivers.end()) {
+    rit->second.erase(m.host_port);
+    if (rit->second.empty()) git->second.receivers.erase(rit);
+  }
+  recompute_group(m.group, config_.fm_multicast_processing);
+  if (git->second.empty()) groups_.erase(git);
+}
+
+void FabricManager::on_mcast_sender_seen(SwitchId sender,
+                                         const McastSenderSeen& m) {
+  auto& senders = groups_[m.group].senders;
+  if (senders.insert(sender).second) {
+    recompute_group(m.group, config_.fm_multicast_processing);
+  }
+}
+
+void FabricManager::recompute_group(Ipv4Address group, SimDuration base_delay) {
+  const auto git = groups_.find(group);
+  std::optional<MulticastTree> fresh;
+  if (git != groups_.end()) {
+    fresh = compute_multicast_tree(graph_, group, git->second);
+  }
+
+  const auto old_it = installed_trees_.find(group);
+  const MulticastTree* old =
+      old_it == installed_trees_.end() ? nullptr : &old_it->second;
+  if (old != nullptr && fresh.has_value() && *old == *fresh) return;
+
+  // Remove entries from switches leaving the tree.
+  SimDuration delay = base_delay;
+  if (old != nullptr) {
+    for (const auto& [sw, ports] : old->ports) {
+      if (!fresh.has_value() || fresh->ports.count(sw) == 0) {
+        send(sw, McastRemove{group}, delay);
+        delay += config_.flow_install_cost;
+      }
+    }
+  }
+  // Install (or refresh) entries, one flow-mod at a time — the serialized
+  // installation is what stretches multicast recovery past unicast's.
+  if (fresh.has_value()) {
+    for (const auto& [sw, ports] : fresh->ports) {
+      McastInstall install;
+      install.group = group;
+      install.ports.assign(ports.begin(), ports.end());
+      send(sw, std::move(install), delay);
+      delay += config_.flow_install_cost;
+    }
+    installed_trees_[group] = std::move(*fresh);
+    counters_.add("mcast_trees_installed");
+  } else {
+    installed_trees_.erase(group);
+    counters_.add("mcast_trees_unavailable");
+  }
+}
+
+void FabricManager::recompute_all_groups(SimDuration base_delay) {
+  // Collect names first: recompute_group may erase empty groups.
+  std::vector<Ipv4Address> names;
+  names.reserve(groups_.size());
+  for (const auto& [group, state] : groups_) names.push_back(group);
+  for (const Ipv4Address g : names) recompute_group(g, base_delay);
+}
+
+std::optional<MulticastTree> FabricManager::installed_tree(
+    Ipv4Address group) const {
+  const auto it = installed_trees_.find(group);
+  if (it == installed_trees_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace portland::core

@@ -1,0 +1,130 @@
+// The fabric manager (paper §3.1): a logically centralized controller
+// holding *soft state* only — everything it knows is rebuilt from switch
+// reports, so a restarted FM recovers without configuration.
+//
+// Responsibilities:
+//   * pod-number allocation for LDP (§3.4),
+//   * the IP -> PMAC registry behind proxy ARP (§3.3),
+//   * the fault matrix and reroute (prune) dissemination to exactly the
+//     affected switches (§3.6),
+//   * multicast group state, rendezvous-tree computation and installation
+//     (§3.6),
+//   * VM-migration detection and old-edge invalidation (§3.7).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <unordered_map>
+
+#include "common/ipv4_address.h"
+#include "common/mac_address.h"
+#include "common/stats.h"
+#include "core/config.h"
+#include "core/control_plane.h"
+#include "core/fabric_graph.h"
+#include "core/messages.h"
+#include "core/multicast.h"
+#include "sim/simulator.h"
+
+namespace portland::core {
+
+class FabricManager {
+ public:
+  struct HostRecord {
+    MacAddress pmac;
+    MacAddress amac;
+    SwitchId edge = kInvalidSwitchId;
+    std::uint16_t edge_port = 0;
+  };
+
+  FabricManager(sim::Simulator& sim, ControlPlane& control,
+                PortlandConfig config);
+
+  /// The control-message entry point (registered at kFabricManagerId).
+  void handle_message(const ControlMessage& msg);
+
+  // --- inspection (tests, benches) --------------------------------------
+  [[nodiscard]] const FabricGraph& graph() const { return graph_; }
+  [[nodiscard]] std::optional<HostRecord> host(Ipv4Address ip) const;
+  [[nodiscard]] std::size_t host_count() const { return hosts_.size(); }
+  [[nodiscard]] std::uint16_t pods_assigned() const { return next_pod_; }
+  [[nodiscard]] const CounterSet& counters() const { return counters_; }
+  [[nodiscard]] std::size_t installed_prune_keys() const {
+    return installed_prunes_.size();
+  }
+  [[nodiscard]] const std::map<Ipv4Address, GroupState>& groups() const {
+    return groups_;
+  }
+  [[nodiscard]] std::optional<MulticastTree> installed_tree(
+      Ipv4Address group) const;
+
+  // --- benchmark fast paths (E6: ARP service throughput) ----------------
+  /// Pure lookup, exactly the proxy-ARP hot path.
+  [[nodiscard]] std::optional<MacAddress> lookup_pmac(Ipv4Address ip) const;
+
+  /// Registers a host mapping directly (bench setup, bypassing the wire).
+  void register_host_direct(Ipv4Address ip, const HostRecord& record);
+
+  /// Drops a host record (soft-state expiry; also used by tests to force
+  /// the proxy-ARP miss/broadcast-fallback path).
+  void forget_host(Ipv4Address ip) { hosts_.erase(ip); }
+
+  /// Simulates an FM failover: every piece of soft state is wiped, as if a
+  /// cold replica took over (paper §3.1). Recovery requires no
+  /// configuration: topology returns with the next hellos, pod numbers are
+  /// re-learned from switch locators, host mappings and multicast
+  /// membership return with the edges' periodic refreshes, and the first
+  /// hello from each switch carries a prune flush so no stale reroutes
+  /// survive the old incarnation.
+  void simulate_failover();
+
+ private:
+  void on_hello(SwitchId sender, const SwitchHello& m);
+  void on_pod_request(SwitchId sender);
+  void on_host_register(SwitchId sender, const HostRegister& m);
+  void on_arp_query(SwitchId sender, const ArpQuery& m);
+  void on_fault_notify(SwitchId sender, const FaultNotify& m);
+  void on_mcast_join(SwitchId sender, const McastJoin& m);
+  void on_mcast_leave(SwitchId sender, const McastLeave& m);
+  void on_mcast_sender_seen(SwitchId sender, const McastSenderSeen& m);
+
+  /// Recomputes prunes for `event_keys` plus every key already installed
+  /// (compound faults interact), diffs against installed state, and pushes
+  /// deltas to the affected switches.
+  void recompute_prunes(const std::vector<DstKey>& event_keys,
+                        SimDuration base_delay);
+
+  /// Recomputes one group's tree and (re)installs the diff.
+  void recompute_group(Ipv4Address group, SimDuration base_delay);
+
+  /// Recomputes every group (after topology changes).
+  void recompute_all_groups(SimDuration base_delay);
+
+  void send(SwitchId to, ControlBody body, SimDuration extra = 0);
+
+  sim::Simulator* sim_;
+  ControlPlane* control_;
+  PortlandConfig config_;
+
+  FabricGraph graph_;
+
+  std::uint16_t next_pod_ = 0;
+  std::map<SwitchId, std::uint16_t> pod_by_requester_;
+  /// Switches that have hello'd this FM incarnation (and therefore had
+  /// their prune state flushed/re-synced).
+  std::set<SwitchId> synced_switches_;
+
+  std::unordered_map<Ipv4Address, HostRecord> hosts_;
+
+  /// Currently installed prune state, per destination key.
+  std::map<DstKey, PruneMap> installed_prunes_;
+
+  std::map<Ipv4Address, GroupState> groups_;
+  std::map<Ipv4Address, MulticastTree> installed_trees_;
+
+  CounterSet counters_;
+};
+
+}  // namespace portland::core

@@ -1,0 +1,43 @@
+#include "core/locator.h"
+
+#include "common/strings.h"
+
+namespace portland::core {
+
+const char* to_string(Level level) {
+  switch (level) {
+    case Level::kUnknown:
+      return "unknown";
+    case Level::kEdge:
+      return "edge";
+    case Level::kAggregation:
+      return "agg";
+    case Level::kCore:
+      return "core";
+  }
+  return "?";
+}
+
+std::string SwitchLocator::to_string() const {
+  return str_format("sw(%llu,%s,pod=%u,pos=%u)",
+                    static_cast<unsigned long long>(switch_id),
+                    portland::core::to_string(level), pod, position);
+}
+
+void SwitchLocator::serialize(ByteWriter& w) const {
+  w.u64(switch_id);
+  w.u8(static_cast<std::uint8_t>(level));
+  w.u16(pod);
+  w.u8(position);
+}
+
+SwitchLocator SwitchLocator::deserialize(ByteReader& r) {
+  SwitchLocator loc;
+  loc.switch_id = r.u64();
+  loc.level = static_cast<Level>(r.u8());
+  loc.pod = r.u16();
+  loc.position = r.u8();
+  return loc;
+}
+
+}  // namespace portland::core

@@ -1,0 +1,34 @@
+#include "core/migration.h"
+
+#include <cassert>
+
+#include "common/logging.h"
+
+namespace portland::core {
+
+void MigrationController::schedule(const Plan& plan) {
+  host::Host* vm = fabric_->host(plan.vm_host_index);
+  sim::Link* old_link = fabric_->host_link(plan.vm_host_index);
+  assert(vm != nullptr && old_link != nullptr && "VM must be attached");
+  PortlandSwitch& new_edge = fabric_->edge_at(plan.to_pod, plan.to_edge);
+  assert(!new_edge.port_connected(plan.to_port) && "target port must be free");
+
+  sim::Simulator& sim = fabric_->sim();
+  sim.at(plan.start, [this, vm, old_link] {
+    ++started_;
+    PLOG_INFO("migration: detaching %s", vm->name().c_str());
+    fabric_->network().disconnect(*old_link);
+  });
+  sim.at(plan.start + plan.downtime, [this, vm, &new_edge, plan] {
+    fabric_->network().connect(*vm, 0, new_edge, plan.to_port,
+                               fabric_->options().host_link);
+    // The migrated VM announces itself from the new location; the fabric
+    // handles the rest (registration, invalidation, redirects).
+    vm->send_gratuitous_arp();
+    ++finished_;
+    PLOG_INFO("migration: %s re-attached at %s port %zu", vm->name().c_str(),
+              new_edge.name().c_str(), plan.to_port);
+  });
+}
+
+}  // namespace portland::core

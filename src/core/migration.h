@@ -1,0 +1,46 @@
+// VM migration orchestration (paper §3.7).
+//
+// Simulates live migration of a VM (a Host device) between edge-switch
+// ports: the old access link is torn down, the VM is dark for the
+// `downtime`, then it re-attaches at the target port and emits a
+// gratuitous ARP. Everything after that is the fabric's job: the new edge
+// assigns a fresh PMAC and registers it, the fabric manager detects the
+// move and invalidates the old edge, and the old edge traps in-flight
+// frames, rewrites them to the new PMAC, and corrects senders' stale ARP
+// caches with unicast gratuitous ARPs.
+#pragma once
+
+#include "core/fabric.h"
+
+namespace portland::core {
+
+class MigrationController {
+ public:
+  explicit MigrationController(PortlandFabric& fabric) : fabric_(&fabric) {}
+
+  struct Plan {
+    /// FatTree index of the VM to move (must be attached).
+    std::size_t vm_host_index = 0;
+    /// Target edge switch coordinates and host-facing port (must be free).
+    std::size_t to_pod = 0;
+    std::size_t to_edge = 0;
+    sim::PortId to_port = 0;
+    /// When the migration starts (link down at the source).
+    SimTime start = 0;
+    /// Blackout between detach and re-attach + gratuitous ARP.
+    SimDuration downtime = millis(200);
+  };
+
+  /// Schedules the migration. The VM keeps its IP and AMAC (R1).
+  void schedule(const Plan& plan);
+
+  [[nodiscard]] std::size_t migrations_started() const { return started_; }
+  [[nodiscard]] std::size_t migrations_finished() const { return finished_; }
+
+ private:
+  PortlandFabric* fabric_;
+  std::size_t started_ = 0;
+  std::size_t finished_ = 0;
+};
+
+}  // namespace portland::core

@@ -1,0 +1,110 @@
+#include "core/multicast.h"
+
+#include <algorithm>
+
+namespace portland::core {
+
+std::set<SwitchId> GroupState::participant_edges() const {
+  std::set<SwitchId> out = senders;
+  for (const auto& [edge, ports] : receivers) out.insert(edge);
+  return out;
+}
+
+namespace {
+
+/// Picks, for pod `pod`, an aggregation switch adjacent to `core` with
+/// alive links to the core and to every edge in `edges`; kInvalidSwitchId
+/// if none qualifies.
+SwitchId pick_pod_agg(const FabricGraph& graph, SwitchId core,
+                      std::uint16_t pod, const std::vector<SwitchId>& edges) {
+  for (const SwitchId agg : graph.neighbors(core)) {
+    const SwitchLocator* loc = graph.locator(agg);
+    if (loc == nullptr || loc->level != Level::kAggregation ||
+        loc->pod != pod) {
+      continue;
+    }
+    if (!graph.link_alive(core, agg)) continue;
+    const bool reaches_all = std::all_of(
+        edges.begin(), edges.end(), [&](SwitchId e) {
+          return graph.adjacent(agg, e) && graph.link_alive(agg, e);
+        });
+    if (reaches_all) return agg;
+  }
+  return kInvalidSwitchId;
+}
+
+}  // namespace
+
+std::optional<MulticastTree> compute_multicast_tree(const FabricGraph& graph,
+                                                    Ipv4Address group,
+                                                    const GroupState& state) {
+  const std::set<SwitchId> participants = state.participant_edges();
+  if (participants.empty()) return std::nullopt;
+
+  // Group participants by pod.
+  std::map<std::uint16_t, std::vector<SwitchId>> by_pod;
+  for (const SwitchId edge : participants) {
+    const SwitchLocator* loc = graph.locator(edge);
+    if (loc == nullptr || loc->level != Level::kEdge ||
+        loc->pod == kUnknownPod) {
+      return std::nullopt;  // not converged yet
+    }
+    by_pod[loc->pod].push_back(edge);
+  }
+
+  const std::vector<SwitchId> cores = graph.cores();
+  if (cores.empty()) return std::nullopt;
+
+  // Deterministic rendezvous-core choice: start from a group-derived index
+  // and take the first core with alive coverage of every participant pod.
+  const std::size_t start = group.value() % cores.size();
+  for (std::size_t i = 0; i < cores.size(); ++i) {
+    const SwitchId core = cores[(start + i) % cores.size()];
+    std::map<std::uint16_t, SwitchId> pod_agg;
+    bool ok = true;
+    for (const auto& [pod, edges] : by_pod) {
+      const SwitchId agg = pick_pod_agg(graph, core, pod, edges);
+      if (agg == kInvalidSwitchId) {
+        ok = false;
+        break;
+      }
+      pod_agg[pod] = agg;
+    }
+    if (!ok) continue;
+
+    MulticastTree tree;
+    tree.group = group;
+    tree.core = core;
+    // Port numbers come from the switches' own hello reports, which can be
+    // momentarily asymmetric (e.g. right after a fabric-manager failover
+    // only one endpoint has reported). A tree is only installable when
+    // every hop is known from BOTH sides; otherwise try the next core and
+    // let the next hello trigger a recompute.
+    bool ports_known = true;
+    auto add_port = [&](SwitchId sw, SwitchId toward) {
+      const int p = graph.port_between(sw, toward);
+      if (p < 0) {
+        ports_known = false;
+        return;
+      }
+      tree.ports[sw].insert(static_cast<std::uint16_t>(p));
+    };
+    for (const auto& [pod, agg] : pod_agg) {
+      add_port(core, agg);
+      add_port(agg, core);
+      for (const SwitchId edge : by_pod.at(pod)) {
+        add_port(agg, edge);
+        add_port(edge, agg);
+      }
+    }
+    if (!ports_known) continue;
+    // Merge receiver host ports into the edge entries.
+    for (const auto& [edge, host_ports] : state.receivers) {
+      for (const std::uint16_t p : host_ports) tree.ports[edge].insert(p);
+    }
+    return tree;
+  }
+  return std::nullopt;
+}
+
+}  // namespace portland::core

@@ -1,0 +1,51 @@
+// Fabric-manager multicast state and tree computation (paper §3.6).
+//
+// The FM tracks, per group, the participant edge switches (receivers from
+// IGMP joins, senders from first-packet reports). It picks a rendezvous
+// core (deterministically from the group address) that still has alive
+// paths to every participant pod, and installs per-switch port sets:
+// forwarding replicates to every installed port except the ingress port.
+// On a failure touching the tree the FM recomputes and reinstalls —
+// which is why multicast recovery is slower than unicast in the paper.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "common/ipv4_address.h"
+#include "core/fabric_graph.h"
+
+namespace portland::core {
+
+struct GroupState {
+  /// Receiver edges: edge switch id -> host ports with members.
+  std::map<SwitchId, std::set<std::uint16_t>> receivers;
+  /// Edges with local senders (grafted on first transmission).
+  std::set<SwitchId> senders;
+
+  [[nodiscard]] std::set<SwitchId> participant_edges() const;
+  [[nodiscard]] bool empty() const {
+    return receivers.empty() && senders.empty();
+  }
+};
+
+/// One computed tree: per switch, the replication port set.
+struct MulticastTree {
+  Ipv4Address group;
+  SwitchId core = kInvalidSwitchId;
+  std::map<SwitchId, std::set<std::uint16_t>> ports;
+
+  friend bool operator==(const MulticastTree&, const MulticastTree&) = default;
+};
+
+/// Computes a tree for `group` over the current fabric graph, or
+/// std::nullopt when no rendezvous core can reach every participant pod
+/// (or there are no participants). Host-facing member ports from
+/// `state.receivers` are merged into the edge switches' port sets.
+[[nodiscard]] std::optional<MulticastTree> compute_multicast_tree(
+    const FabricGraph& graph, Ipv4Address group, const GroupState& state);
+
+}  // namespace portland::core

@@ -1,0 +1,12 @@
+#include "core/pmac.h"
+
+#include "common/strings.h"
+
+namespace portland::core {
+
+std::string Pmac::to_string() const {
+  return str_format("pmac(pod=%u,pos=%u,port=%u,vmid=%u)", pod, position, port,
+                    vmid);
+}
+
+}  // namespace portland::core

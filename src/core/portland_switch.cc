@@ -1,0 +1,717 @@
+#include "core/portland_switch.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/logging.h"
+#include "net/igmp.h"
+
+namespace portland::core {
+
+using net::ArpMessage;
+using net::ArpOp;
+using net::ParsedFrame;
+
+PortlandSwitch::PortlandSwitch(sim::Simulator& sim, std::string name,
+                               SwitchId id, std::size_t num_ports,
+                               ControlPlane& control, PortlandConfig config,
+                               Rng rng)
+    : Device(sim, std::move(name)),
+      id_(id),
+      control_(&control),
+      config_(config),
+      rng_(rng),
+      ldp_(sim, id, num_ports, config,
+           LdpAgent::Hooks{
+               [this](sim::PortId p, std::vector<std::uint8_t> bytes) {
+                 send(p, sim::make_frame(std::move(bytes)));
+               },
+               [this](ControlBody body) { send_to_fm(std::move(body)); },
+               [this] { on_location_changed(); },
+               [this](sim::PortId p, SwitchId n, bool lost) {
+                 on_neighbor_event(p, n, lost);
+               },
+           },
+           rng.fork()),
+      hello_timer_(sim),
+      hello_periodic_(sim, config.hello_interval, [this] { send_hello(); }),
+      refresh_periodic_(sim, config.host_reregister_interval,
+                        [this] { send_soft_state_refresh(); }) {
+  add_ports(num_ports);
+}
+
+// Note: the destructor intentionally does not touch the control plane —
+// teardown order between the Network (which owns switches) and the
+// ControlPlane is owned by the fabric builder, and no events run during
+// destruction.
+PortlandSwitch::~PortlandSwitch() = default;
+
+void PortlandSwitch::start() {
+  control_->register_endpoint(
+      id_, [this](const ControlMessage& m) { on_control(m); });
+  ldp_.start();
+  const SimDuration phase = static_cast<SimDuration>(
+      rng_.next_below(static_cast<std::uint64_t>(config_.hello_interval)));
+  hello_periodic_.start(phase);
+  const SimDuration refresh_phase = static_cast<SimDuration>(rng_.next_below(
+      static_cast<std::uint64_t>(config_.host_reregister_interval)));
+  refresh_periodic_.start(refresh_phase);
+  schedule_hello();
+}
+
+void PortlandSwitch::send_soft_state_refresh() {
+  // Host registrations (edge switches). A refresh with an unchanged PMAC
+  // is a no-op at the FM unless it lost its state.
+  for (const auto& [amac, entry] : hosts_by_amac_) {
+    if (entry.ip.is_zero()) continue;
+    send_to_fm(HostRegister{entry.ip, entry.amac, entry.pmac.to_mac(),
+                            static_cast<std::uint16_t>(entry.port)});
+  }
+  // Multicast membership and sender grafts.
+  for (const auto& [group, ports] : local_members_) {
+    for (const sim::PortId p : ports) {
+      send_to_fm(McastJoin{group, static_cast<std::uint16_t>(p)});
+    }
+  }
+  for (const Ipv4Address group : mcast_sender_reported_) {
+    send_to_fm(McastSenderSeen{group});
+  }
+  // Outstanding faults: the FM's fault matrix is soft state too.
+  for (const auto& [port, neighbor] : ports_reported_down_) {
+    send_to_fm(FaultNotify{static_cast<std::uint16_t>(port), neighbor,
+                           /*link_up=*/false});
+  }
+}
+
+void PortlandSwitch::handle_link_status(sim::PortId port, bool up) {
+  if (config_.fast_link_detection && !up) {
+    ldp_.expire_neighbor(port);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Ingress dispatch
+// ---------------------------------------------------------------------------
+
+void PortlandSwitch::handle_frame(sim::PortId in_port,
+                                  const sim::FramePtr& frame) {
+  const auto bytes = sim::frame_span(frame);
+  const ParsedFrame parsed = net::parse_frame(bytes);
+  if (parsed.valid && parsed.eth.is(net::EtherType::kLdp)) {
+    ldp_.handle_frame(in_port, bytes);
+    return;
+  }
+
+  const bool host_port = !ldp_.neighbor(in_port).has_value();
+  if (host_port) ldp_.note_host_traffic(in_port);
+
+  if (!parsed.valid) {
+    counters().add("rx_malformed");
+    return;
+  }
+  if (!ldp_.self().located()) {
+    // Cannot assign PMACs or route before discovery completes. Hosts
+    // retry (ARP), so early frames are safely dropped.
+    counters().add("drop_before_located");
+    return;
+  }
+
+  if (host_port) {
+    // Data on a neighbor-less port of a non-edge switch can only be
+    // transient misdelivery during convergence; never treat it as a host.
+    if (ldp_.self().level != Level::kEdge) {
+      counters().add("drop_data_on_fabric_port");
+      return;
+    }
+    handle_host_ingress(in_port, parsed, frame);
+  } else {
+    handle_fabric_ingress(in_port, parsed, frame);
+  }
+}
+
+void PortlandSwitch::handle_host_ingress(sim::PortId port,
+                                         const ParsedFrame& parsed,
+                                         const sim::FramePtr& frame) {
+  Ipv4Address ip_hint;
+  if (parsed.arp.has_value()) {
+    ip_hint = parsed.arp->sender_ip;
+  } else if (parsed.ipv4.has_value()) {
+    ip_hint = parsed.ipv4->src;
+  }
+  HostEntry* host = ensure_host(port, parsed.eth.src, ip_hint);
+  if (host == nullptr) {
+    counters().add("drop_bad_host_src");
+    return;
+  }
+
+  if (parsed.arp.has_value()) {
+    handle_host_arp(port, parsed, frame);
+    return;
+  }
+
+  if (parsed.ipv4.has_value() &&
+      parsed.ipv4->protocol == net::kProtocolIgmp) {
+    const auto igmp = net::IgmpMessage::deserialize(parsed.payload);
+    if (!igmp.has_value()) {
+      counters().add("rx_malformed");
+      return;
+    }
+    if (igmp->type == net::IgmpType::kMembershipReport) {
+      local_members_[igmp->group].insert(port);
+      send_to_fm(McastJoin{igmp->group, static_cast<std::uint16_t>(port)});
+    } else {
+      auto it = local_members_.find(igmp->group);
+      if (it != local_members_.end()) {
+        it->second.erase(port);
+        if (it->second.empty()) local_members_.erase(it);
+      }
+      send_to_fm(McastLeave{igmp->group, static_cast<std::uint16_t>(port)});
+    }
+    return;  // IGMP is consumed by the edge, never forwarded
+  }
+
+  // Ingress rewrite: the host's AMAC becomes its PMAC fabric-wide (§3.2).
+  const auto rewritten = sim::make_frame(
+      net::rewrite_eth_src(sim::frame_span(frame), host->pmac.to_mac()));
+
+  if (parsed.eth.dst.is_broadcast()) {
+    counters().add("host_broadcasts");
+    forward_broadcast(port, /*from_host=*/true, /*from_above=*/false,
+                      rewritten);
+    return;
+  }
+  if (parsed.eth.dst.is_multicast()) {
+    forward_multicast(port, /*from_host=*/true, parsed, rewritten);
+    return;
+  }
+  forward_unicast(port, parsed.eth.dst, parsed, rewritten,
+                  /*redirect_depth=*/0);
+}
+
+void PortlandSwitch::handle_fabric_ingress(sim::PortId port,
+                                           const ParsedFrame& parsed,
+                                           const sim::FramePtr& frame) {
+  const auto nbr = ldp_.neighbor(port);
+  const bool from_above =
+      nbr.has_value() && static_cast<int>(nbr->level) >
+                             static_cast<int>(ldp_.self().level);
+
+  if (parsed.eth.dst.is_broadcast()) {
+    forward_broadcast(port, /*from_host=*/false, from_above, frame);
+    return;
+  }
+  if (parsed.eth.dst.is_multicast()) {
+    forward_multicast(port, /*from_host=*/false, parsed, frame);
+    return;
+  }
+  forward_unicast(port, parsed.eth.dst, parsed, frame, /*redirect_depth=*/0);
+}
+
+// ---------------------------------------------------------------------------
+// Unicast forwarding
+// ---------------------------------------------------------------------------
+
+std::optional<sim::PortId> PortlandSwitch::pick_up_port(
+    const ParsedFrame& parsed, std::uint16_t dst_pod,
+    std::uint8_t dst_position) const {
+  const std::vector<sim::PortId> ups = ldp_.up_ports();
+  if (ups.empty()) return std::nullopt;
+
+  // Merge the per-destination and per-pod avoid sets installed by the
+  // fabric manager.
+  const std::set<SwitchId>* fine = nullptr;
+  const std::set<SwitchId>* coarse = nullptr;
+  if (const auto it = prunes_.find(DstKey{dst_pod, dst_position});
+      it != prunes_.end()) {
+    fine = &it->second;
+  }
+  if (const auto it = prunes_.find(DstKey{dst_pod, kUnknownPosition});
+      it != prunes_.end()) {
+    coarse = &it->second;
+  }
+
+  std::vector<sim::PortId> candidates;
+  candidates.reserve(ups.size());
+  for (const sim::PortId p : ups) {
+    const auto nbr = ldp_.neighbor(p);
+    if (!nbr.has_value()) continue;
+    if (fine != nullptr && fine->count(nbr->switch_id) != 0) continue;
+    if (coarse != nullptr && coarse->count(nbr->switch_id) != 0) continue;
+    candidates.push_back(p);
+  }
+  if (candidates.empty()) return std::nullopt;
+
+  if (config_.ecmp_mode == PortlandConfig::EcmpMode::kPacketSpray) {
+    // Ablation: per-packet round robin. Best instantaneous balance, but
+    // reorders flows — E11 measures what that does to TCP.
+    return candidates[spray_counter_++ % candidates.size()];
+  }
+  // Flow-level ECMP: all packets of a flow hash to one uplink (§3.5).
+  const std::uint64_t h = net::flow_hash(net::flow_key_of(parsed));
+  return candidates[h % candidates.size()];
+}
+
+void PortlandSwitch::forward_unicast(sim::PortId in_port, MacAddress dst,
+                                     const ParsedFrame& parsed,
+                                     const sim::FramePtr& frame,
+                                     int redirect_depth) {
+  const Pmac pmac = Pmac::from_mac(dst);
+  const SwitchLocator& self = ldp_.self();
+
+  switch (self.level) {
+    case Level::kEdge: {
+      if (pmac.pod == self.pod && pmac.position == self.position) {
+        const auto ait = amac_by_pmac_.find(dst);
+        if (ait != amac_by_pmac_.end()) {
+          deliver_to_local_host(hosts_by_amac_.at(ait->second), parsed, frame);
+          return;
+        }
+        // Migration trap (§3.7): the host this PMAC referred to has moved.
+        const auto rit = redirects_.find(dst);
+        if (rit != redirects_.end() && redirect_depth == 0) {
+          counters().add("migration_redirects");
+          const MacAddress new_pmac = rit->second.new_pmac;
+          send_garp_to_sender(dst, parsed.eth.src);
+          const auto rewritten = sim::make_frame(
+              net::rewrite_eth_dst(sim::frame_span(frame), new_pmac));
+          forward_unicast(in_port, new_pmac, parsed, rewritten,
+                          redirect_depth + 1);
+          return;
+        }
+        counters().add("drop_unknown_local_dst");
+        return;
+      }
+      const auto up = pick_up_port(parsed, pmac.pod, pmac.position);
+      if (!up.has_value()) {
+        counters().add("drop_no_uplink");
+        return;
+      }
+      send(*up, frame);
+      return;
+    }
+    case Level::kAggregation: {
+      if (pmac.pod == self.pod) {
+        // Down to the edge at `position` (unique path below us).
+        for (const sim::PortId p : ldp_.down_ports()) {
+          const auto nbr = ldp_.neighbor(p);
+          if (nbr.has_value() && nbr->position == pmac.position) {
+            send(p, frame);
+            return;
+          }
+        }
+        counters().add("drop_no_downlink");
+        return;
+      }
+      const auto up = pick_up_port(parsed, pmac.pod, pmac.position);
+      if (!up.has_value()) {
+        counters().add("drop_no_uplink");
+        return;
+      }
+      send(*up, frame);
+      return;
+    }
+    case Level::kCore: {
+      for (const sim::PortId p : ldp_.down_ports()) {
+        const auto nbr = ldp_.neighbor(p);
+        if (nbr.has_value() && nbr->pod == pmac.pod) {
+          send(p, frame);
+          return;
+        }
+      }
+      counters().add("drop_no_pod_port");
+      return;
+    }
+    case Level::kUnknown:
+      counters().add("drop_unlocated");
+      return;
+  }
+}
+
+void PortlandSwitch::deliver_to_local_host(const HostEntry& entry,
+                                           const ParsedFrame& parsed,
+                                           const sim::FramePtr& frame) {
+  // Egress rewrite: PMAC back to the host's actual MAC (§3.2).
+  auto bytes = net::rewrite_eth_dst(sim::frame_span(frame), entry.amac);
+  if (parsed.arp.has_value()) {
+    // ARP payloads carry the target MAC too.
+    bytes = net::rewrite_arp_mac(bytes, /*sender=*/false, entry.amac);
+  }
+  send(entry.port, sim::make_frame(std::move(bytes)));
+}
+
+// ---------------------------------------------------------------------------
+// Broadcast (loop-free, core-rooted; used only as ARP-miss fallback and for
+// any residual host broadcast traffic)
+// ---------------------------------------------------------------------------
+
+std::optional<sim::PortId> PortlandSwitch::designated_up_port() const {
+  const std::vector<sim::PortId> ups = ldp_.up_ports();
+  if (ups.empty()) return std::nullopt;
+  return ups.front();  // lowest alive uplink
+}
+
+void PortlandSwitch::forward_broadcast(sim::PortId in_port, bool from_host,
+                                       bool from_above,
+                                       const sim::FramePtr& frame) {
+  const SwitchLocator& self = ldp_.self();
+  switch (self.level) {
+    case Level::kEdge:
+      if (from_host) {
+        for (const sim::PortId p : ldp_.down_ports()) {
+          if (p != in_port) send(p, frame);
+        }
+        if (const auto up = designated_up_port(); up.has_value()) {
+          send(*up, frame);
+        }
+      } else if (from_above) {
+        for (const sim::PortId p : ldp_.down_ports()) send(p, frame);
+      }
+      return;
+    case Level::kAggregation:
+      if (from_above) {
+        for (const sim::PortId p : ldp_.down_ports()) send(p, frame);
+      } else {
+        if (const auto up = designated_up_port(); up.has_value()) {
+          send(*up, frame);
+        }
+        for (const sim::PortId p : ldp_.down_ports()) {
+          if (p != in_port) send(p, frame);
+        }
+      }
+      return;
+    case Level::kCore:
+      for (const sim::PortId p : ldp_.down_ports()) {
+        if (p != in_port) send(p, frame);
+      }
+      return;
+    case Level::kUnknown:
+      counters().add("drop_unlocated");
+      return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Multicast
+// ---------------------------------------------------------------------------
+
+void PortlandSwitch::forward_multicast(sim::PortId in_port, bool from_host,
+                                       const ParsedFrame& parsed,
+                                       const sim::FramePtr& frame) {
+  if (!parsed.ipv4.has_value()) {
+    counters().add("drop_mcast_no_ip");
+    return;
+  }
+  const Ipv4Address group = parsed.ipv4->dst;
+  const auto it = mcast_ports_.find(group);
+  if (it == mcast_ports_.end()) {
+    if (from_host && ldp_.self().level == Level::kEdge) {
+      // First transmission from a local sender: ask the FM to graft us
+      // into the group's tree. Packets drop until the install lands.
+      if (mcast_sender_reported_.insert(group).second) {
+        send_to_fm(McastSenderSeen{group});
+      }
+    }
+    counters().add("drop_mcast_no_entry");
+    return;
+  }
+  for (const sim::PortId p : it->second) {
+    if (p != in_port) send(p, frame);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Proxy ARP (§3.3)
+// ---------------------------------------------------------------------------
+
+void PortlandSwitch::handle_host_arp(sim::PortId port,
+                                     const ParsedFrame& parsed,
+                                     const sim::FramePtr& frame) {
+  const ArpMessage& arp = *parsed.arp;
+  const HostEntry& host = hosts_by_amac_.at(parsed.eth.src);
+
+  if (arp.is_gratuitous()) {
+    // Boot/migration announcement: registration already refreshed by
+    // ensure_host; PortLand never floods it (§3.3, §3.7).
+    counters().add("garp_consumed");
+    return;
+  }
+
+  if (arp.op == ArpOp::kRequest) {
+    counters().add("arp_requests_intercepted");
+    const std::uint32_t query_id = next_query_id_++;
+    PendingArp pending;
+    pending.host_port = port;
+    pending.requester_amac = arp.sender_mac;
+    pending.requester_pmac = host.pmac.to_mac();
+    pending.requester_ip = arp.sender_ip;
+    pending.target = arp.target_ip;
+    pending.original = frame;
+    pending.timer = std::make_unique<sim::Timer>(sim());
+    pending.timer->schedule_after(config_.arp_query_timeout, [this, query_id] {
+      flood_arp_fallback(query_id);
+    });
+    pending_arps_.emplace(query_id, std::move(pending));
+    send_to_fm(ArpQuery{query_id, arp.target_ip});
+    return;
+  }
+
+  // Unicast ARP reply from a host (answering a broadcast-fallback
+  // request): rewrite the sender's AMAC to its PMAC in both the Ethernet
+  // and ARP headers, then forward like any unicast frame.
+  auto bytes = net::rewrite_eth_src(sim::frame_span(frame),
+                                    host.pmac.to_mac());
+  bytes = net::rewrite_arp_mac(bytes, /*sender=*/true, host.pmac.to_mac());
+  forward_unicast(port, parsed.eth.dst, parsed, sim::make_frame(std::move(bytes)),
+                  /*redirect_depth=*/0);
+}
+
+void PortlandSwitch::on_arp_response(const ArpResponse& m) {
+  const auto it = pending_arps_.find(m.query_id);
+  if (it == pending_arps_.end()) return;  // timed out already
+  PendingArp pending = std::move(it->second);
+  pending_arps_.erase(it);
+  pending.timer->cancel();
+
+  if (!m.found) {
+    // Fabric-manager miss: fall back to a loop-free broadcast of the
+    // original request so the owner can answer directly.
+    counters().add("arp_fallback_broadcasts");
+    auto bytes = net::rewrite_eth_src(sim::frame_span(pending.original),
+                                      pending.requester_pmac);
+    bytes = net::rewrite_arp_mac(bytes, /*sender=*/true,
+                                 pending.requester_pmac);
+    forward_broadcast(pending.host_port, /*from_host=*/true,
+                      /*from_above=*/false, sim::make_frame(std::move(bytes)));
+    return;
+  }
+
+  counters().add("arp_proxied_replies");
+  const ArpMessage reply = ArpMessage::reply(
+      m.pmac, m.ip, pending.requester_amac, pending.requester_ip);
+  send(pending.host_port,
+       sim::make_frame(net::build_arp_frame(pending.requester_amac,
+                                            m.pmac, reply)));
+}
+
+void PortlandSwitch::flood_arp_fallback(std::uint32_t query_id) {
+  const auto it = pending_arps_.find(query_id);
+  if (it == pending_arps_.end()) return;
+  counters().add("arp_query_timeouts");
+  PendingArp pending = std::move(it->second);
+  pending_arps_.erase(it);
+  auto bytes = net::rewrite_eth_src(sim::frame_span(pending.original),
+                                    pending.requester_pmac);
+  bytes = net::rewrite_arp_mac(bytes, /*sender=*/true, pending.requester_pmac);
+  forward_broadcast(pending.host_port, /*from_host=*/true,
+                    /*from_above=*/false, sim::make_frame(std::move(bytes)));
+}
+
+void PortlandSwitch::send_garp_to_sender(MacAddress old_pmac,
+                                         MacAddress sender_pmac) {
+  // Correct the stale ARP cache of a host still using the old PMAC: a
+  // unicast gratuitous ARP with the migrated host's new PMAC (§3.7).
+  const auto it = redirects_.find(old_pmac);
+  if (it == redirects_.end()) return;
+  Redirect& redirect = it->second;
+  if (!redirect.garp_sent_to.insert(sender_pmac).second) return;
+
+  ArpMessage garp = ArpMessage::gratuitous(redirect.new_pmac, redirect.ip);
+  const auto frame = sim::make_frame(
+      net::build_arp_frame(sender_pmac, redirect.new_pmac, garp));
+  const ParsedFrame parsed = net::parse_frame(sim::frame_span(frame));
+  counters().add("migration_garps_sent");
+  forward_unicast(/*in_port=*/0, sender_pmac, parsed, frame,
+                  /*redirect_depth=*/0);
+}
+
+// ---------------------------------------------------------------------------
+// Host registration (PMAC assignment, §3.2)
+// ---------------------------------------------------------------------------
+
+PortlandSwitch::HostEntry* PortlandSwitch::ensure_host(sim::PortId port,
+                                                       MacAddress amac,
+                                                       Ipv4Address ip_hint) {
+  if (amac.is_multicast() || amac.is_zero()) return nullptr;
+  const SwitchLocator& self = ldp_.self();
+  assert(self.level == Level::kEdge);
+
+  const auto it = hosts_by_amac_.find(amac);
+  if (it != hosts_by_amac_.end()) {
+    HostEntry& e = it->second;
+    bool reregister = false;
+    if (e.port != port) {
+      // Same edge switch, different port (local migration): new PMAC.
+      amac_by_pmac_.erase(e.pmac.to_mac());
+      e.port = port;
+      e.pmac = Pmac{self.pod, self.position, static_cast<std::uint8_t>(port),
+                    ++next_vmid_[port]};
+      amac_by_pmac_[e.pmac.to_mac()] = amac;
+      reregister = true;
+    }
+    if (!ip_hint.is_zero() && e.ip != ip_hint) {
+      e.ip = ip_hint;
+      reregister = true;
+    }
+    if (reregister && !e.ip.is_zero()) {
+      send_to_fm(HostRegister{e.ip, e.amac, e.pmac.to_mac(),
+                              static_cast<std::uint16_t>(e.port)});
+    }
+    return &e;
+  }
+
+  HostEntry e;
+  e.amac = amac;
+  e.ip = ip_hint;
+  e.port = port;
+  e.pmac = Pmac{self.pod, self.position, static_cast<std::uint8_t>(port),
+                ++next_vmid_[port]};
+  amac_by_pmac_[e.pmac.to_mac()] = amac;
+  counters().add("hosts_learned");
+  if (!e.ip.is_zero()) {
+    send_to_fm(HostRegister{e.ip, e.amac, e.pmac.to_mac(),
+                            static_cast<std::uint16_t>(e.port)});
+    // A returning migrant invalidates any redirect chain for its IP.
+    for (auto rit = redirects_.begin(); rit != redirects_.end();) {
+      rit = (rit->second.ip == e.ip) ? redirects_.erase(rit) : std::next(rit);
+    }
+  }
+  return &(hosts_by_amac_[amac] = e);
+}
+
+std::optional<Pmac> PortlandSwitch::pmac_for(MacAddress amac) const {
+  const auto it = hosts_by_amac_.find(amac);
+  if (it == hosts_by_amac_.end()) return std::nullopt;
+  return it->second.pmac;
+}
+
+// ---------------------------------------------------------------------------
+// Control plane
+// ---------------------------------------------------------------------------
+
+void PortlandSwitch::send_to_fm(ControlBody body) {
+  control_->send(kFabricManagerId, ControlMessage{id_, std::move(body)});
+}
+
+void PortlandSwitch::on_control(const ControlMessage& msg) {
+  struct Dispatcher {
+    PortlandSwitch& sw;
+    void operator()(const PodAssignment& m) {
+      sw.ldp_.handle_pod_assignment(m.pod);
+    }
+    void operator()(const ArpResponse& m) { sw.on_arp_response(m); }
+    void operator()(const PruneUpdate& m) {
+      if (m.flush) {
+        sw.prunes_.clear();
+        sw.counters().add("prune_flushes");
+      }
+      for (const PruneEntry& e : m.entries) {
+        const DstKey key{e.dst_pod, e.dst_position};
+        if (e.add) {
+          sw.prunes_[key].insert(e.avoid);
+        } else {
+          const auto it = sw.prunes_.find(key);
+          if (it != sw.prunes_.end()) {
+            it->second.erase(e.avoid);
+            if (it->second.empty()) sw.prunes_.erase(it);
+          }
+        }
+      }
+      sw.counters().add("prune_updates_applied");
+    }
+    void operator()(const McastInstall& m) {
+      std::set<sim::PortId> ports;
+      for (const std::uint16_t p : m.ports) {
+        if (p < sw.port_count()) {
+          ports.insert(p);
+        } else {
+          sw.counters().add("mcast_install_bad_port");
+        }
+      }
+      sw.mcast_ports_[m.group] = std::move(ports);
+      sw.counters().add("mcast_installs");
+    }
+    void operator()(const McastRemove& m) { sw.mcast_ports_.erase(m.group); }
+    void operator()(const InvalidateHost& m) {
+      // Remove the stale host entry and set up the trap-and-redirect flow.
+      const auto ait = sw.amac_by_pmac_.find(m.old_pmac);
+      if (ait != sw.amac_by_pmac_.end()) {
+        sw.hosts_by_amac_.erase(ait->second);
+        sw.amac_by_pmac_.erase(ait);
+      }
+      sw.redirects_[m.old_pmac] = Redirect{m.new_pmac, m.ip, {}};
+      // Compress chains: earlier redirects for the same IP now point at
+      // the newest location.
+      for (auto& [old_pmac, r] : sw.redirects_) {
+        if (r.ip == m.ip) {
+          r.new_pmac = m.new_pmac;
+          r.garp_sent_to.clear();
+        }
+      }
+      sw.counters().add("invalidations_applied");
+    }
+    // FM-bound messages a switch never receives:
+    void operator()(const SwitchHello&) {}
+    void operator()(const PodRequest&) {}
+    void operator()(const HostRegister&) {}
+    void operator()(const ArpQuery&) {}
+    void operator()(const FaultNotify&) {}
+    void operator()(const McastJoin&) {}
+    void operator()(const McastLeave&) {}
+    void operator()(const McastSenderSeen&) {}
+  };
+  std::visit(Dispatcher{*this}, msg.body);
+}
+
+void PortlandSwitch::schedule_hello() {
+  if (hello_pending_) return;
+  hello_pending_ = true;
+  hello_timer_.schedule_after(config_.hello_batch_delay, [this] {
+    hello_pending_ = false;
+    send_hello();
+  });
+}
+
+void PortlandSwitch::send_hello() {
+  send_to_fm(SwitchHello{ldp_.self(), ldp_.neighbor_entries()});
+}
+
+// ---------------------------------------------------------------------------
+// LDP hooks
+// ---------------------------------------------------------------------------
+
+void PortlandSwitch::on_location_changed() {
+  counters().add("location_updates");
+  schedule_hello();
+}
+
+void PortlandSwitch::on_neighbor_event(sim::PortId port, SwitchId neighbor,
+                                       bool lost) {
+  if (lost) {
+    ports_reported_down_[port] = neighbor;
+    counters().add("neighbors_lost");
+    send_to_fm(FaultNotify{static_cast<std::uint16_t>(port), neighbor,
+                           /*link_up=*/false});
+  } else if (ports_reported_down_.erase(port) != 0) {
+    counters().add("neighbors_recovered");
+    send_to_fm(FaultNotify{static_cast<std::uint16_t>(port), neighbor,
+                           /*link_up=*/true});
+  }
+  schedule_hello();
+}
+
+// ---------------------------------------------------------------------------
+// State accounting (E5)
+// ---------------------------------------------------------------------------
+
+std::size_t PortlandSwitch::prune_entry_count() const {
+  std::size_t n = 0;
+  for (const auto& [key, avoid] : prunes_) n += avoid.size();
+  return n;
+}
+
+std::size_t PortlandSwitch::forwarding_state_size() const {
+  return ldp_.neighbor_entries().size() + hosts_by_amac_.size() +
+         prune_entry_count() + mcast_ports_.size();
+}
+
+}  // namespace portland::core

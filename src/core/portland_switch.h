@@ -1,0 +1,181 @@
+// PortlandSwitch: one switch of the fabric. A single class serves edge,
+// aggregation, and core roles — the role is *discovered* by the embedded
+// LdpAgent, never configured (requirement R2).
+//
+// Data plane:
+//   * hierarchical PMAC forwarding — down by (pod, position, port) fields,
+//     up via flow-hashed ECMP over the surviving uplinks (§3.2, §3.5);
+//   * PMAC<->AMAC rewriting at edge ingress/egress so hosts stay
+//     unmodified (§3.2);
+//   * proxy ARP: edge switches intercept ARP requests, resolve them
+//     through the fabric manager, and fall back to a loop-free
+//     core-rooted broadcast on a miss (§3.3);
+//   * multicast via FM-installed replication port sets (§3.6);
+//   * migration support: invalidated PMACs are trapped, rewritten to the
+//     host's new PMAC, and senders' stale caches corrected with unicast
+//     gratuitous ARPs (§3.7).
+//
+// Control plane:
+//   * LDP (location discovery + liveness),
+//   * SwitchHello reports to the fabric manager,
+//   * FaultNotify on LDM timeout; PruneUpdate application on reroutes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+
+#include "common/random.h"
+#include "core/config.h"
+#include "core/control_plane.h"
+#include "core/fabric_graph.h"
+#include "core/ldp_agent.h"
+#include "core/messages.h"
+#include "core/pmac.h"
+#include "net/packet.h"
+#include "sim/device.h"
+
+namespace portland::core {
+
+class PortlandSwitch : public sim::Device {
+ public:
+  PortlandSwitch(sim::Simulator& sim, std::string name, SwitchId id,
+                 std::size_t num_ports, ControlPlane& control,
+                 PortlandConfig config, Rng rng);
+  ~PortlandSwitch() override;
+
+  void start() override;
+  void handle_frame(sim::PortId in_port, const sim::FramePtr& frame) override;
+  void handle_link_status(sim::PortId port, bool up) override;
+
+  // --- inspection --------------------------------------------------------
+  [[nodiscard]] SwitchId id() const { return id_; }
+  [[nodiscard]] const SwitchLocator& locator() const { return ldp_.self(); }
+  [[nodiscard]] const LdpAgent& ldp() const { return ldp_; }
+
+  /// PMAC assigned to a local host AMAC (edge switches).
+  [[nodiscard]] std::optional<Pmac> pmac_for(MacAddress amac) const;
+
+  /// Host (PMAC/AMAC) table size — the state the paper argues stays O(k)
+  /// per edge switch instead of O(total hosts).
+  [[nodiscard]] std::size_t host_table_size() const {
+    return hosts_by_amac_.size();
+  }
+  /// Installed reroute (prune) entries.
+  [[nodiscard]] std::size_t prune_entry_count() const;
+  /// Installed multicast forwarding entries.
+  [[nodiscard]] std::size_t multicast_entry_count() const {
+    return mcast_ports_.size();
+  }
+  /// Total forwarding-state footprint in entries (neighbors + hosts +
+  /// prunes + multicast) — compared against the baseline's MAC table in E5.
+  [[nodiscard]] std::size_t forwarding_state_size() const;
+
+ private:
+  struct HostEntry {
+    MacAddress amac;
+    Pmac pmac;
+    Ipv4Address ip;   // zero until first IP-bearing frame
+    sim::PortId port = 0;
+  };
+  struct PendingArp {
+    sim::PortId host_port = 0;
+    MacAddress requester_amac;
+    MacAddress requester_pmac;
+    Ipv4Address requester_ip;
+    Ipv4Address target;
+    sim::FramePtr original;
+    std::unique_ptr<sim::Timer> timer;
+  };
+  struct Redirect {
+    MacAddress new_pmac;
+    Ipv4Address ip;
+    std::set<MacAddress> garp_sent_to;  // sender PMACs already corrected
+  };
+
+  // --- ingress dispatch ---
+  void handle_host_ingress(sim::PortId port, const net::ParsedFrame& parsed,
+                           const sim::FramePtr& frame);
+  void handle_fabric_ingress(sim::PortId port, const net::ParsedFrame& parsed,
+                             const sim::FramePtr& frame);
+
+  // --- forwarding ---
+  void forward_unicast(sim::PortId in_port, MacAddress dst,
+                       const net::ParsedFrame& parsed,
+                       const sim::FramePtr& frame, int redirect_depth);
+  void forward_broadcast(sim::PortId in_port, bool from_host, bool from_above,
+                         const sim::FramePtr& frame);
+  void forward_multicast(sim::PortId in_port, bool from_host,
+                         const net::ParsedFrame& parsed,
+                         const sim::FramePtr& frame);
+  void deliver_to_local_host(const HostEntry& entry,
+                             const net::ParsedFrame& parsed,
+                             const sim::FramePtr& frame);
+  [[nodiscard]] std::optional<sim::PortId> pick_up_port(
+      const net::ParsedFrame& parsed, std::uint16_t dst_pod,
+      std::uint8_t dst_position) const;
+  [[nodiscard]] std::optional<sim::PortId> designated_up_port() const;
+
+  // --- proxy ARP ---
+  void handle_host_arp(sim::PortId port, const net::ParsedFrame& parsed,
+                       const sim::FramePtr& frame);
+  void on_arp_response(const ArpResponse& m);
+  void flood_arp_fallback(std::uint32_t query_id);
+  void send_garp_to_sender(MacAddress old_pmac, MacAddress sender_pmac);
+
+  // --- host registration ---
+  HostEntry* ensure_host(sim::PortId port, MacAddress amac,
+                         Ipv4Address ip_hint);
+
+  // --- control plane ---
+  void on_control(const ControlMessage& msg);
+  void send_to_fm(ControlBody body);
+  void schedule_hello();
+  void send_hello();
+  /// Periodic soft-state refresh toward the fabric manager: host
+  /// registrations, multicast membership/senders, and outstanding faults.
+  /// This is what lets a cold fabric-manager replica rebuild everything.
+  void send_soft_state_refresh();
+
+  // --- LDP hooks ---
+  void on_location_changed();
+  void on_neighbor_event(sim::PortId port, SwitchId neighbor, bool lost);
+
+  SwitchId id_;
+  ControlPlane* control_;
+  PortlandConfig config_;
+  Rng rng_;
+  LdpAgent ldp_;
+
+  // Edge state.
+  std::map<MacAddress, HostEntry> hosts_by_amac_;
+  std::map<MacAddress, MacAddress> amac_by_pmac_;  // pmac mac -> amac
+  std::map<sim::PortId, std::uint16_t> next_vmid_;
+  std::map<MacAddress, Redirect> redirects_;  // old pmac -> new location
+  std::map<std::uint32_t, PendingArp> pending_arps_;
+  std::uint32_t next_query_id_ = 1;
+
+  // Reroute state installed by the fabric manager.
+  std::map<DstKey, std::set<SwitchId>> prunes_;
+
+  // Multicast state.
+  std::map<Ipv4Address, std::set<sim::PortId>> mcast_ports_;  // FM-installed
+  std::map<Ipv4Address, std::set<sim::PortId>> local_members_;
+  std::set<Ipv4Address> mcast_sender_reported_;
+
+  // Fault reporting: port -> the neighbor we reported lost (refreshed
+  // periodically so a failed-over fabric manager relearns the fault
+  // matrix).
+  std::map<sim::PortId, SwitchId> ports_reported_down_;
+
+  sim::Timer hello_timer_;
+  sim::PeriodicTimer hello_periodic_;
+  sim::PeriodicTimer refresh_periodic_;
+  bool hello_pending_ = false;
+  // Round-robin counter for the kPacketSpray ECMP ablation.
+  mutable std::uint64_t spray_counter_ = 0;
+};
+
+}  // namespace portland::core

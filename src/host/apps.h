@@ -1,0 +1,88 @@
+// Traffic applications used by tests, examples, and the experiment benches.
+//
+// `UdpFlowSender`/`UdpFlowReceiver` implement the paper's convergence
+// methodology: a constant-rate sequence-numbered UDP stream; the receiver
+// records arrival times, and convergence time after a failure is the gap
+// between the last packet before the outage and the first packet after it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/random.h"
+#include "common/units.h"
+#include "host/host.h"
+#include "sim/simulator.h"
+
+namespace portland::host {
+
+class UdpFlowSender {
+ public:
+  struct Config {
+    Ipv4Address dst;
+    std::uint16_t src_port = 7000;
+    std::uint16_t dst_port = 7001;
+    SimDuration interval = millis(1);   // 1000 packets/sec
+    std::size_t payload_bytes = 64;     // >= 8 (sequence number)
+  };
+
+  UdpFlowSender(Host& host, Config config);
+
+  void start();
+  void stop();
+
+  [[nodiscard]] std::uint64_t packets_sent() const { return next_seq_; }
+
+ private:
+  void tick();
+
+  Host* host_;
+  Config config_;
+  std::uint64_t next_seq_ = 0;
+  sim::PeriodicTimer timer_;
+};
+
+class UdpFlowReceiver {
+ public:
+  /// Binds `port` on `host` and records every arrival.
+  UdpFlowReceiver(Host& host, std::uint16_t port);
+
+  struct Arrival {
+    SimTime time;
+    std::uint64_t seq;
+  };
+
+  [[nodiscard]] const std::vector<Arrival>& arrivals() const {
+    return arrivals_;
+  }
+  [[nodiscard]] std::uint64_t packets_received() const {
+    return arrivals_.size();
+  }
+  [[nodiscard]] SimTime last_arrival_time() const {
+    return arrivals_.empty() ? -1 : arrivals_.back().time;
+  }
+
+  /// Largest inter-arrival gap that *starts* within [window_start,
+  /// window_end]. Returns 0 if fewer than two packets arrived. This is the
+  /// paper's convergence metric when the window brackets the failure.
+  [[nodiscard]] SimDuration max_gap(SimTime window_start,
+                                    SimTime window_end) const;
+
+  /// All gaps larger than `threshold`, as (gap start, duration) pairs.
+  [[nodiscard]] std::vector<std::pair<SimTime, SimDuration>> gaps_over(
+      SimDuration threshold) const;
+
+  /// Count of distinct sequence numbers seen (duplicates excluded).
+  [[nodiscard]] std::uint64_t unique_sequences() const;
+
+ private:
+  std::vector<Arrival> arrivals_;
+};
+
+/// Builds a derangement-free random permutation pairing of host indices:
+/// every host sends to exactly one other host, nobody to itself.
+[[nodiscard]] std::vector<std::size_t> permutation_pairing(std::size_t n,
+                                                           Rng& rng);
+
+}  // namespace portland::host

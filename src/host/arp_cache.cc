@@ -1,0 +1,16 @@
+#include "host/arp_cache.h"
+
+namespace portland::host {
+
+void ArpCache::insert(Ipv4Address ip, MacAddress mac, SimTime now) {
+  entries_[ip] = Entry{mac, now};
+}
+
+std::optional<MacAddress> ArpCache::lookup(Ipv4Address ip, SimTime now) const {
+  const auto it = entries_.find(ip);
+  if (it == entries_.end()) return std::nullopt;
+  if (now - it->second.learned_at > lifetime_) return std::nullopt;
+  return it->second.mac;
+}
+
+}  // namespace portland::host

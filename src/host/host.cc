@@ -1,0 +1,287 @@
+#include "host/host.h"
+
+#include <cassert>
+
+#include "common/logging.h"
+#include "net/igmp.h"
+
+namespace portland::host {
+
+using net::ArpMessage;
+using net::ArpOp;
+using net::ParsedFrame;
+
+Host::Host(sim::Simulator& sim, std::string name, MacAddress mac,
+           Ipv4Address ip, HostConfig config)
+    : Device(sim, std::move(name)),
+      mac_(mac),
+      ip_(ip),
+      config_(config),
+      arp_cache_(config.arp_cache_lifetime),
+      isn_state_(config.seed ^ mac.to_u64()) {
+  add_port();  // hosts have a single NIC, port 0
+}
+
+Host::~Host() = default;
+
+void Host::start() {
+  if (config_.announce_on_start) {
+    sim().after(config_.announce_delay, [this] { send_gratuitous_arp(); });
+  }
+}
+
+std::uint32_t Host::next_isn() {
+  // SplitMix64 step; low 32 bits are plenty for a simulated ISN.
+  isn_state_ += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = isn_state_;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  return static_cast<std::uint32_t>(z ^ (z >> 27));
+}
+
+void Host::send_gratuitous_arp() {
+  const ArpMessage garp = ArpMessage::gratuitous(mac_, ip_);
+  send(0, sim::make_frame(
+              net::build_arp_frame(MacAddress::broadcast(), mac_, garp)));
+  counters().add("garp_sent");
+}
+
+// --------------------------------------------------------------------------
+// Receive path
+// --------------------------------------------------------------------------
+
+void Host::handle_frame(sim::PortId in_port, const sim::FramePtr& frame) {
+  (void)in_port;
+  const ParsedFrame parsed = net::parse_frame(sim::frame_span(frame));
+  if (!parsed.valid) {
+    counters().add("rx_malformed");
+    return;
+  }
+  // A broadcast can loop back to its sender through the fabric's
+  // down-phase; hosts ignore their own frames.
+  if (parsed.eth.src == mac_) return;
+
+  if (parsed.arp.has_value()) {
+    handle_arp(*parsed.arp);
+    return;
+  }
+  if (parsed.ipv4.has_value()) {
+    handle_ipv4(parsed);
+    return;
+  }
+  counters().add("rx_ignored");
+}
+
+void Host::handle_arp(const ArpMessage& arp) {
+  // Gleaning: any ARP naming a sender refreshes entries we already track
+  // or are actively resolving.
+  if (!arp.sender_ip.is_zero() &&
+      (arp_cache_.contains(arp.sender_ip) ||
+       pending_.count(arp.sender_ip) != 0)) {
+    arp_cache_.insert(arp.sender_ip, arp.sender_mac, sim().now());
+    flush_pending(arp.sender_ip, arp.sender_mac);
+  }
+
+  if (arp.op == ArpOp::kRequest && arp.target_ip == ip_) {
+    counters().add("arp_replies_sent");
+    const ArpMessage reply =
+        ArpMessage::reply(mac_, ip_, arp.sender_mac, arp.sender_ip);
+    send(0, sim::make_frame(net::build_arp_frame(arp.sender_mac, mac_, reply)));
+    return;
+  }
+  if (arp.op == ArpOp::kReply) {
+    arp_cache_.insert(arp.sender_ip, arp.sender_mac, sim().now());
+    flush_pending(arp.sender_ip, arp.sender_mac);
+  }
+}
+
+void Host::handle_ipv4(const ParsedFrame& parsed) {
+  const bool multicast = net::is_multicast_ip(parsed.ipv4->dst);
+  if (!multicast && parsed.ipv4->dst != ip_) {
+    counters().add("rx_wrong_ip");
+    return;
+  }
+
+  if (parsed.udp.has_value()) {
+    deliver_udp(parsed, multicast);
+    return;
+  }
+  if (parsed.tcp.has_value()) {
+    const net::TcpHeader& h = *parsed.tcp;
+    const TcpEndpointKey key{parsed.ipv4->src, h.src_port, h.dst_port};
+    const auto it = connections_.find(key);
+    if (it != connections_.end()) {
+      it->second->handle_segment(h, parsed.payload);
+      return;
+    }
+    if (h.flags.syn && !h.flags.ack) {
+      const auto listener = listeners_.find(h.dst_port);
+      if (listener != listeners_.end()) {
+        TcpConnection& conn = make_connection(key);
+        conn.accept_syn(h);
+        listener->second(conn);
+        return;
+      }
+    }
+    counters().add("tcp_rx_no_connection");
+    return;
+  }
+  counters().add("rx_ip_other");
+}
+
+void Host::deliver_udp(const ParsedFrame& parsed, bool multicast) {
+  if (multicast) {
+    const auto it = group_handlers_.find(parsed.ipv4->dst);
+    if (it == group_handlers_.end()) {
+      counters().add("udp_rx_unjoined_group");
+      return;
+    }
+    it->second(parsed.ipv4->src, parsed.udp->src_port, parsed.udp->dst_port,
+               parsed.payload);
+    return;
+  }
+  const auto it = udp_handlers_.find(parsed.udp->dst_port);
+  if (it == udp_handlers_.end()) {
+    counters().add("udp_rx_unbound");
+    return;
+  }
+  it->second(parsed.ipv4->src, parsed.udp->src_port, parsed.udp->dst_port,
+             parsed.payload);
+}
+
+// --------------------------------------------------------------------------
+// UDP
+// --------------------------------------------------------------------------
+
+void Host::bind_udp(std::uint16_t port, UdpHandler handler) {
+  udp_handlers_[port] = std::move(handler);
+}
+
+void Host::send_udp(Ipv4Address dst, std::uint16_t src_port,
+                    std::uint16_t dst_port, std::vector<std::uint8_t> payload) {
+  // Built with a broadcast placeholder; send_resolved patches the real dst.
+  auto frame = net::build_udp_frame(MacAddress::broadcast(), mac_, ip_, dst,
+                                    src_port, dst_port, payload);
+  send_resolved(dst, std::move(frame));
+}
+
+// --------------------------------------------------------------------------
+// TCP
+// --------------------------------------------------------------------------
+
+TcpConnection& Host::make_connection(TcpEndpointKey key) {
+  auto sink = [this, key](const net::TcpHeader& h,
+                          std::span<const std::uint8_t> payload) {
+    auto frame = net::build_tcp_frame(MacAddress::broadcast(), mac_, ip_,
+                                      key.remote_ip, h, payload);
+    send_resolved(key.remote_ip, std::move(frame));
+  };
+  auto conn = std::make_unique<TcpConnection>(sim(), key, config_.tcp,
+                                              std::move(sink), next_isn());
+  TcpConnection& ref = *conn;
+  connections_[key] = std::move(conn);
+  return ref;
+}
+
+TcpConnection* Host::tcp_connect(Ipv4Address dst, std::uint16_t dst_port) {
+  const TcpEndpointKey key{dst, dst_port, next_ephemeral_port_++};
+  TcpConnection& conn = make_connection(key);
+  conn.connect();
+  return &conn;
+}
+
+void Host::tcp_listen(std::uint16_t port,
+                      std::function<void(TcpConnection&)> on_accept) {
+  listeners_[port] = std::move(on_accept);
+}
+
+// --------------------------------------------------------------------------
+// Multicast
+// --------------------------------------------------------------------------
+
+void Host::join_group(Ipv4Address group, UdpHandler handler) {
+  assert(net::is_multicast_ip(group));
+  group_handlers_[group] = std::move(handler);
+  net::IgmpMessage report{net::IgmpType::kMembershipReport, group};
+  const auto payload = report.serialize();
+  send(0, sim::make_frame(net::build_ipv4_frame(
+              net::multicast_mac(group), mac_, ip_, group, net::kProtocolIgmp,
+              payload, /*ttl=*/1)));
+  counters().add("igmp_joins_sent");
+}
+
+void Host::leave_group(Ipv4Address group) {
+  group_handlers_.erase(group);
+  net::IgmpMessage leave{net::IgmpType::kLeaveGroup, group};
+  const auto payload = leave.serialize();
+  send(0, sim::make_frame(net::build_ipv4_frame(
+              net::multicast_mac(group), mac_, ip_, group, net::kProtocolIgmp,
+              payload, /*ttl=*/1)));
+  counters().add("igmp_leaves_sent");
+}
+
+void Host::send_udp_multicast(Ipv4Address group, std::uint16_t src_port,
+                              std::uint16_t dst_port,
+                              std::vector<std::uint8_t> payload) {
+  assert(net::is_multicast_ip(group));
+  send(0, sim::make_frame(net::build_udp_frame(net::multicast_mac(group),
+                                               mac_, ip_, group, src_port,
+                                               dst_port, payload)));
+}
+
+// --------------------------------------------------------------------------
+// ARP resolution
+// --------------------------------------------------------------------------
+
+void Host::send_resolved(Ipv4Address dst, std::vector<std::uint8_t> frame) {
+  if (const auto mac = arp_cache_.lookup(dst, sim().now()); mac.has_value()) {
+    send(0, sim::make_frame(net::rewrite_eth_dst(frame, *mac)));
+    return;
+  }
+  Pending& p = pending_[dst];
+  if (p.frames.size() >= config_.max_pending_frames_per_dst) {
+    counters().add("arp_pending_overflow");
+    p.frames.pop_front();
+  }
+  p.frames.push_back(std::move(frame));
+  if (!p.timer) {
+    p.timer = std::make_unique<sim::Timer>(sim());
+    p.retries = 0;
+    send_arp_request(dst);
+    p.timer->schedule_after(config_.arp_retry_interval,
+                            [this, dst] { arp_retry_tick(dst); });
+  }
+}
+
+void Host::send_arp_request(Ipv4Address target) {
+  ++arp_requests_sent_;
+  counters().add("arp_requests_sent");
+  const ArpMessage req = ArpMessage::request(mac_, ip_, target);
+  send(0, sim::make_frame(
+              net::build_arp_frame(MacAddress::broadcast(), mac_, req)));
+}
+
+void Host::arp_retry_tick(Ipv4Address target) {
+  const auto it = pending_.find(target);
+  if (it == pending_.end()) return;
+  Pending& p = it->second;
+  if (++p.retries > config_.arp_max_retries) {
+    counters().add("arp_resolution_failed");
+    pending_.erase(it);  // drop queued frames: unreachable destination
+    return;
+  }
+  send_arp_request(target);
+  p.timer->schedule_after(config_.arp_retry_interval,
+                          [this, target] { arp_retry_tick(target); });
+}
+
+void Host::flush_pending(Ipv4Address dst, MacAddress mac) {
+  const auto it = pending_.find(dst);
+  if (it == pending_.end()) return;
+  std::deque<std::vector<std::uint8_t>> frames = std::move(it->second.frames);
+  pending_.erase(it);
+  for (auto& f : frames) {
+    send(0, sim::make_frame(net::rewrite_eth_dst(f, mac)));
+  }
+}
+
+}  // namespace portland::host

@@ -1,0 +1,40 @@
+// VSwitch: a minimal software switch (hypervisor vswitch) multiplexing
+// several VMs onto one physical edge-switch port.
+//
+// This is how the PMAC `vmid` field earns its keep (paper §3.2): the edge
+// switch sees multiple AMACs arrive on one port and assigns each a PMAC
+// sharing (pod, position, port) but with a distinct vmid. The vswitch
+// itself is deliberately dumb: local MAC learning for VM-to-VM traffic,
+// everything else repeated up the single uplink — exactly the transparent
+// behavior PortLand expects from unmodified virtualization stacks.
+#pragma once
+
+#include <unordered_map>
+
+#include "common/mac_address.h"
+#include "sim/device.h"
+
+namespace portland::host {
+
+class VSwitch : public sim::Device {
+ public:
+  /// Port 0 is the uplink (to the edge switch); ports 1..vm_slots are VM
+  /// attachment points.
+  VSwitch(sim::Simulator& sim, std::string name, std::size_t vm_slots);
+
+  void handle_frame(sim::PortId in_port, const sim::FramePtr& frame) override;
+
+  static constexpr sim::PortId kUplink = 0;
+
+  /// First VM attachment port.
+  [[nodiscard]] static constexpr sim::PortId vm_port(std::size_t slot) {
+    return 1 + slot;
+  }
+
+  [[nodiscard]] std::size_t mac_table_size() const { return macs_.size(); }
+
+ private:
+  std::unordered_map<MacAddress, sim::PortId> macs_;
+};
+
+}  // namespace portland::host

@@ -1,0 +1,78 @@
+// BaselineFabric: the same k-ary fat tree and the same unmodified Host
+// devices as PortlandFabric, but switched by conventional MAC-learning
+// Ethernet with spanning tree — the comparison system for E5 (state) and
+// E8 (broadcast load, failure recovery).
+//
+// Bridge ids are assigned so a core switch wins root election, which is
+// the kindest-possible configuration for STP on a fat tree.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "host/host.h"
+#include "l2/learning_switch.h"
+#include "sim/failure.h"
+#include "sim/network.h"
+#include "topo/fat_tree.h"
+
+namespace portland::l2 {
+
+class BaselineFabric {
+ public:
+  struct Options {
+    int k = 4;
+    std::uint64_t seed = 1;
+    LearningSwitch::Config switch_config;
+    host::HostConfig host_config;
+    sim::Link::Config host_link;
+    sim::Link::Config fabric_link;
+  };
+
+  explicit BaselineFabric(Options options);
+
+  [[nodiscard]] sim::Network& network() { return net_; }
+  [[nodiscard]] sim::Simulator& sim() { return net_.sim(); }
+  [[nodiscard]] const topo::FatTree& tree() const { return tree_; }
+  [[nodiscard]] sim::FailureInjector& failures() { return injector_; }
+
+  [[nodiscard]] host::Host& host_at(std::size_t pod, std::size_t edge,
+                                    std::size_t port) const;
+  [[nodiscard]] const std::vector<host::Host*>& hosts() const {
+    return hosts_;
+  }
+  [[nodiscard]] const std::vector<LearningSwitch*>& switches() const {
+    return switches_;
+  }
+  [[nodiscard]] const std::vector<sim::Link*>& fabric_links() const {
+    return fabric_links_;
+  }
+
+  /// IP plan identical to PortlandFabric's: 10.pod.edge.(port+1).
+  [[nodiscard]] static Ipv4Address ip_at(std::size_t pod, std::size_t edge,
+                                         std::size_t port);
+
+  /// Runs long enough for STP to settle (root election + two
+  /// forward_delays, with margin).
+  void run_until_stp_converged();
+
+  /// True when exactly one bridge believes it is root and every
+  /// non-disabled port has left the listening/learning limbo.
+  [[nodiscard]] bool stp_stable() const;
+
+  /// Aggregate flat-MAC forwarding state across all switches (E5).
+  [[nodiscard]] std::size_t total_mac_entries() const;
+  /// Aggregate flood events across all switches (E8).
+  [[nodiscard]] std::uint64_t total_floods() const;
+
+ private:
+  Options options_;
+  topo::FatTree tree_;
+  sim::Network net_;
+  std::vector<host::Host*> hosts_;
+  std::vector<LearningSwitch*> switches_;
+  std::vector<sim::Link*> fabric_links_;
+  sim::FailureInjector injector_;
+};
+
+}  // namespace portland::l2

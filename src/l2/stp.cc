@@ -1,0 +1,74 @@
+#include "l2/stp.h"
+
+#include <tuple>
+
+#include "common/byte_io.h"
+#include "common/mac_address.h"
+#include "net/ethernet.h"
+
+namespace portland::l2 {
+
+bool Bpdu::better_than(const Bpdu& other) const {
+  return std::tie(root, root_cost, bridge, port) <
+         std::tie(other.root, other.root_cost, other.bridge, other.port);
+}
+
+std::vector<std::uint8_t> Bpdu::to_frame() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(net::EthernetHeader::kSize + 22);
+  ByteWriter w(out);
+  net::EthernetHeader eth{MacAddress::broadcast(),
+                          MacAddress::from_u64(bridge & 0xFFFFFFFFFFFF),
+                          net::to_u16(net::EtherType::kStp)};
+  eth.serialize(w);
+  w.u64(root);
+  w.u32(root_cost);
+  w.u64(bridge);
+  w.u16(port);
+  w.u32(age_ms);
+  return out;
+}
+
+std::optional<Bpdu> Bpdu::from_frame(std::span<const std::uint8_t> frame) {
+  ByteReader r(frame);
+  const net::EthernetHeader eth = net::EthernetHeader::deserialize(r);
+  if (!r.ok() || !eth.is(net::EtherType::kStp)) return std::nullopt;
+  Bpdu b;
+  b.root = r.u64();
+  b.root_cost = r.u32();
+  b.bridge = r.u64();
+  b.port = r.u16();
+  b.age_ms = r.u32();
+  if (!r.ok()) return std::nullopt;
+  return b;
+}
+
+const char* to_string(PortRole role) {
+  switch (role) {
+    case PortRole::kDisabled:
+      return "disabled";
+    case PortRole::kRoot:
+      return "root";
+    case PortRole::kDesignated:
+      return "designated";
+    case PortRole::kBlocked:
+      return "blocked";
+  }
+  return "?";
+}
+
+const char* to_string(PortState state) {
+  switch (state) {
+    case PortState::kBlocking:
+      return "blocking";
+    case PortState::kListening:
+      return "listening";
+    case PortState::kLearning:
+      return "learning";
+    case PortState::kForwarding:
+      return "forwarding";
+  }
+  return "?";
+}
+
+}  // namespace portland::l2

@@ -1,0 +1,76 @@
+// Spanning Tree Protocol (802.1D-style, simplified): the loop-avoidance
+// mechanism conventional Ethernet needs on a multi-rooted fat tree, and
+// the baseline PortLand's motivation section argues against — STP blocks
+// all redundant uplinks (no multipath) and reconverges in tens of seconds.
+//
+// Simplifications vs. 802.1D (documented, deliberate):
+//   * every bridge periodically advertises its current view on designated
+//     ports (RSTP-style), instead of only relaying root hellos;
+//   * two port-state stages (listening -> learning -> forwarding) with a
+//     `forward_delay` each, blocking immediately on role loss;
+//   * topology change = flush the MAC table (no TCN propagation).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/units.h"
+
+namespace portland::l2 {
+
+struct StpConfig {
+  SimDuration hello_interval = seconds(2);    // 802.1D defaults
+  SimDuration max_age = seconds(20);
+  SimDuration forward_delay = seconds(15);
+  std::uint32_t link_cost = 4;                // 1 Gb/s per 802.1D-1998
+
+  /// A fast profile for unit tests (same machinery, compressed timers).
+  [[nodiscard]] static StpConfig fast() {
+    StpConfig c;
+    c.hello_interval = millis(100);
+    c.max_age = millis(1000);
+    c.forward_delay = millis(300);
+    return c;
+  }
+};
+
+/// Configuration BPDU payload (carried over EtherType kStp).
+struct Bpdu {
+  std::uint64_t root = 0;
+  std::uint32_t root_cost = 0;
+  std::uint64_t bridge = 0;
+  std::uint16_t port = 0;
+  /// 802.1D message age (ms): how old the root information already is at
+  /// the sender. Receivers keep aging it; information older than max_age
+  /// dies even while being actively relayed — without this, a dead root's
+  /// BPDUs circulate among its former subtree forever.
+  std::uint32_t age_ms = 0;
+
+  /// Priority-vector comparison: lower is better (age excluded).
+  [[nodiscard]] bool better_than(const Bpdu& other) const;
+
+  [[nodiscard]] std::vector<std::uint8_t> to_frame() const;
+  [[nodiscard]] static std::optional<Bpdu> from_frame(
+      std::span<const std::uint8_t> frame);
+};
+
+enum class PortRole : std::uint8_t {
+  kDisabled,    // no link
+  kRoot,        // path toward the root bridge
+  kDesignated,  // we forward for this segment
+  kBlocked,     // redundant path — the loops PortLand avoids by design
+};
+
+enum class PortState : std::uint8_t {
+  kBlocking,
+  kListening,
+  kLearning,
+  kForwarding,
+};
+
+[[nodiscard]] const char* to_string(PortRole role);
+[[nodiscard]] const char* to_string(PortState state);
+
+}  // namespace portland::l2

@@ -1,0 +1,75 @@
+#include "net/arp.h"
+
+namespace portland::net {
+namespace {
+constexpr std::uint16_t kHtypeEthernet = 1;
+constexpr std::uint16_t kPtypeIpv4 = 0x0800;
+constexpr std::uint8_t kHlen = 6;
+constexpr std::uint8_t kPlen = 4;
+}  // namespace
+
+void ArpMessage::serialize(ByteWriter& w) const {
+  w.u16(kHtypeEthernet);
+  w.u16(kPtypeIpv4);
+  w.u8(kHlen);
+  w.u8(kPlen);
+  w.u16(static_cast<std::uint16_t>(op));
+  sender_mac.serialize(w);
+  sender_ip.serialize(w);
+  target_mac.serialize(w);
+  target_ip.serialize(w);
+}
+
+bool ArpMessage::deserialize(ByteReader& r, ArpMessage* out) {
+  const std::uint16_t htype = r.u16();
+  const std::uint16_t ptype = r.u16();
+  const std::uint8_t hlen = r.u8();
+  const std::uint8_t plen = r.u8();
+  const std::uint16_t op = r.u16();
+  out->sender_mac = MacAddress::deserialize(r);
+  out->sender_ip = Ipv4Address::deserialize(r);
+  out->target_mac = MacAddress::deserialize(r);
+  out->target_ip = Ipv4Address::deserialize(r);
+  if (!r.ok()) return false;
+  if (htype != kHtypeEthernet || ptype != kPtypeIpv4 || hlen != kHlen ||
+      plen != kPlen) {
+    return false;
+  }
+  if (op != 1 && op != 2) return false;
+  out->op = static_cast<ArpOp>(op);
+  return true;
+}
+
+ArpMessage ArpMessage::request(MacAddress sender_mac, Ipv4Address sender_ip,
+                               Ipv4Address target_ip) {
+  ArpMessage m;
+  m.op = ArpOp::kRequest;
+  m.sender_mac = sender_mac;
+  m.sender_ip = sender_ip;
+  m.target_mac = MacAddress::zero();
+  m.target_ip = target_ip;
+  return m;
+}
+
+ArpMessage ArpMessage::reply(MacAddress sender_mac, Ipv4Address sender_ip,
+                             MacAddress target_mac, Ipv4Address target_ip) {
+  ArpMessage m;
+  m.op = ArpOp::kReply;
+  m.sender_mac = sender_mac;
+  m.sender_ip = sender_ip;
+  m.target_mac = target_mac;
+  m.target_ip = target_ip;
+  return m;
+}
+
+ArpMessage ArpMessage::gratuitous(MacAddress mac, Ipv4Address ip) {
+  ArpMessage m;
+  m.op = ArpOp::kReply;
+  m.sender_mac = mac;
+  m.sender_ip = ip;
+  m.target_mac = MacAddress::broadcast();
+  m.target_ip = ip;
+  return m;
+}
+
+}  // namespace portland::net

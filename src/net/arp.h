@@ -1,0 +1,49 @@
+// ARP for IPv4 over Ethernet (RFC 826), the protocol PortLand's proxy-ARP
+// machinery intercepts at edge switches.
+#pragma once
+
+#include <cstdint>
+
+#include "common/byte_io.h"
+#include "common/ipv4_address.h"
+#include "common/mac_address.h"
+
+namespace portland::net {
+
+enum class ArpOp : std::uint16_t {
+  kRequest = 1,
+  kReply = 2,
+};
+
+struct ArpMessage {
+  static constexpr std::size_t kSize = 28;
+
+  ArpOp op = ArpOp::kRequest;
+  MacAddress sender_mac;   // SHA
+  Ipv4Address sender_ip;   // SPA
+  MacAddress target_mac;   // THA (zero in requests)
+  Ipv4Address target_ip;   // TPA
+
+  void serialize(ByteWriter& w) const;
+
+  /// Parses; returns false (and leaves *out unspecified) when the fixed
+  /// fields do not describe IPv4-over-Ethernet ARP.
+  [[nodiscard]] static bool deserialize(ByteReader& r, ArpMessage* out);
+
+  /// A gratuitous ARP announces (ip -> mac) with target == sender IP;
+  /// migrated VMs emit one (paper §3.3/§3.7).
+  [[nodiscard]] bool is_gratuitous() const {
+    return sender_ip == target_ip && !sender_ip.is_zero();
+  }
+
+  [[nodiscard]] static ArpMessage request(MacAddress sender_mac,
+                                          Ipv4Address sender_ip,
+                                          Ipv4Address target_ip);
+  [[nodiscard]] static ArpMessage reply(MacAddress sender_mac,
+                                        Ipv4Address sender_ip,
+                                        MacAddress target_mac,
+                                        Ipv4Address target_ip);
+  [[nodiscard]] static ArpMessage gratuitous(MacAddress mac, Ipv4Address ip);
+};
+
+}  // namespace portland::net

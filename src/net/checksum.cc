@@ -1,0 +1,51 @@
+#include "net/checksum.h"
+
+namespace portland::net {
+
+void ChecksumAccumulator::add_bytes(std::span<const std::uint8_t> data) {
+  for (const std::uint8_t b : data) {
+    if (odd_) {
+      sum_ += b;  // low byte of the current 16-bit word
+    } else {
+      sum_ += static_cast<std::uint64_t>(b) << 8;  // high byte
+    }
+    odd_ = !odd_;
+  }
+}
+
+void ChecksumAccumulator::add_u16(std::uint16_t v) {
+  const std::uint8_t bytes[2] = {static_cast<std::uint8_t>(v >> 8),
+                                 static_cast<std::uint8_t>(v)};
+  add_bytes(bytes);
+}
+
+void ChecksumAccumulator::add_u32(std::uint32_t v) {
+  add_u16(static_cast<std::uint16_t>(v >> 16));
+  add_u16(static_cast<std::uint16_t>(v));
+}
+
+std::uint16_t ChecksumAccumulator::finish() const {
+  std::uint64_t s = sum_;
+  while (s >> 16) s = (s & 0xFFFF) + (s >> 16);
+  return static_cast<std::uint16_t>(~s & 0xFFFF);
+}
+
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data) {
+  ChecksumAccumulator acc;
+  acc.add_bytes(data);
+  return acc.finish();
+}
+
+std::uint16_t l4_checksum(Ipv4Address src, Ipv4Address dst,
+                          std::uint8_t protocol,
+                          std::span<const std::uint8_t> segment) {
+  ChecksumAccumulator acc;
+  acc.add_u32(src.value());
+  acc.add_u32(dst.value());
+  acc.add_u16(protocol);
+  acc.add_u16(static_cast<std::uint16_t>(segment.size()));
+  acc.add_bytes(segment);
+  return acc.finish();
+}
+
+}  // namespace portland::net

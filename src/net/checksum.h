@@ -1,0 +1,35 @@
+// RFC 1071 Internet checksum, used by the IPv4 header and the TCP/UDP
+// pseudo-header checksums.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/ipv4_address.h"
+
+namespace portland::net {
+
+/// Incremental ones-complement sum accumulator.
+class ChecksumAccumulator {
+ public:
+  void add_bytes(std::span<const std::uint8_t> data);
+  void add_u16(std::uint16_t v);
+  void add_u32(std::uint32_t v);
+
+  /// Final folded, inverted checksum in host order.
+  [[nodiscard]] std::uint16_t finish() const;
+
+ private:
+  std::uint64_t sum_ = 0;
+  bool odd_ = false;  // true if an odd byte is pending in the high lane
+};
+
+/// One-shot checksum over a byte range.
+[[nodiscard]] std::uint16_t internet_checksum(std::span<const std::uint8_t> data);
+
+/// TCP/UDP pseudo-header + segment checksum.
+[[nodiscard]] std::uint16_t l4_checksum(Ipv4Address src, Ipv4Address dst,
+                                        std::uint8_t protocol,
+                                        std::span<const std::uint8_t> segment);
+
+}  // namespace portland::net

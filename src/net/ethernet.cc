@@ -1,0 +1,19 @@
+#include "net/ethernet.h"
+
+namespace portland::net {
+
+void EthernetHeader::serialize(ByteWriter& w) const {
+  dst.serialize(w);
+  src.serialize(w);
+  w.u16(ethertype);
+}
+
+EthernetHeader EthernetHeader::deserialize(ByteReader& r) {
+  EthernetHeader h;
+  h.dst = MacAddress::deserialize(r);
+  h.src = MacAddress::deserialize(r);
+  h.ethertype = r.u16();
+  return h;
+}
+
+}  // namespace portland::net

@@ -1,0 +1,30 @@
+// Ethernet II framing.
+#pragma once
+
+#include <cstdint>
+
+#include "common/byte_io.h"
+#include "common/mac_address.h"
+#include "net/ethertype.h"
+
+namespace portland::net {
+
+struct EthernetHeader {
+  static constexpr std::size_t kSize = 14;
+
+  MacAddress dst;
+  MacAddress src;
+  std::uint16_t ethertype = 0;
+
+  void serialize(ByteWriter& w) const;
+  [[nodiscard]] static EthernetHeader deserialize(ByteReader& r);
+
+  [[nodiscard]] bool is(EtherType t) const { return ethertype == to_u16(t); }
+};
+
+/// Minimum and typical frame payload limits. We do not pad to the 64-byte
+/// Ethernet minimum (the simulator has no CSMA/CD), but we do enforce MTU.
+constexpr std::size_t kEthernetMtu = 1500;
+constexpr std::size_t kMaxFrameBytes = EthernetHeader::kSize + kEthernetMtu;
+
+}  // namespace portland::net

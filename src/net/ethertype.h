@@ -1,0 +1,22 @@
+// EtherType registry for this fabric.
+#pragma once
+
+#include <cstdint>
+
+namespace portland::net {
+
+enum class EtherType : std::uint16_t {
+  kIpv4 = 0x0800,
+  kArp = 0x0806,
+  // PortLand Location Discovery Protocol frames (link-local, one hop).
+  kLdp = 0x88B5,  // IEEE local-experimental ethertype 1
+  // Baseline spanning-tree BPDUs (we carry them over a local ethertype
+  // rather than 802.2 LLC to keep framing uniform).
+  kStp = 0x88B6,  // IEEE local-experimental ethertype 2
+};
+
+[[nodiscard]] constexpr std::uint16_t to_u16(EtherType t) {
+  return static_cast<std::uint16_t>(t);
+}
+
+}  // namespace portland::net

@@ -1,0 +1,40 @@
+#include "net/igmp.h"
+
+#include "common/byte_io.h"
+
+namespace portland::net {
+
+std::vector<std::uint8_t> IgmpMessage::serialize() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(kSize);
+  ByteWriter w(out);
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u8(0);   // max response time (unused)
+  w.u16(0);  // checksum (links are bit-accurate)
+  group.serialize(w);
+  return out;
+}
+
+std::optional<IgmpMessage> IgmpMessage::deserialize(
+    std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  IgmpMessage m;
+  const std::uint8_t type = r.u8();
+  (void)r.u8();
+  (void)r.u16();
+  m.group = Ipv4Address::deserialize(r);
+  if (!r.ok()) return std::nullopt;
+  if (type != static_cast<std::uint8_t>(IgmpType::kMembershipReport) &&
+      type != static_cast<std::uint8_t>(IgmpType::kLeaveGroup)) {
+    return std::nullopt;
+  }
+  m.type = static_cast<IgmpType>(type);
+  return m;
+}
+
+MacAddress multicast_mac(Ipv4Address group) {
+  const std::uint32_t low23 = group.value() & 0x007FFFFF;
+  return MacAddress::from_u64(0x01005E000000ULL | low23);
+}
+
+}  // namespace portland::net

@@ -1,0 +1,40 @@
+// Minimal IGMP (membership report / leave), carried as IPv4 protocol 2.
+// Edge switches intercept these to drive the fabric manager's multicast
+// group state (paper §3.6 handles multicast through the fabric manager).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/ipv4_address.h"
+#include "common/mac_address.h"
+
+namespace portland::net {
+
+enum class IgmpType : std::uint8_t {
+  kMembershipReport = 0x16,  // join
+  kLeaveGroup = 0x17,
+};
+
+struct IgmpMessage {
+  static constexpr std::size_t kSize = 8;
+
+  IgmpType type = IgmpType::kMembershipReport;
+  Ipv4Address group;
+
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  [[nodiscard]] static std::optional<IgmpMessage> deserialize(
+      std::span<const std::uint8_t> bytes);
+};
+
+/// True for 224.0.0.0/4.
+[[nodiscard]] constexpr bool is_multicast_ip(Ipv4Address ip) {
+  return (ip.value() >> 28) == 0xE;
+}
+
+/// RFC 1112 multicast MAC mapping: 01:00:5e + low 23 bits of the group.
+[[nodiscard]] MacAddress multicast_mac(Ipv4Address group);
+
+}  // namespace portland::net

@@ -1,0 +1,51 @@
+#include "net/ipv4.h"
+
+#include "net/checksum.h"
+
+namespace portland::net {
+
+void Ipv4Header::serialize(ByteWriter& w) const {
+  std::vector<std::uint8_t> hdr;
+  hdr.reserve(kSize);
+  ByteWriter hw(hdr);
+  hw.u8(0x45);  // version 4, IHL 5
+  hw.u8(dscp);
+  hw.u16(total_length);
+  hw.u16(identification);
+  hw.u16(0);  // flags/fragment offset: never fragmented in this fabric
+  hw.u8(ttl);
+  hw.u8(protocol);
+  hw.u16(0);  // checksum placeholder
+  src.serialize(hw);
+  dst.serialize(hw);
+
+  const std::uint16_t csum = internet_checksum(hdr);
+  hdr[10] = static_cast<std::uint8_t>(csum >> 8);
+  hdr[11] = static_cast<std::uint8_t>(csum);
+  w.bytes(hdr);
+}
+
+bool Ipv4Header::deserialize(ByteReader& r, Ipv4Header* out) {
+  if (r.remaining_size() < kSize) return false;
+  const std::span<const std::uint8_t> raw = r.remaining().subspan(0, kSize);
+
+  const std::uint8_t ver_ihl = r.u8();
+  out->dscp = r.u8();
+  out->total_length = r.u16();
+  out->identification = r.u16();
+  const std::uint16_t flags_frag = r.u16();
+  out->ttl = r.u8();
+  out->protocol = r.u8();
+  const std::uint16_t wire_csum = r.u16();
+  out->src = Ipv4Address::deserialize(r);
+  out->dst = Ipv4Address::deserialize(r);
+  if (!r.ok()) return false;
+  if (ver_ihl != 0x45) return false;
+  if ((flags_frag & 0x3FFF) != 0) return false;  // no fragments
+  (void)wire_csum;
+  // Re-checksumming the raw header must yield zero when intact.
+  if (internet_checksum(raw) != 0) return false;
+  return true;
+}
+
+}  // namespace portland::net

@@ -1,0 +1,42 @@
+// IPv4 header (20 bytes, no options). PortLand forwards on L2 PMACs; the
+// IP layer exists because hosts address each other by IP (R1) and the ECMP
+// flow hash keys on the 5-tuple.
+#pragma once
+
+#include <cstdint>
+
+#include "common/byte_io.h"
+#include "common/ipv4_address.h"
+
+namespace portland::net {
+
+constexpr std::uint8_t kProtocolIcmp = 1;
+constexpr std::uint8_t kProtocolIgmp = 2;
+constexpr std::uint8_t kProtocolTcp = 6;
+constexpr std::uint8_t kProtocolUdp = 17;
+
+struct Ipv4Header {
+  static constexpr std::size_t kSize = 20;
+
+  std::uint8_t dscp = 0;
+  std::uint16_t total_length = 0;  // header + payload
+  std::uint16_t identification = 0;
+  std::uint8_t ttl = 64;
+  std::uint8_t protocol = 0;
+  Ipv4Address src;
+  Ipv4Address dst;
+
+  /// Serializes with a freshly computed header checksum.
+  void serialize(ByteWriter& w) const;
+
+  /// Parses and validates version/IHL and the header checksum.
+  [[nodiscard]] static bool deserialize(ByteReader& r, Ipv4Header* out);
+
+  [[nodiscard]] std::uint16_t payload_length() const {
+    return total_length >= kSize
+               ? static_cast<std::uint16_t>(total_length - kSize)
+               : 0;
+  }
+};
+
+}  // namespace portland::net

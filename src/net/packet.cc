@@ -1,0 +1,222 @@
+#include "net/packet.h"
+
+#include <cassert>
+
+#include "common/byte_io.h"
+
+namespace portland::net {
+
+ParsedFrame parse_frame(std::span<const std::uint8_t> bytes) {
+  ParsedFrame p;
+  ByteReader r(bytes);
+  p.eth = EthernetHeader::deserialize(r);
+  if (!r.ok()) return p;
+
+  if (p.eth.is(EtherType::kArp)) {
+    ArpMessage arp;
+    if (!ArpMessage::deserialize(r, &arp)) return p;
+    p.arp = arp;
+    p.valid = true;
+    return p;
+  }
+
+  if (p.eth.is(EtherType::kIpv4)) {
+    Ipv4Header ip;
+    if (!Ipv4Header::deserialize(r, &ip)) return p;
+    p.ipv4 = ip;
+    if (ip.protocol == kProtocolUdp) {
+      UdpHeader udp;
+      if (!UdpHeader::deserialize(r, &udp)) return p;
+      p.udp = udp;
+      const std::size_t data = udp.length - UdpHeader::kSize;
+      if (r.remaining_size() < data) return p;
+      p.payload = r.remaining().subspan(0, data);
+    } else if (ip.protocol == kProtocolTcp) {
+      TcpHeader tcp;
+      if (!TcpHeader::deserialize(r, &tcp)) return p;
+      p.tcp = tcp;
+      const std::size_t data = ip.payload_length() >= TcpHeader::kSize
+                                   ? ip.payload_length() - TcpHeader::kSize
+                                   : 0;
+      if (r.remaining_size() < data) return p;
+      p.payload = r.remaining().subspan(0, data);
+    } else {
+      p.payload = r.remaining();
+    }
+    p.valid = true;
+    return p;
+  }
+
+  // Control ethertypes (LDP, STP, ...) are parsed by their own modules;
+  // the Ethernet header alone is a valid parse here.
+  p.payload = r.remaining();
+  p.valid = true;
+  return p;
+}
+
+std::vector<std::uint8_t> build_arp_frame(MacAddress eth_dst,
+                                          MacAddress eth_src,
+                                          const ArpMessage& arp) {
+  std::vector<std::uint8_t> out;
+  out.reserve(EthernetHeader::kSize + ArpMessage::kSize);
+  ByteWriter w(out);
+  EthernetHeader eth{eth_dst, eth_src, to_u16(EtherType::kArp)};
+  eth.serialize(w);
+  arp.serialize(w);
+  return out;
+}
+
+std::vector<std::uint8_t> build_udp_frame(MacAddress eth_dst,
+                                          MacAddress eth_src,
+                                          Ipv4Address ip_src,
+                                          Ipv4Address ip_dst,
+                                          std::uint16_t src_port,
+                                          std::uint16_t dst_port,
+                                          std::span<const std::uint8_t> payload,
+                                          std::uint8_t ttl) {
+  assert(payload.size() + UdpHeader::kSize + Ipv4Header::kSize <=
+         kEthernetMtu);
+  std::vector<std::uint8_t> out;
+  out.reserve(EthernetHeader::kSize + Ipv4Header::kSize + UdpHeader::kSize +
+              payload.size());
+  ByteWriter w(out);
+  EthernetHeader eth{eth_dst, eth_src, to_u16(EtherType::kIpv4)};
+  eth.serialize(w);
+  Ipv4Header ip;
+  ip.total_length = static_cast<std::uint16_t>(
+      Ipv4Header::kSize + UdpHeader::kSize + payload.size());
+  ip.ttl = ttl;
+  ip.protocol = kProtocolUdp;
+  ip.src = ip_src;
+  ip.dst = ip_dst;
+  ip.serialize(w);
+  UdpHeader udp;
+  udp.src_port = src_port;
+  udp.dst_port = dst_port;
+  udp.length = static_cast<std::uint16_t>(UdpHeader::kSize + payload.size());
+  udp.serialize(w);
+  w.bytes(payload);
+  return out;
+}
+
+std::vector<std::uint8_t> build_ipv4_frame(MacAddress eth_dst,
+                                           MacAddress eth_src,
+                                           Ipv4Address ip_src,
+                                           Ipv4Address ip_dst,
+                                           std::uint8_t protocol,
+                                           std::span<const std::uint8_t> payload,
+                                           std::uint8_t ttl) {
+  std::vector<std::uint8_t> out;
+  out.reserve(EthernetHeader::kSize + Ipv4Header::kSize + payload.size());
+  ByteWriter w(out);
+  EthernetHeader eth{eth_dst, eth_src, to_u16(EtherType::kIpv4)};
+  eth.serialize(w);
+  Ipv4Header ip;
+  ip.total_length =
+      static_cast<std::uint16_t>(Ipv4Header::kSize + payload.size());
+  ip.ttl = ttl;
+  ip.protocol = protocol;
+  ip.src = ip_src;
+  ip.dst = ip_dst;
+  ip.serialize(w);
+  w.bytes(payload);
+  return out;
+}
+
+std::vector<std::uint8_t> build_tcp_frame(MacAddress eth_dst,
+                                          MacAddress eth_src,
+                                          Ipv4Address ip_src,
+                                          Ipv4Address ip_dst,
+                                          const TcpHeader& tcp,
+                                          std::span<const std::uint8_t> payload,
+                                          std::uint8_t ttl) {
+  assert(payload.size() + TcpHeader::kSize + Ipv4Header::kSize <=
+         kEthernetMtu);
+  std::vector<std::uint8_t> out;
+  out.reserve(EthernetHeader::kSize + Ipv4Header::kSize + TcpHeader::kSize +
+              payload.size());
+  ByteWriter w(out);
+  EthernetHeader eth{eth_dst, eth_src, to_u16(EtherType::kIpv4)};
+  eth.serialize(w);
+  Ipv4Header ip;
+  ip.total_length = static_cast<std::uint16_t>(
+      Ipv4Header::kSize + TcpHeader::kSize + payload.size());
+  ip.ttl = ttl;
+  ip.protocol = kProtocolTcp;
+  ip.src = ip_src;
+  ip.dst = ip_dst;
+  ip.serialize(w);
+  tcp.serialize(w);
+  w.bytes(payload);
+  return out;
+}
+
+FlowKey flow_key_of(const ParsedFrame& p) {
+  FlowKey key;
+  if (p.ipv4.has_value()) {
+    key.src_ip = p.ipv4->src;
+    key.dst_ip = p.ipv4->dst;
+    key.protocol = p.ipv4->protocol;
+  }
+  if (p.udp.has_value()) {
+    key.src_port = p.udp->src_port;
+    key.dst_port = p.udp->dst_port;
+  } else if (p.tcp.has_value()) {
+    key.src_port = p.tcp->src_port;
+    key.dst_port = p.tcp->dst_port;
+  }
+  return key;
+}
+
+std::uint64_t flow_hash(const FlowKey& key) {
+  std::uint64_t z = (static_cast<std::uint64_t>(key.src_ip.value()) << 32) |
+                    key.dst_ip.value();
+  z ^= (static_cast<std::uint64_t>(key.protocol) << 48) |
+       (static_cast<std::uint64_t>(key.src_port) << 16) | key.dst_port;
+  // SplitMix64 finalizer.
+  z += 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+std::vector<std::uint8_t> copy_frame(std::span<const std::uint8_t> frame) {
+  return {frame.begin(), frame.end()};
+}
+
+void write_mac_at(std::vector<std::uint8_t>& bytes, std::size_t offset,
+                  MacAddress mac) {
+  assert(offset + MacAddress::kSize <= bytes.size());
+  const auto& raw = mac.bytes();
+  std::copy(raw.begin(), raw.end(),
+            bytes.begin() + static_cast<std::ptrdiff_t>(offset));
+}
+}  // namespace
+
+std::vector<std::uint8_t> rewrite_eth_src(std::span<const std::uint8_t> frame,
+                                          MacAddress new_src) {
+  auto out = copy_frame(frame);
+  write_mac_at(out, MacAddress::kSize, new_src);  // src follows dst
+  return out;
+}
+
+std::vector<std::uint8_t> rewrite_eth_dst(std::span<const std::uint8_t> frame,
+                                          MacAddress new_dst) {
+  auto out = copy_frame(frame);
+  write_mac_at(out, 0, new_dst);
+  return out;
+}
+
+std::vector<std::uint8_t> rewrite_arp_mac(std::span<const std::uint8_t> frame,
+                                          bool sender, MacAddress new_mac) {
+  auto out = copy_frame(frame);
+  // ARP layout after the 14-byte Ethernet header: 8 fixed bytes, then
+  // SHA(6) SPA(4) THA(6) TPA(4).
+  const std::size_t base = EthernetHeader::kSize + 8;
+  const std::size_t offset = sender ? base : base + 6 + 4;
+  write_mac_at(out, offset, new_mac);
+  return out;
+}
+
+}  // namespace portland::net

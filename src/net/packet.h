@@ -1,0 +1,94 @@
+// Whole-frame composition and decomposition.
+//
+// `ParsedFrame` is the one-pass parse every switch and host performs on an
+// incoming frame: Ethernet header plus, when present, ARP / IPv4 / UDP /
+// TCP views. Builders assemble full frames (headers + payload) into byte
+// vectors ready for the wire.
+//
+// `FlowKey` is the 5-tuple PortLand's ECMP hashes to pin a flow to one
+// up-path (paper §3.5); `rewrite_*` implement the PMAC<->AMAC header
+// rewriting edge switches perform (paper §3.2).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/ipv4_address.h"
+#include "common/mac_address.h"
+#include "net/arp.h"
+#include "net/ethernet.h"
+#include "net/ipv4.h"
+#include "net/tcp.h"
+#include "net/udp.h"
+
+namespace portland::net {
+
+struct ParsedFrame {
+  bool valid = false;
+  EthernetHeader eth;
+  std::optional<ArpMessage> arp;
+  std::optional<Ipv4Header> ipv4;
+  std::optional<UdpHeader> udp;
+  std::optional<TcpHeader> tcp;
+  /// L4 payload (UDP/TCP data), a view into the original buffer.
+  std::span<const std::uint8_t> payload;
+};
+
+/// Parses an entire frame. `valid` is false on any framing error; the
+/// optional sub-headers are set only when present and well-formed.
+[[nodiscard]] ParsedFrame parse_frame(std::span<const std::uint8_t> bytes);
+
+/// Frame builders. Each returns the complete on-wire byte vector.
+[[nodiscard]] std::vector<std::uint8_t> build_arp_frame(MacAddress eth_dst,
+                                                        MacAddress eth_src,
+                                                        const ArpMessage& arp);
+
+[[nodiscard]] std::vector<std::uint8_t> build_udp_frame(
+    MacAddress eth_dst, MacAddress eth_src, Ipv4Address ip_src,
+    Ipv4Address ip_dst, std::uint16_t src_port, std::uint16_t dst_port,
+    std::span<const std::uint8_t> payload, std::uint8_t ttl = 64);
+
+/// Raw IPv4 frame with an arbitrary protocol number (e.g. IGMP).
+[[nodiscard]] std::vector<std::uint8_t> build_ipv4_frame(
+    MacAddress eth_dst, MacAddress eth_src, Ipv4Address ip_src,
+    Ipv4Address ip_dst, std::uint8_t protocol,
+    std::span<const std::uint8_t> payload, std::uint8_t ttl = 64);
+
+[[nodiscard]] std::vector<std::uint8_t> build_tcp_frame(
+    MacAddress eth_dst, MacAddress eth_src, Ipv4Address ip_src,
+    Ipv4Address ip_dst, const TcpHeader& tcp,
+    std::span<const std::uint8_t> payload, std::uint8_t ttl = 64);
+
+/// 5-tuple flow identity for ECMP hashing.
+struct FlowKey {
+  Ipv4Address src_ip;
+  Ipv4Address dst_ip;
+  std::uint8_t protocol = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+
+  friend bool operator==(const FlowKey&, const FlowKey&) = default;
+};
+
+/// Extracts the flow key from a parsed frame (ports zero for non-L4).
+[[nodiscard]] FlowKey flow_key_of(const ParsedFrame& p);
+
+/// Deterministic 64-bit flow hash (SplitMix finalizer over the tuple).
+[[nodiscard]] std::uint64_t flow_hash(const FlowKey& key);
+
+/// Returns a copy of `frame` with the Ethernet source replaced.
+[[nodiscard]] std::vector<std::uint8_t> rewrite_eth_src(
+    std::span<const std::uint8_t> frame, MacAddress new_src);
+
+/// Returns a copy of `frame` with the Ethernet destination replaced.
+[[nodiscard]] std::vector<std::uint8_t> rewrite_eth_dst(
+    std::span<const std::uint8_t> frame, MacAddress new_dst);
+
+/// ARP payloads embed MACs too: replaces sender (true) or target (false)
+/// hardware address inside an ARP frame, returning the rewritten copy.
+[[nodiscard]] std::vector<std::uint8_t> rewrite_arp_mac(
+    std::span<const std::uint8_t> frame, bool sender, MacAddress new_mac);
+
+}  // namespace portland::net

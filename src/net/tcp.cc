@@ -1,0 +1,61 @@
+#include "net/tcp.h"
+
+namespace portland::net {
+
+std::uint8_t TcpFlags::to_byte() const {
+  std::uint8_t b = 0;
+  if (fin) b |= 0x01;
+  if (syn) b |= 0x02;
+  if (rst) b |= 0x04;
+  if (psh) b |= 0x08;
+  if (ack) b |= 0x10;
+  return b;
+}
+
+TcpFlags TcpFlags::from_byte(std::uint8_t b) {
+  TcpFlags f;
+  f.fin = (b & 0x01) != 0;
+  f.syn = (b & 0x02) != 0;
+  f.rst = (b & 0x04) != 0;
+  f.psh = (b & 0x08) != 0;
+  f.ack = (b & 0x10) != 0;
+  return f;
+}
+
+std::string TcpFlags::to_string() const {
+  std::string s;
+  if (syn) s += 'S';
+  if (fin) s += 'F';
+  if (rst) s += 'R';
+  if (psh) s += 'P';
+  if (ack) s += 'A';
+  return s.empty() ? "-" : s;
+}
+
+void TcpHeader::serialize(ByteWriter& w) const {
+  w.u16(src_port);
+  w.u16(dst_port);
+  w.u32(seq);
+  w.u32(ack);
+  w.u8(5 << 4);  // data offset 5 words, no options
+  w.u8(flags.to_byte());
+  w.u16(window);
+  w.u16(0);  // checksum: links are bit-accurate in the simulator
+  w.u16(0);  // urgent pointer
+}
+
+bool TcpHeader::deserialize(ByteReader& r, TcpHeader* out) {
+  out->src_port = r.u16();
+  out->dst_port = r.u16();
+  out->seq = r.u32();
+  out->ack = r.u32();
+  const std::uint8_t offset = r.u8();
+  out->flags = TcpFlags::from_byte(r.u8());
+  out->window = r.u16();
+  (void)r.u16();  // checksum
+  (void)r.u16();  // urgent
+  if (!r.ok()) return false;
+  return (offset >> 4) == 5;
+}
+
+}  // namespace portland::net

@@ -1,0 +1,50 @@
+// TCP segment header (RFC 793, 20 bytes, no options).
+//
+// The host stack implements "TCP-lite": handshake, cumulative ACKs,
+// sliding window, slow start / congestion avoidance, fast retransmit and
+// RTO with RTO_min = 200 ms — the pieces that shape the paper's TCP
+// convergence and VM-migration figures.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/byte_io.h"
+
+namespace portland::net {
+
+struct TcpFlags {
+  bool fin = false;
+  bool syn = false;
+  bool rst = false;
+  bool psh = false;
+  bool ack = false;
+
+  [[nodiscard]] std::uint8_t to_byte() const;
+  [[nodiscard]] static TcpFlags from_byte(std::uint8_t b);
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct TcpHeader {
+  static constexpr std::size_t kSize = 20;
+
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  TcpFlags flags;
+  std::uint16_t window = 65535;
+
+  void serialize(ByteWriter& w) const;
+  [[nodiscard]] static bool deserialize(ByteReader& r, TcpHeader* out);
+};
+
+/// Sequence-number arithmetic helpers (mod 2^32 wrap-around safe).
+[[nodiscard]] constexpr bool seq_lt(std::uint32_t a, std::uint32_t b) {
+  return static_cast<std::int32_t>(a - b) < 0;
+}
+[[nodiscard]] constexpr bool seq_leq(std::uint32_t a, std::uint32_t b) {
+  return static_cast<std::int32_t>(a - b) <= 0;
+}
+
+}  // namespace portland::net

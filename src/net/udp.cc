@@ -1,0 +1,21 @@
+#include "net/udp.h"
+
+namespace portland::net {
+
+void UdpHeader::serialize(ByteWriter& w) const {
+  w.u16(src_port);
+  w.u16(dst_port);
+  w.u16(length);
+  w.u16(0);  // checksum: 0 == not computed (RFC 768)
+}
+
+bool UdpHeader::deserialize(ByteReader& r, UdpHeader* out) {
+  out->src_port = r.u16();
+  out->dst_port = r.u16();
+  out->length = r.u16();
+  (void)r.u16();  // checksum
+  if (!r.ok()) return false;
+  return out->length >= kSize;
+}
+
+}  // namespace portland::net

@@ -1,0 +1,24 @@
+// UDP header (RFC 768).
+#pragma once
+
+#include <cstdint>
+
+#include "common/byte_io.h"
+
+namespace portland::net {
+
+struct UdpHeader {
+  static constexpr std::size_t kSize = 8;
+
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint16_t length = 0;  // header + payload
+
+  /// Serializes; checksum is written as 0 (legal for UDP over IPv4); the
+  /// simulator's links do not corrupt bits, so per-datagram checksums are
+  /// exercised at the IPv4 layer instead.
+  void serialize(ByteWriter& w) const;
+  [[nodiscard]] static bool deserialize(ByteReader& r, UdpHeader* out);
+};
+
+}  // namespace portland::net

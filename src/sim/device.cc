@@ -1,0 +1,58 @@
+#include "sim/device.h"
+
+#include <cassert>
+
+#include "sim/link.h"
+
+namespace portland::sim {
+
+PortId Device::add_port() {
+  ports_.emplace_back();
+  return ports_.size() - 1;
+}
+
+PortId Device::add_ports(std::size_t n) {
+  const PortId first = ports_.size();
+  for (std::size_t i = 0; i < n; ++i) ports_.emplace_back();
+  return first;
+}
+
+bool Device::port_connected(PortId port) const {
+  return port < ports_.size() && ports_[port].link != nullptr;
+}
+
+bool Device::port_up(PortId port) const {
+  if (!port_connected(port)) return false;
+  return ports_[port].link->is_up();
+}
+
+Link* Device::port_link(PortId port) const {
+  return port < ports_.size() ? ports_[port].link : nullptr;
+}
+
+void Device::send(PortId port, const FramePtr& frame) {
+  assert(port < ports_.size());
+  counters_.add("tx_frames");
+  counters_.add("tx_bytes", frame->size());
+  Link* link = ports_[port].link;
+  if (link == nullptr) {
+    counters_.add("tx_drop_unconnected");
+    return;
+  }
+  link->transmit(ports_[port].side, frame);
+}
+
+void Device::attach_link(PortId port, Link* link, int side) {
+  assert(port < ports_.size());
+  assert(ports_[port].link == nullptr && "port already wired");
+  ports_[port].link = link;
+  ports_[port].side = side;
+}
+
+void Device::detach_link(PortId port) {
+  assert(port < ports_.size());
+  ports_[port].link = nullptr;
+  ports_[port].side = 0;
+}
+
+}  // namespace portland::sim

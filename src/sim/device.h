@@ -1,0 +1,87 @@
+// Device: base class for everything with ports — hosts, PortLand switches,
+// baseline Ethernet switches.
+//
+// A device owns a vector of ports; each port may be attached to one side of
+// a Link. Frames are sent with `send()` and arrive via the `handle_frame()`
+// virtual. Link status changes (carrier loss) arrive via
+// `handle_link_status()`; PortLand ignores carrier by default and relies on
+// LDP timeouts, matching the paper, but the hook enables the fast-detect
+// ablation.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "sim/frame.h"
+#include "sim/simulator.h"
+
+namespace portland::sim {
+
+class Link;
+
+using PortId = std::size_t;
+
+class Device {
+ public:
+  Device(Simulator& sim, std::string name)
+      : sim_(&sim), name_(std::move(name)) {}
+  virtual ~Device() = default;
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  /// A frame arrived on `in_port`.
+  virtual void handle_frame(PortId in_port, const FramePtr& frame) = 0;
+
+  /// Carrier status of `port` changed (link went up/down).
+  virtual void handle_link_status(PortId port, bool up) {
+    (void)port;
+    (void)up;
+  }
+
+  /// Called by Network after all devices and links exist; protocols start
+  /// their timers here.
+  virtual void start() {}
+
+  /// Adds one port; returns its id (ids are dense, starting at 0).
+  PortId add_port();
+
+  /// Adds `n` ports; returns the id of the first.
+  PortId add_ports(std::size_t n);
+
+  [[nodiscard]] std::size_t port_count() const { return ports_.size(); }
+  [[nodiscard]] bool port_connected(PortId port) const;
+  /// True when the port has a link and that link is passing traffic.
+  [[nodiscard]] bool port_up(PortId port) const;
+  [[nodiscard]] Link* port_link(PortId port) const;
+
+  /// Transmits `frame` out of `port`. Silently drops (and counts) if the
+  /// port is unconnected or the link is down — exactly like real hardware.
+  void send(PortId port, const FramePtr& frame);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] Simulator& sim() const { return *sim_; }
+  [[nodiscard]] CounterSet& counters() { return counters_; }
+  [[nodiscard]] const CounterSet& counters() const { return counters_; }
+
+  /// Used by Link during wiring. `side` is this device's side (0 or 1).
+  void attach_link(PortId port, Link* link, int side);
+
+  /// Detaches the link from `port` (used when re-wiring, e.g. VM
+  /// migration). The port may be re-attached later.
+  void detach_link(PortId port);
+
+ private:
+  struct PortSlot {
+    Link* link = nullptr;
+    int side = 0;
+  };
+
+  Simulator* sim_;
+  std::string name_;
+  std::vector<PortSlot> ports_;
+  CounterSet counters_;
+};
+
+}  // namespace portland::sim

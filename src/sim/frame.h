@@ -1,0 +1,28 @@
+// Frames: immutable byte buffers travelling over simulated links.
+//
+// Frames are reference-counted so a broadcast or multicast replication
+// does not copy payload bytes. Devices parse frames with ByteReader; they
+// never mutate a frame in place (rewrites, e.g. PortLand's PMAC<->AMAC
+// translation, build a new frame).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+namespace portland::sim {
+
+using FrameBytes = std::vector<std::uint8_t>;
+using FramePtr = std::shared_ptr<const FrameBytes>;
+
+[[nodiscard]] inline FramePtr make_frame(FrameBytes bytes) {
+  return std::make_shared<const FrameBytes>(std::move(bytes));
+}
+
+[[nodiscard]] inline std::span<const std::uint8_t> frame_span(
+    const FramePtr& f) {
+  return {f->data(), f->size()};
+}
+
+}  // namespace portland::sim

@@ -1,0 +1,92 @@
+#include "sim/link.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace portland::sim {
+
+Link::Link(Simulator& sim, Device& a, PortId port_a, Device& b, PortId port_b,
+           Config config, const FrameTap* tap)
+    : sim_(&sim), config_(config), tap_(tap),
+      end_{Endpoint{&a, port_a}, Endpoint{&b, port_b}} {
+  assert(config_.bandwidth_bps > 0);
+  a.attach_link(port_a, this, 0);
+  b.attach_link(port_b, this, 1);
+}
+
+std::size_t Link::side_index(int side) {
+  assert(side == 0 || side == 1);
+  return static_cast<std::size_t>(side);
+}
+
+SimDuration Link::serialization_time(std::size_t bytes) const {
+  const double ns =
+      static_cast<double>(bytes) * 8.0 / config_.bandwidth_bps * 1e9;
+  return std::max<SimDuration>(1, static_cast<SimDuration>(ns));
+}
+
+void Link::transmit(int from_side, const FramePtr& frame) {
+  Direction& dir = dir_[side_index(from_side)];
+  if (!dir.up) {
+    ++dir.dropped;
+    return;
+  }
+  if (dir.queued_bytes + frame->size() > config_.queue_capacity_bytes) {
+    ++dir.dropped;  // drop-tail
+    return;
+  }
+
+  const SimTime now = sim_->now();
+  const SimTime start = std::max(now, dir.busy_until);
+  const SimTime tx_done = start + serialization_time(frame->size());
+  const SimTime arrival = tx_done + config_.propagation;
+  dir.busy_until = tx_done;
+  dir.queued_bytes += frame->size();
+  ++dir.tx_frames;
+  dir.tx_bytes += frame->size();
+
+  const std::uint64_t epoch = dir.epoch;
+  Device* receiver = end_[side_index(1 - from_side)].device;
+  const PortId rx_port = end_[side_index(1 - from_side)].port;
+  const std::size_t size = frame->size();
+
+  sim_->at(tx_done, [this, from_side, epoch, size] {
+    Direction& d = dir_[side_index(from_side)];
+    // A failure zeroes the queue accounting; stale decrements must not
+    // underflow it.
+    if (d.epoch != epoch) return;
+    d.queued_bytes -= size;
+  });
+  sim_->at(arrival, [this, from_side, epoch, receiver, rx_port, frame] {
+    Direction& d = dir_[side_index(from_side)];
+    // Frames in flight when the direction failed are lost.
+    if (!d.up || d.epoch != epoch) return;
+    receiver->counters().add("rx_frames");
+    receiver->counters().add("rx_bytes", frame->size());
+    if (tap_ != nullptr && *tap_) (*tap_)(*this, 1 - from_side, frame);
+    receiver->handle_frame(rx_port, frame);
+  });
+}
+
+void Link::set_up(bool up) {
+  const bool was_up = is_up();
+  set_direction_up(0, up);
+  set_direction_up(1, up);
+  if (was_up != up) {
+    end_[0].device->handle_link_status(end_[0].port, up);
+    end_[1].device->handle_link_status(end_[1].port, up);
+  }
+}
+
+void Link::set_direction_up(int from_side, bool up) {
+  Direction& dir = dir_[side_index(from_side)];
+  if (dir.up == up) return;
+  dir.up = up;
+  if (!up) {
+    ++dir.epoch;  // voids all in-flight frames in this direction
+    dir.queued_bytes = 0;
+    dir.busy_until = sim_->now();
+  }
+}
+
+}  // namespace portland::sim

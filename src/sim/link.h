@@ -1,0 +1,112 @@
+// Point-to-point full-duplex link with bandwidth, propagation delay, and a
+// drop-tail output queue per direction.
+//
+// Failure model: a link can be taken down bidirectionally (`set_up`) or per
+// direction (`set_direction_up`), emulating both cable pulls and one-way
+// failures. Frames in flight when the link fails are lost. Devices are
+// notified of carrier changes; whether they *act* on carrier is up to them
+// (PortLand detects failures via LDP timeouts by default).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+
+#include "common/units.h"
+#include "sim/device.h"
+#include "sim/frame.h"
+
+namespace portland::sim {
+
+class Link;
+
+/// Observation hook invoked for every frame the moment it is delivered to
+/// a receiving device (after loss/failure filtering): `rx_side` is the
+/// receiving endpoint's side of the link. Installed network-wide via
+/// Network::set_frame_tap; used for per-packet path audits and tracing.
+using FrameTap = std::function<void(const Link&, int rx_side,
+                                    const FramePtr&)>;
+
+class Link {
+ public:
+  struct Config {
+    /// Link speed in bits per second. Default 1 Gb/s, as in the testbed.
+    double bandwidth_bps = 1e9;
+    /// One-way propagation delay.
+    SimDuration propagation = micros(1);
+    /// Per-direction output queue capacity in bytes (drop-tail).
+    std::size_t queue_capacity_bytes = 256 * 1024;
+  };
+
+  Link(Simulator& sim, Device& a, PortId port_a, Device& b, PortId port_b,
+       Config config, const FrameTap* tap = nullptr);
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  /// Called by Device::send. `from_side` is 0 (a->b) or 1 (b->a).
+  void transmit(int from_side, const FramePtr& frame);
+
+  /// Takes both directions up/down and notifies both endpoint devices.
+  void set_up(bool up);
+
+  /// Takes one direction up/down (unidirectional failure). `from_side`
+  /// identifies the transmitting side of the affected direction.
+  void set_direction_up(int from_side, bool up);
+
+  [[nodiscard]] bool is_up() const { return dir_[0].up && dir_[1].up; }
+  [[nodiscard]] bool direction_up(int from_side) const {
+    return dir_[side_index(from_side)].up;
+  }
+
+  [[nodiscard]] Device& device(int side) const {
+    return side == 0 ? *end_[0].device : *end_[1].device;
+  }
+  [[nodiscard]] PortId port(int side) const { return end_[side_index(side)].port; }
+
+  /// The device on the opposite side from `side`.
+  [[nodiscard]] Device& peer_of(int side) const { return device(1 - side); }
+
+  [[nodiscard]] const Config& config() const { return config_; }
+
+  /// Changes the one-way propagation delay (e.g. modeling longer cable
+  /// runs). Applies to frames transmitted after the call.
+  void set_propagation(SimDuration propagation) {
+    config_.propagation = propagation;
+  }
+
+  [[nodiscard]] std::uint64_t tx_frames(int from_side) const {
+    return dir_[side_index(from_side)].tx_frames;
+  }
+  [[nodiscard]] std::uint64_t tx_bytes(int from_side) const {
+    return dir_[side_index(from_side)].tx_bytes;
+  }
+  [[nodiscard]] std::uint64_t dropped_frames(int from_side) const {
+    return dir_[side_index(from_side)].dropped;
+  }
+
+ private:
+  struct Endpoint {
+    Device* device;
+    PortId port;
+  };
+  struct Direction {
+    bool up = true;
+    SimTime busy_until = 0;       // when the transmitter becomes idle
+    std::size_t queued_bytes = 0; // bytes admitted but not yet serialized
+    std::uint64_t tx_frames = 0;
+    std::uint64_t tx_bytes = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t epoch = 0;      // bumped on failure to void in-flight frames
+  };
+
+  static std::size_t side_index(int side);
+  [[nodiscard]] SimDuration serialization_time(std::size_t bytes) const;
+
+  Simulator* sim_;
+  Config config_;
+  const FrameTap* tap_;  // owned by the Network; may point at an empty fn
+  std::array<Endpoint, 2> end_;
+  std::array<Direction, 2> dir_;
+};
+
+}  // namespace portland::sim

@@ -1,0 +1,36 @@
+#include "sim/network.h"
+
+namespace portland::sim {
+
+Link& Network::connect(Device& a, PortId pa, Device& b, PortId pb,
+                       Link::Config config) {
+  links_.push_back(
+      std::make_unique<Link>(sim_, a, pa, b, pb, config, &frame_tap_));
+  return *links_.back();
+}
+
+void Network::disconnect(Link& link) {
+  link.set_up(false);
+  link.device(0).detach_link(link.port(0));
+  link.device(1).detach_link(link.port(1));
+}
+
+void Network::start_all() {
+  for (const auto& dev : devices_) dev->start();
+}
+
+Device* Network::find_device(const std::string& name) const {
+  const auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : it->second;
+}
+
+Link* Network::find_link(const Device& a, const Device& b) const {
+  for (const auto& link : links_) {
+    Device* d0 = &link->device(0);
+    Device* d1 = &link->device(1);
+    if ((d0 == &a && d1 == &b) || (d0 == &b && d1 == &a)) return link.get();
+  }
+  return nullptr;
+}
+
+}  // namespace portland::sim

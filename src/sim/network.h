@@ -1,0 +1,73 @@
+// Network: owner of all devices and links in a simulation, plus lookup
+// helpers used by topology builders, tests, and failure injection.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "sim/device.h"
+#include "sim/link.h"
+#include "sim/simulator.h"
+
+namespace portland::sim {
+
+class Network {
+ public:
+  explicit Network(std::uint64_t seed = 1) : rng_(seed) {}
+
+  [[nodiscard]] Simulator& sim() { return sim_; }
+  [[nodiscard]] Rng& rng() { return rng_; }
+
+  /// Constructs a device of type T in place. T's first constructor argument
+  /// must be Simulator&.
+  template <typename T, typename... Args>
+  T& add_device(Args&&... args) {
+    auto dev = std::make_unique<T>(sim_, std::forward<Args>(args)...);
+    T& ref = *dev;
+    by_name_[ref.name()] = dev.get();
+    devices_.push_back(std::move(dev));
+    return ref;
+  }
+
+  /// Wires port `pa` of `a` to port `pb` of `b`.
+  Link& connect(Device& a, PortId pa, Device& b, PortId pb,
+                Link::Config config = {});
+
+  /// Installs (or clears, with {}) an observation tap invoked on every
+  /// frame delivery network-wide. Zero cost when unset.
+  void set_frame_tap(FrameTap tap) { frame_tap_ = std::move(tap); }
+
+  /// Permanently takes `link` down and detaches it from both endpoint
+  /// ports, freeing them for re-wiring (VM migration re-attachment).
+  void disconnect(Link& link);
+
+  /// Calls Device::start() on every device (protocols arm their timers).
+  void start_all();
+
+  [[nodiscard]] const std::vector<std::unique_ptr<Device>>& devices() const {
+    return devices_;
+  }
+  [[nodiscard]] const std::vector<std::unique_ptr<Link>>& links() const {
+    return links_;
+  }
+
+  /// Finds a device by name; nullptr if absent.
+  [[nodiscard]] Device* find_device(const std::string& name) const;
+
+  /// Finds the link between two named devices; nullptr if absent.
+  [[nodiscard]] Link* find_link(const Device& a, const Device& b) const;
+
+ private:
+  Simulator sim_;
+  Rng rng_;
+  FrameTap frame_tap_;
+  std::vector<std::unique_ptr<Device>> devices_;
+  std::vector<std::unique_ptr<Link>> links_;
+  std::unordered_map<std::string, Device*> by_name_;
+};
+
+}  // namespace portland::sim

@@ -1,0 +1,70 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+
+namespace portland::sim {
+
+void Simulator::at(SimTime t, std::function<void()> fn) {
+  assert(t >= now_);
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+void Simulator::after(SimDuration delay, std::function<void()> fn) {
+  assert(delay >= 0);
+  at(now_ + delay, std::move(fn));
+}
+
+void Simulator::dispatch_one() {
+  // The event must be moved out before running: the callback may schedule
+  // new events and invalidate references into the queue.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.time;
+  ++executed_;
+  ev.fn();
+}
+
+void Simulator::run() {
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_) dispatch_one();
+}
+
+void Simulator::run_until(SimTime t) {
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_ && queue_.top().time <= t) {
+    dispatch_one();
+  }
+  if (!stopped_ && now_ < t) now_ = t;
+}
+
+void Timer::schedule_after(SimDuration delay, std::function<void()> fn) {
+  const std::uint64_t gen = ++state_->generation;
+  state_->pending = true;
+  deadline_ = sim_->now() + delay;
+  // The event captures the shared state, not the Timer: destroying the
+  // Timer while this shot is in the queue is safe (it reads `pending ==
+  // false` via the still-alive State and does nothing).
+  sim_->after(delay, [state = state_, gen, fn = std::move(fn)]() {
+    if (state->generation != gen || !state->pending) return;
+    state->pending = false;
+    fn();
+  });
+}
+
+void Timer::cancel() {
+  ++state_->generation;
+  state_->pending = false;
+}
+
+void PeriodicTimer::start(SimDuration initial_delay) {
+  timer_.schedule_after(initial_delay >= 0 ? initial_delay : period_,
+                        [this] { tick(); });
+}
+
+void PeriodicTimer::tick() {
+  // Re-arm first: fn_ may call stop(), which must win over the re-arm.
+  timer_.schedule_after(period_, [this] { tick(); });
+  fn_();
+}
+
+}  // namespace portland::sim

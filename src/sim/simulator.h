@@ -1,0 +1,125 @@
+// Deterministic discrete-event simulation engine.
+//
+// A `Simulator` owns the virtual clock and a time-ordered event queue.
+// Events scheduled for the same instant fire in insertion order, which —
+// together with seeded RNG — makes every run exactly reproducible.
+//
+// `Timer` and `PeriodicTimer` are cancellable wrappers used throughout the
+// protocol implementations (LDP keepalives, ARP retries, TCP RTO, ...).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/units.h"
+
+namespace portland::sim {
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current virtual time.
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `t` (>= now).
+  void at(SimTime t, std::function<void()> fn);
+
+  /// Schedules `fn` after `delay` (>= 0).
+  void after(SimDuration delay, std::function<void()> fn);
+
+  /// Runs until the queue is empty or `stop()` is called.
+  void run();
+
+  /// Runs all events with time <= `t`, then sets the clock to `t`.
+  void run_until(SimTime t);
+
+  /// Makes run()/run_until() return after the current event.
+  void stop() { stopped_ = true; }
+
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+  [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void dispatch_one();
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  bool stopped_ = false;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+/// One-shot cancellable timer. Re-scheduling cancels the previous shot.
+/// Destroying an armed Timer cancels it safely: the scheduled event holds
+/// the shared cancellation state, never the Timer itself.
+class Timer {
+ public:
+  explicit Timer(Simulator& sim)
+      : sim_(&sim), state_(std::make_shared<State>()) {}
+  ~Timer() { cancel(); }
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+
+  /// Schedules `fn` to run after `delay`, cancelling any pending shot.
+  void schedule_after(SimDuration delay, std::function<void()> fn);
+
+  /// Cancels the pending shot, if any.
+  void cancel();
+
+  [[nodiscard]] bool pending() const { return state_->pending; }
+
+  /// Absolute time of the pending shot (meaningful only when pending()).
+  [[nodiscard]] SimTime deadline() const { return deadline_; }
+
+ private:
+  struct State {
+    std::uint64_t generation = 0;
+    bool pending = false;
+  };
+
+  Simulator* sim_;
+  std::shared_ptr<State> state_;
+  SimTime deadline_ = 0;
+};
+
+/// Fixed-period repeating timer. The callback runs every `period` from
+/// `start()` until `stop()`; an optional initial delay offsets the phase.
+class PeriodicTimer {
+ public:
+  PeriodicTimer(Simulator& sim, SimDuration period, std::function<void()> fn)
+      : sim_(&sim), period_(period), fn_(std::move(fn)), timer_(sim) {}
+
+  /// Starts ticking; first tick after `initial_delay` (default: one period).
+  void start(SimDuration initial_delay = -1);
+  void stop() { timer_.cancel(); }
+  [[nodiscard]] bool running() const { return timer_.pending(); }
+  [[nodiscard]] SimDuration period() const { return period_; }
+
+ private:
+  void tick();
+
+  Simulator* sim_;
+  SimDuration period_;
+  std::function<void()> fn_;
+  Timer timer_;
+};
+
+}  // namespace portland::sim

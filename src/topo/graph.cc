@@ -1,0 +1,120 @@
+#include "topo/graph.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+
+namespace portland::topo {
+
+Graph Graph::from_network(const sim::Network& net) {
+  Graph g;
+  for (const auto& dev : net.devices()) {
+    g.device_index_[dev.get()] = g.add_node();
+  }
+  for (const auto& link : net.links()) {
+    if (!link->is_up()) continue;
+    const auto a = g.device_index_.at(&link->device(0));
+    const auto b = g.device_index_.at(&link->device(1));
+    g.add_edge(a, b);
+  }
+  return g;
+}
+
+std::size_t Graph::add_node() {
+  adjacency_.emplace_back();
+  return adjacency_.size() - 1;
+}
+
+void Graph::add_edge(std::size_t a, std::size_t b) {
+  adjacency_[a].push_back(b);
+  adjacency_[b].push_back(a);
+}
+
+std::optional<std::size_t> Graph::index_of(const sim::Device* dev) const {
+  const auto it = device_index_.find(dev);
+  if (it == device_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<std::size_t> Graph::distance(std::size_t from,
+                                           std::size_t to) const {
+  if (from == to) return 0;
+  std::vector<std::size_t> dist(adjacency_.size(), SIZE_MAX);
+  std::deque<std::size_t> queue{from};
+  dist[from] = 0;
+  while (!queue.empty()) {
+    const std::size_t u = queue.front();
+    queue.pop_front();
+    for (const std::size_t v : adjacency_[u]) {
+      if (dist[v] != SIZE_MAX) continue;
+      dist[v] = dist[u] + 1;
+      if (v == to) return dist[v];
+      queue.push_back(v);
+    }
+  }
+  return std::nullopt;
+}
+
+std::size_t Graph::component_count() const {
+  std::vector<bool> seen(adjacency_.size(), false);
+  std::size_t components = 0;
+  for (std::size_t start = 0; start < adjacency_.size(); ++start) {
+    if (seen[start]) continue;
+    ++components;
+    std::deque<std::size_t> queue{start};
+    seen[start] = true;
+    while (!queue.empty()) {
+      const std::size_t u = queue.front();
+      queue.pop_front();
+      for (const std::size_t v : adjacency_[u]) {
+        if (!seen[v]) {
+          seen[v] = true;
+          queue.push_back(v);
+        }
+      }
+    }
+  }
+  return components;
+}
+
+bool Graph::connected() const {
+  return adjacency_.empty() || component_count() == 1;
+}
+
+std::size_t Graph::edge_disjoint_paths(std::size_t from, std::size_t to) const {
+  if (from == to) return 0;
+  // Unit-capacity max flow (Edmonds-Karp). Residual capacities per
+  // directed edge; parallel edges accumulate.
+  std::map<std::pair<std::size_t, std::size_t>, int> capacity;
+  for (std::size_t u = 0; u < adjacency_.size(); ++u) {
+    for (const std::size_t v : adjacency_[u]) {
+      ++capacity[{u, v}];  // each undirected edge contributes both directions
+    }
+  }
+  std::size_t flow = 0;
+  while (true) {
+    std::vector<std::size_t> parent(adjacency_.size(), SIZE_MAX);
+    std::deque<std::size_t> queue{from};
+    parent[from] = from;
+    while (!queue.empty() && parent[to] == SIZE_MAX) {
+      const std::size_t u = queue.front();
+      queue.pop_front();
+      for (const std::size_t v : adjacency_[u]) {
+        if (parent[v] != SIZE_MAX) continue;
+        const auto it = capacity.find({u, v});
+        if (it == capacity.end() || it->second <= 0) continue;
+        parent[v] = u;
+        queue.push_back(v);
+      }
+    }
+    if (parent[to] == SIZE_MAX) return flow;
+    for (std::size_t v = to; v != from; v = parent[v]) {
+      const std::size_t u = parent[v];
+      --capacity[{u, v}];
+      ++capacity[{v, u}];
+    }
+    ++flow;
+  }
+}
+
+}  // namespace portland::topo

@@ -1,0 +1,62 @@
+// Undirected graph view over a simulated Network, used by tests and
+// benches as *ground truth*: connectivity after failures, shortest path
+// lengths, and disjoint-path counts are computed here independently of any
+// routing protocol under test.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/network.h"
+
+namespace portland::topo {
+
+class Graph {
+ public:
+  /// Builds the graph from `net`, including only links that are currently
+  /// up (so failure injection is reflected automatically).
+  static Graph from_network(const sim::Network& net);
+
+  /// Empty graph; add nodes/edges manually.
+  Graph() = default;
+
+  std::size_t add_node();
+  void add_edge(std::size_t a, std::size_t b);
+
+  [[nodiscard]] std::size_t node_count() const { return adjacency_.size(); }
+
+  /// Node index for a device (only for from_network graphs).
+  [[nodiscard]] std::optional<std::size_t> index_of(
+      const sim::Device* dev) const;
+
+  /// BFS hop distance; nullopt if unreachable.
+  [[nodiscard]] std::optional<std::size_t> distance(std::size_t from,
+                                                    std::size_t to) const;
+
+  [[nodiscard]] bool reachable(std::size_t from, std::size_t to) const {
+    return distance(from, to).has_value();
+  }
+
+  /// Number of connected components.
+  [[nodiscard]] std::size_t component_count() const;
+
+  /// True if every node is reachable from node 0 (or the graph is empty).
+  [[nodiscard]] bool connected() const;
+
+  /// Maximum number of edge-disjoint paths between two nodes
+  /// (unit-capacity max-flow via BFS augmentation).
+  [[nodiscard]] std::size_t edge_disjoint_paths(std::size_t from,
+                                                std::size_t to) const;
+
+  [[nodiscard]] const std::vector<std::vector<std::size_t>>& adjacency() const {
+    return adjacency_;
+  }
+
+ private:
+  std::vector<std::vector<std::size_t>> adjacency_;
+  std::unordered_map<const sim::Device*, std::size_t> device_index_;
+};
+
+}  // namespace portland::topo

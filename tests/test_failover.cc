@@ -1,0 +1,282 @@
+// Fault tolerance: LDM-timeout detection, fabric-manager reroutes, repair
+// (unpruning), and a randomized availability property — if the physical
+// topology still connects two hosts, PortLand must re-establish delivery.
+#include <gtest/gtest.h>
+
+#include "core/fabric.h"
+#include "host/apps.h"
+#include "topo/graph.h"
+
+namespace portland::core {
+namespace {
+
+struct FlowFixture {
+  std::unique_ptr<PortlandFabric> fabric;
+  host::Host* src = nullptr;
+  host::Host* dst = nullptr;
+  std::unique_ptr<host::UdpFlowReceiver> receiver;
+  std::unique_ptr<host::UdpFlowSender> sender;
+
+  explicit FlowFixture(int k = 4, std::uint64_t seed = 1) {
+    PortlandFabric::Options options;
+    options.k = k;
+    options.seed = seed;
+    fabric = std::make_unique<PortlandFabric>(options);
+    EXPECT_TRUE(fabric->run_until_converged());
+    src = &fabric->host_at(0, 0, 0);
+    dst = &fabric->host_at(static_cast<std::size_t>(k) - 1, 0, 0);
+    receiver = std::make_unique<host::UdpFlowReceiver>(*dst, 7001);
+    host::UdpFlowSender::Config cfg;
+    cfg.dst = dst->ip();
+    cfg.interval = millis(1);
+    sender = std::make_unique<host::UdpFlowSender>(*src, cfg);
+    sender->start();
+    // Let ARP resolve and the flow reach steady state.
+    fabric->sim().run_until(fabric->sim().now() + millis(100));
+  }
+
+  /// The switch->switch links currently carrying the flow (warm path).
+  std::vector<sim::Link*> path_links() {
+    std::vector<sim::Link*> out;
+    std::vector<std::uint64_t> before;
+    for (sim::Link* l : fabric->fabric_links()) {
+      before.push_back(l->tx_frames(0) + l->tx_frames(1));
+    }
+    fabric->sim().run_until(fabric->sim().now() + millis(20));
+    for (std::size_t i = 0; i < fabric->fabric_links().size(); ++i) {
+      sim::Link* l = fabric->fabric_links()[i];
+      // The flow adds ~20 frames in 20 ms; LDP adds ~4. Threshold at 10.
+      if (l->tx_frames(0) + l->tx_frames(1) - before[i] > 10) out.push_back(l);
+    }
+    return out;
+  }
+};
+
+TEST(Failover, SingleLinkFailureConvergesInTensOfMs) {
+  FlowFixture fx;
+  const auto path = fx.path_links();
+  ASSERT_GE(path.size(), 2u);  // edge-agg and agg-core at least
+
+  const SimTime fail_at = fx.fabric->sim().now() + millis(50);
+  fx.fabric->failures().fail_link_at(*path[0], fail_at);
+  fx.fabric->sim().run_until(fail_at + millis(500));
+
+  const SimDuration gap =
+      fx.receiver->max_gap(fail_at - millis(5), fail_at + millis(300));
+  // Paper: ~65 ms (50 ms LDM timeout + notification + reroute install).
+  EXPECT_GE(gap, millis(40));
+  EXPECT_LE(gap, millis(120));
+  // Traffic is flowing again.
+  const SimTime now = fx.fabric->sim().now();
+  EXPECT_GT(fx.receiver->last_arrival_time(), now - millis(10));
+}
+
+TEST(Failover, FabricManagerLearnsFaultAndInstallsPrunes) {
+  FlowFixture fx;
+  const auto path = fx.path_links();
+  ASSERT_FALSE(path.empty());
+  const SimTime fail_at = fx.fabric->sim().now() + millis(10);
+  fx.fabric->failures().fail_link_at(*path[0], fail_at);
+  fx.fabric->sim().run_until(fail_at + millis(200));
+
+  const FabricManager& fm = fx.fabric->fabric_manager();
+  EXPECT_EQ(fm.graph().failed_link_count(), 1u);
+  EXPECT_GE(fm.counters().get("fault_notifications"), 1u);
+  EXPECT_GE(fm.counters().get("prune_updates_sent"), 1u);
+  EXPECT_GE(fm.installed_prune_keys(), 1u);
+}
+
+TEST(Failover, RepairRestoresPristineState) {
+  FlowFixture fx;
+  const auto path = fx.path_links();
+  ASSERT_FALSE(path.empty());
+  const SimTime fail_at = fx.fabric->sim().now() + millis(10);
+  fx.fabric->failures().fail_link_at(*path[0], fail_at);
+  fx.fabric->failures().repair_link_at(*path[0], fail_at + millis(300));
+  fx.fabric->sim().run_until(fail_at + millis(700));
+
+  const FabricManager& fm = fx.fabric->fabric_manager();
+  EXPECT_EQ(fm.graph().failed_link_count(), 0u);
+  EXPECT_GE(fm.counters().get("fault_repairs"), 1u);
+  // All prunes withdrawn.
+  EXPECT_EQ(fm.installed_prune_keys(), 0u);
+  for (const PortlandSwitch* sw : fx.fabric->switches()) {
+    EXPECT_EQ(sw->prune_entry_count(), 0u) << sw->name();
+  }
+}
+
+TEST(Failover, SurvivesAggSwitchCrash) {
+  FlowFixture fx(4, 7);
+  // Crash the aggregation switch on the flow's path by crashing both aggs
+  // in the source pod one at a time is overkill; crash agg(0,0) and rely
+  // on rerouting via agg(0,1) regardless of which one carried the flow.
+  const SimTime crash_at = fx.fabric->sim().now() + millis(20);
+  fx.fabric->failures().crash_device_at(fx.fabric->agg_at(0, 0), crash_at);
+  fx.fabric->sim().run_until(crash_at + millis(600));
+
+  // Flow recovered.
+  EXPECT_GT(fx.receiver->last_arrival_time(),
+            fx.fabric->sim().now() - millis(10));
+  // Any gap stays within detection + reroute bounds.
+  const SimDuration gap =
+      fx.receiver->max_gap(crash_at - millis(5), crash_at + millis(400));
+  EXPECT_LE(gap, millis(150));
+}
+
+TEST(Failover, IntraPodFailureReroutesThroughOtherAgg) {
+  PortlandFabric::Options options;
+  options.k = 4;
+  options.seed = 21;
+  PortlandFabric fabric(options);
+  ASSERT_TRUE(fabric.run_until_converged());
+  // Intra-pod flow: edge(0,0) host -> edge(0,1) host.
+  host::Host& src = fabric.host_at(0, 0, 0);
+  host::Host& dst = fabric.host_at(0, 1, 0);
+  host::UdpFlowReceiver receiver(dst, 7001);
+  host::UdpFlowSender::Config cfg;
+  cfg.dst = dst.ip();
+  cfg.interval = millis(1);
+  host::UdpFlowSender sender(src, cfg);
+  sender.start();
+  fabric.sim().run_until(fabric.sim().now() + millis(100));
+
+  // Fail the dst edge's link to one agg; intra-pod traffic through that
+  // agg must shift to the other one.
+  sim::Link* link = fabric.network().find_link(fabric.edge_at(0, 1),
+                                               fabric.agg_at(0, 0));
+  ASSERT_NE(link, nullptr);
+  const SimTime fail_at = fabric.sim().now() + millis(20);
+  fabric.failures().fail_link_at(*link, fail_at);
+  fabric.sim().run_until(fail_at + millis(500));
+
+  EXPECT_GT(receiver.last_arrival_time(), fabric.sim().now() - millis(10));
+  const SimDuration gap =
+      receiver.max_gap(fail_at - millis(5), fail_at + millis(300));
+  EXPECT_LE(gap, millis(120));
+}
+
+TEST(Failover, FastDetectionAblationConvergesFaster) {
+  auto convergence_with = [](bool fast_detect) {
+    PortlandFabric::Options options;
+    options.k = 4;
+    options.seed = 5;
+    options.config.fast_link_detection = fast_detect;
+    PortlandFabric fabric(options);
+    EXPECT_TRUE(fabric.run_until_converged());
+    host::Host& src = fabric.host_at(0, 0, 0);
+    host::Host& dst = fabric.host_at(3, 0, 0);
+    host::UdpFlowReceiver receiver(dst, 7001);
+    host::UdpFlowSender::Config cfg;
+    cfg.dst = dst.ip();
+    cfg.interval = millis(1);
+    host::UdpFlowSender sender(src, cfg);
+    sender.start();
+    fabric.sim().run_until(fabric.sim().now() + millis(100));
+
+    // Fail the src edge's uplink carrying the flow: find it by traffic.
+    const auto& edge = fabric.edge_at(0, 0);
+    sim::Link* victim = nullptr;
+    std::uint64_t best = 0;
+    for (const sim::PortId p : edge.ldp().up_ports()) {
+      sim::Link* l = edge.port_link(p);
+      const std::uint64_t tx = l->tx_frames(0) + l->tx_frames(1);
+      if (tx > best) {
+        best = tx;
+        victim = l;
+      }
+    }
+    const SimTime fail_at = fabric.sim().now() + millis(20);
+    fabric.failures().fail_link_at(*victim, fail_at);
+    fabric.sim().run_until(fail_at + millis(400));
+    return receiver.max_gap(fail_at - millis(5), fail_at + millis(300));
+  };
+
+  const SimDuration ldm_gap = convergence_with(false);
+  const SimDuration fast_gap = convergence_with(true);
+  EXPECT_LE(fast_gap, millis(30));   // carrier loss: no 50 ms wait
+  EXPECT_GE(ldm_gap, millis(40));    // LDM timeout dominates
+  EXPECT_LT(fast_gap, ldm_gap);
+}
+
+/// Ground truth for PortLand availability: an up*-down* path. Graph
+/// connectivity alone is too generous — a fabric can stay "connected"
+/// only through valley paths (down through an edge switch and back up),
+/// which loop-free up-down forwarding never uses, by design (paper §3.5).
+bool updown_path_exists(PortlandFabric& fabric, std::size_t src_pod,
+                        std::size_t src_edge, std::size_t dst_pod,
+                        std::size_t dst_edge) {
+  auto alive = [&](sim::Device& a, sim::Device& b) {
+    sim::Link* l = fabric.network().find_link(a, b);
+    return l != nullptr && l->is_up();
+  };
+  const std::size_t half = static_cast<std::size_t>(fabric.options().k) / 2;
+  auto& es = fabric.edge_at(src_pod, src_edge);
+  auto& ed = fabric.edge_at(dst_pod, dst_edge);
+  if (&es == &ed) return true;
+  if (src_pod == dst_pod) {
+    for (std::size_t a = 0; a < half; ++a) {
+      auto& agg = fabric.agg_at(src_pod, a);
+      if (alive(es, agg) && alive(ed, agg)) return true;
+    }
+    return false;
+  }
+  for (std::size_t a = 0; a < half; ++a) {
+    auto& agg_s = fabric.agg_at(src_pod, a);
+    if (!alive(es, agg_s)) continue;
+    for (std::size_t j = 0; j < half; ++j) {
+      auto& core = fabric.core_at(a, j);
+      if (!alive(agg_s, core)) continue;
+      auto& agg_d = fabric.agg_at(dst_pod, a);
+      if (alive(core, agg_d) && alive(agg_d, ed)) return true;
+    }
+  }
+  return false;
+}
+
+class RandomFailures : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomFailures, ConnectivityMaintainedWhilePhysicallyConnected) {
+  PortlandFabric::Options options;
+  options.k = 4;
+  options.seed = 1000 + static_cast<std::uint64_t>(GetParam());
+  PortlandFabric fabric(options);
+  ASSERT_TRUE(fabric.run_until_converged());
+
+  // Fail several random fabric links.
+  Rng rng(options.seed);
+  const std::size_t failures = 1 + rng.next_below(4);
+  const SimTime fail_at = fabric.sim().now() + millis(10);
+  fabric.failures().fail_random_links_at(fabric.fabric_links(), failures,
+                                         fail_at, rng);
+  // Allow detection + reroute.
+  fabric.sim().run_until(fail_at + millis(300));
+
+  const auto& hosts = fabric.hosts();
+  for (int trial = 0; trial < 12; ++trial) {
+    host::Host* a = hosts[rng.next_below(hosts.size())];
+    host::Host* b = hosts[rng.next_below(hosts.size())];
+    if (a == b) continue;
+    // Locations from the deterministic IP plan: 10.pod.edge.(port+1).
+    const std::uint32_t ipa = a->ip().value();
+    const std::uint32_t ipb = b->ip().value();
+    if (!updown_path_exists(fabric, (ipa >> 16) & 0xFF, (ipa >> 8) & 0xFF,
+                            (ipb >> 16) & 0xFF, (ipb >> 8) & 0xFF)) {
+      continue;  // no valley-free path: PortLand is not expected to deliver
+    }
+
+    static std::uint16_t port = 25000;
+    ++port;
+    bool got = false;
+    b->bind_udp(port, [&](Ipv4Address, std::uint16_t, std::uint16_t,
+                          std::span<const std::uint8_t>) { got = true; });
+    a->send_udp(b->ip(), port, port, {1});
+    fabric.sim().run_until(fabric.sim().now() + millis(300));
+    EXPECT_TRUE(got) << a->name() << " -> " << b->name() << " with "
+                     << failures << " failures";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomFailures, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace portland::core

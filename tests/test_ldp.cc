@@ -1,0 +1,183 @@
+// Location Discovery Protocol properties, parameterized across fat-tree
+// sizes: with zero configuration every switch must discover its true
+// level, edges must hold unique positions per pod, and pod numbers must
+// partition the fabric exactly like the physical wiring does.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/fabric.h"
+
+namespace portland::core {
+namespace {
+
+class LdpDiscovery : public ::testing::TestWithParam<int> {
+ protected:
+  void SetUp() override {
+    PortlandFabric::Options options;
+    options.k = GetParam();
+    options.seed = 0xC0FFEE + static_cast<std::uint64_t>(GetParam());
+    fabric_ = std::make_unique<PortlandFabric>(options);
+    ASSERT_TRUE(fabric_->run_until_converged());
+  }
+
+  std::unique_ptr<PortlandFabric> fabric_;
+};
+
+TEST_P(LdpDiscovery, EverySwitchDiscoversItsTrueLevel) {
+  const int k = GetParam();
+  const std::size_t half = static_cast<std::size_t>(k) / 2;
+  for (std::size_t pod = 0; pod < fabric_->tree().pods(); ++pod) {
+    for (std::size_t i = 0; i < half; ++i) {
+      EXPECT_EQ(fabric_->edge_at(pod, i).locator().level, Level::kEdge);
+      EXPECT_EQ(fabric_->agg_at(pod, i).locator().level, Level::kAggregation);
+    }
+  }
+  for (std::size_t g = 0; g < half; ++g) {
+    for (std::size_t m = 0; m < half; ++m) {
+      EXPECT_EQ(fabric_->core_at(g, m).locator().level, Level::kCore);
+    }
+  }
+}
+
+TEST_P(LdpDiscovery, EdgePositionsUniqueAndDenseWithinEachPod) {
+  const int k = GetParam();
+  const std::size_t half = static_cast<std::size_t>(k) / 2;
+  for (std::size_t pod = 0; pod < fabric_->tree().pods(); ++pod) {
+    std::set<std::uint8_t> positions;
+    for (std::size_t i = 0; i < half; ++i) {
+      const SwitchLocator& loc = fabric_->edge_at(pod, i).locator();
+      ASSERT_NE(loc.position, kUnknownPosition);
+      EXPECT_LT(loc.position, half);
+      EXPECT_TRUE(positions.insert(loc.position).second)
+          << "duplicate position " << int(loc.position) << " in pod " << pod;
+    }
+    EXPECT_EQ(positions.size(), half);  // dense: 0..k/2-1 all taken
+  }
+}
+
+TEST_P(LdpDiscovery, PodNumbersPartitionLikePhysicalPods) {
+  const int k = GetParam();
+  const std::size_t half = static_cast<std::size_t>(k) / 2;
+  std::set<std::uint16_t> pods_seen;
+  for (std::size_t pod = 0; pod < fabric_->tree().pods(); ++pod) {
+    const std::uint16_t discovered = fabric_->edge_at(pod, 0).locator().pod;
+    ASSERT_NE(discovered, kUnknownPod);
+    // All edges and aggs of this physical pod agree.
+    for (std::size_t i = 0; i < half; ++i) {
+      EXPECT_EQ(fabric_->edge_at(pod, i).locator().pod, discovered);
+      EXPECT_EQ(fabric_->agg_at(pod, i).locator().pod, discovered);
+    }
+    // And the number is unique across physical pods.
+    EXPECT_TRUE(pods_seen.insert(discovered).second);
+  }
+  EXPECT_EQ(pods_seen.size(), fabric_->tree().pods());
+}
+
+TEST_P(LdpDiscovery, UpDownPortClassificationMatchesWiring) {
+  const int k = GetParam();
+  const std::size_t half = static_cast<std::size_t>(k) / 2;
+  for (std::size_t pod = 0; pod < fabric_->tree().pods(); ++pod) {
+    for (std::size_t i = 0; i < half; ++i) {
+      const auto& edge = fabric_->edge_at(pod, i);
+      EXPECT_EQ(edge.ldp().up_ports().size(), half);
+      EXPECT_EQ(edge.ldp().down_ports().size(), half);  // host-facing
+      const auto& agg = fabric_->agg_at(pod, i);
+      EXPECT_EQ(agg.ldp().up_ports().size(), half);
+      EXPECT_EQ(agg.ldp().down_ports().size(), half);
+    }
+  }
+  for (std::size_t g = 0; g < half; ++g) {
+    for (std::size_t m = 0; m < half; ++m) {
+      const auto& core = fabric_->core_at(g, m);
+      EXPECT_TRUE(core.ldp().up_ports().empty());
+      EXPECT_EQ(core.ldp().down_ports().size(), fabric_->tree().pods());
+      // One downlink per distinct pod.
+      std::set<std::uint16_t> pods;
+      for (const sim::PortId p : core.ldp().down_ports()) {
+        const auto nbr = core.ldp().neighbor(p);
+        ASSERT_TRUE(nbr.has_value());
+        EXPECT_TRUE(pods.insert(nbr->pod).second);
+      }
+    }
+  }
+}
+
+TEST_P(LdpDiscovery, FabricManagerSeesEverySwitchAndHost) {
+  const FabricManager& fm = fabric_->fabric_manager();
+  EXPECT_EQ(fm.graph().switch_count(), fabric_->switches().size());
+  EXPECT_EQ(fm.host_count(), fabric_->hosts().size());
+  EXPECT_EQ(fm.pods_assigned(), fabric_->tree().pods());
+  // Every host's record carries a PMAC consistent with its edge location.
+  for (host::Host* h : fabric_->hosts()) {
+    const auto record = fm.host(h->ip());
+    ASSERT_TRUE(record.has_value()) << h->name();
+    EXPECT_EQ(record->amac, h->mac());
+    const Pmac pmac = Pmac::from_mac(record->pmac);
+    const SwitchLocator* edge_loc = fm.graph().locator(record->edge);
+    ASSERT_NE(edge_loc, nullptr);
+    EXPECT_EQ(pmac.pod, edge_loc->pod);
+    EXPECT_EQ(pmac.position, edge_loc->position);
+    EXPECT_GE(pmac.vmid, 1);
+  }
+}
+
+TEST_P(LdpDiscovery, PmacsAreGloballyUnique) {
+  std::set<std::uint64_t> pmacs;
+  const FabricManager& fm = fabric_->fabric_manager();
+  for (host::Host* h : fabric_->hosts()) {
+    const auto record = fm.host(h->ip());
+    ASSERT_TRUE(record.has_value());
+    EXPECT_TRUE(pmacs.insert(record->pmac.to_u64()).second)
+        << "duplicate PMAC for " << h->name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, LdpDiscovery, ::testing::Values(4, 6, 8));
+
+TEST(LdpTiming, ConvergesWithinExpectedBudget) {
+  // k=4 with default timers: position negotiation and pod assignment
+  // should settle in well under a second of simulated time.
+  PortlandFabric::Options options;
+  options.k = 4;
+  options.seed = 7;
+  PortlandFabric fabric(options);
+  ASSERT_TRUE(fabric.run_until_converged(seconds(1)));
+  EXPECT_LT(fabric.sim().now(), millis(500));
+}
+
+TEST(LdpTiming, LdmOverheadMatchesPeriod) {
+  PortlandFabric::Options options;
+  options.k = 4;
+  PortlandFabric fabric(options);
+  ASSERT_TRUE(fabric.run_until_converged());
+  const SimTime t0 = fabric.sim().now();
+  const auto& sw = fabric.edge_at(0, 0);
+  const std::uint64_t before = sw.ldp().ldms_sent();
+  fabric.sim().run_until(t0 + seconds(1));
+  const std::uint64_t sent = sw.ldp().ldms_sent() - before;
+  // 4 ports x 100 LDMs/sec.
+  EXPECT_NEAR(static_cast<double>(sent), 400.0, 8.0);
+}
+
+TEST(LdpRng, DiscoveryIsDeterministicPerSeed) {
+  auto snapshot = [](std::uint64_t seed) {
+    PortlandFabric::Options options;
+    options.k = 4;
+    options.seed = seed;
+    PortlandFabric fabric(options);
+    EXPECT_TRUE(fabric.run_until_converged());
+    std::vector<std::tuple<int, int, int>> locs;
+    for (const PortlandSwitch* sw : fabric.switches()) {
+      locs.emplace_back(static_cast<int>(sw->locator().level),
+                        sw->locator().pod, sw->locator().position);
+    }
+    return locs;
+  };
+  EXPECT_EQ(snapshot(11), snapshot(11));
+  EXPECT_NE(snapshot(11), snapshot(12));  // permutation differs with seed
+}
+
+}  // namespace
+}  // namespace portland::core

@@ -1,0 +1,364 @@
+// LdpAgent protocol unit tests: the state machine is driven directly by
+// hand-crafted frames — no fabric, no topology — so each rule of §3.4 is
+// exercised in isolation: level inference, position negotiation
+// (ack/nack/arbitration), pod adoption, liveness expiry, and the
+// echo-based unidirectional-failure detector.
+#include <gtest/gtest.h>
+
+#include "core/ldp_agent.h"
+#include "sim/simulator.h"
+
+namespace portland::core {
+namespace {
+
+/// Harness capturing everything an LdpAgent emits.
+struct AgentHarness {
+  sim::Simulator sim;
+  std::vector<std::pair<sim::PortId, LdpMessage>> sent_frames;
+  std::vector<ControlBody> to_fm;
+  int location_changes = 0;
+  std::vector<std::tuple<sim::PortId, SwitchId, bool>> neighbor_events;
+  std::unique_ptr<LdpAgent> agent;
+
+  explicit AgentHarness(SwitchId id, std::size_t ports,
+                        PortlandConfig config = {}) {
+    agent = std::make_unique<LdpAgent>(
+        sim, id, ports, config,
+        LdpAgent::Hooks{
+            [this](sim::PortId p, std::vector<std::uint8_t> bytes) {
+              const auto m = LdpMessage::from_frame(bytes);
+              ASSERT_TRUE(m.has_value());
+              sent_frames.emplace_back(p, *m);
+            },
+            [this](ControlBody body) { to_fm.push_back(std::move(body)); },
+            [this] { ++location_changes; },
+            [this](sim::PortId p, SwitchId n, bool lost) {
+              neighbor_events.emplace_back(p, n, lost);
+            },
+        },
+        Rng(1234));
+    agent->start();
+  }
+
+  /// Feeds an LDM as if `from` sent it; echo defaults to echoing us.
+  void feed_ldm(sim::PortId port, SwitchLocator from, bool echo_us = true) {
+    LdpMessage m;
+    m.type = LdpType::kLdm;
+    m.from = from;
+    m.heard_id = echo_us ? agent->self().switch_id : kInvalidSwitchId;
+    agent->handle_frame(port, m.to_frame());
+  }
+
+  void feed(sim::PortId port, const LdpMessage& m) {
+    agent->handle_frame(port, m.to_frame());
+  }
+
+  /// Runs time forward, feeding fresh LDMs from `alive` every period.
+  void run_with_keepalives(
+      SimDuration duration,
+      const std::vector<std::pair<sim::PortId, SwitchLocator>>& alive) {
+    const SimTime end = sim.now() + duration;
+    while (sim.now() < end) {
+      sim.run_until(sim.now() + millis(10));
+      for (const auto& [port, loc] : alive) feed_ldm(port, loc);
+    }
+  }
+};
+
+SwitchLocator agg(SwitchId id, std::uint16_t pod = kUnknownPod) {
+  return SwitchLocator{id, Level::kAggregation, pod, kUnknownPosition};
+}
+SwitchLocator edge(SwitchId id, std::uint16_t pod = kUnknownPod,
+                   std::uint8_t pos = kUnknownPosition) {
+  return SwitchLocator{id, Level::kEdge, pod, pos};
+}
+
+TEST(LdpAgentUnit, HostTrafficMakesEdge) {
+  AgentHarness h(100, 4);
+  EXPECT_EQ(h.agent->self().level, Level::kUnknown);
+  h.agent->note_host_traffic(0);
+  EXPECT_EQ(h.agent->self().level, Level::kEdge);
+  EXPECT_TRUE(h.agent->is_host_port(0));
+  EXPECT_EQ(h.location_changes, 1);
+}
+
+TEST(LdpAgentUnit, EdgeNeighborMakesAggregation) {
+  AgentHarness h(200, 4);
+  h.feed_ldm(1, edge(100));
+  EXPECT_EQ(h.agent->self().level, Level::kAggregation);
+}
+
+TEST(LdpAgentUnit, AggMajorityMakesCore) {
+  AgentHarness h(300, 4);
+  h.feed_ldm(0, agg(201));
+  h.feed_ldm(1, agg(202));
+  EXPECT_EQ(h.agent->self().level, Level::kUnknown);  // only half
+  h.feed_ldm(2, agg(203));
+  EXPECT_EQ(h.agent->self().level, Level::kCore);
+  EXPECT_TRUE(h.agent->located());  // cores need no pod/position
+}
+
+TEST(LdpAgentUnit, HostTrafficWinsOverAggNeighbors) {
+  // An edge whose hosts speak is never mistaken for a core, regardless of
+  // how many agg neighbors it has (it can have at most k/2, not > k/2).
+  AgentHarness h(100, 4);
+  h.feed_ldm(2, agg(201));
+  h.feed_ldm(3, agg(202));
+  EXPECT_EQ(h.agent->self().level, Level::kUnknown);
+  h.agent->note_host_traffic(0);
+  EXPECT_EQ(h.agent->self().level, Level::kEdge);
+}
+
+TEST(LdpAgentUnit, LdmOnPortClearsHostSuspicion) {
+  AgentHarness h(100, 4);
+  // Data seen first, then LDMs reveal a switch: the port is not a host
+  // port (but the level, once edge, is sticky by design).
+  AgentHarness h2(101, 4);
+  h2.agent->note_host_traffic(1);
+  ASSERT_TRUE(h2.agent->is_host_port(1));
+  h2.feed_ldm(1, agg(201));
+  EXPECT_FALSE(h2.agent->is_host_port(1));
+}
+
+TEST(LdpAgentUnit, PositionNegotiationCompletesWithAllAcks) {
+  AgentHarness h(100, 4);
+  h.agent->note_host_traffic(0);
+  h.feed_ldm(2, agg(201));
+  h.feed_ldm(3, agg(202));
+  // The agent (re)proposed upon discovering each agg; take the last
+  // proposal and ack it from both.
+  ASSERT_FALSE(h.sent_frames.empty());
+  LdpMessage proposal;
+  bool found = false;
+  for (auto it = h.sent_frames.rbegin(); it != h.sent_frames.rend(); ++it) {
+    if (it->second.type == LdpType::kProposePosition) {
+      proposal = it->second;
+      found = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(found);
+
+  LdpMessage ack;
+  ack.type = LdpType::kPositionAck;
+  ack.position = proposal.position;
+  ack.nonce = proposal.nonce;
+  ack.from = agg(201);
+  h.feed(2, ack);
+  EXPECT_EQ(h.agent->self().position, kUnknownPosition);  // one ack missing
+  ack.from = agg(202);
+  h.feed(3, ack);
+  EXPECT_EQ(h.agent->self().position, proposal.position);
+}
+
+TEST(LdpAgentUnit, NackForcesDifferentPosition) {
+  AgentHarness h(100, 4);
+  h.agent->note_host_traffic(0);
+  h.feed_ldm(2, agg(201));
+  LdpMessage proposal;
+  for (auto it = h.sent_frames.rbegin(); it != h.sent_frames.rend(); ++it) {
+    if (it->second.type == LdpType::kProposePosition) {
+      proposal = it->second;
+      break;
+    }
+  }
+  LdpMessage nack;
+  nack.type = LdpType::kPositionNack;
+  nack.position = proposal.position;
+  nack.nonce = proposal.nonce;
+  nack.from = agg(201);
+  h.feed(2, nack);
+  // The retry fires after a randomized delay.
+  h.sim.run_until(h.sim.now() + millis(100));
+  LdpMessage retry;
+  bool found = false;
+  for (auto it = h.sent_frames.rbegin(); it != h.sent_frames.rend(); ++it) {
+    if (it->second.type == LdpType::kProposePosition) {
+      retry = it->second;
+      found = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(found);
+  EXPECT_NE(retry.position, proposal.position);
+  EXPECT_NE(retry.nonce, proposal.nonce);
+}
+
+TEST(LdpAgentUnit, AggregationArbitratesPositions) {
+  // This agent is an aggregation switch; two edges fight over position 0.
+  AgentHarness h(200, 4);
+  h.feed_ldm(0, edge(100));  // become agg
+
+  LdpMessage p1;
+  p1.type = LdpType::kProposePosition;
+  p1.from = edge(100);
+  p1.position = 0;
+  p1.nonce = 111;
+  h.sent_frames.clear();
+  h.feed(0, p1);
+  ASSERT_EQ(h.sent_frames.size(), 1u);
+  EXPECT_EQ(h.sent_frames[0].second.type, LdpType::kPositionAck);
+
+  LdpMessage p2 = p1;
+  p2.from = edge(101);
+  p2.nonce = 222;
+  h.feed(1, p2);
+  ASSERT_EQ(h.sent_frames.size(), 2u);
+  EXPECT_EQ(h.sent_frames[1].second.type, LdpType::kPositionNack);
+
+  // Same edge re-proposing the same position: still ack (idempotent).
+  h.feed(0, p1);
+  EXPECT_EQ(h.sent_frames[2].second.type, LdpType::kPositionAck);
+
+  // The winner switching to another slot frees the old one.
+  LdpMessage p3 = p1;
+  p3.position = 1;
+  h.feed(0, p3);
+  EXPECT_EQ(h.sent_frames[3].second.type, LdpType::kPositionAck);
+  h.feed(1, p2);  // position 0 now free
+  EXPECT_EQ(h.sent_frames[4].second.type, LdpType::kPositionAck);
+}
+
+TEST(LdpAgentUnit, PodAdoptionOnlyAcrossAdjacentLevels) {
+  // Edge adopts pod from an agg neighbor.
+  AgentHarness h(100, 4);
+  h.agent->note_host_traffic(0);
+  h.feed_ldm(2, agg(201, /*pod=*/7));
+  EXPECT_EQ(h.agent->self().pod, 7);
+
+  // Core never adopts.
+  AgentHarness c(300, 4);
+  c.feed_ldm(0, agg(201, 7));
+  c.feed_ldm(1, agg(202, 7));
+  c.feed_ldm(2, agg(203, 7));
+  ASSERT_EQ(c.agent->self().level, Level::kCore);
+  EXPECT_EQ(c.agent->self().pod, kUnknownPod);
+}
+
+TEST(LdpAgentUnit, PositionZeroEdgeRequestsPod) {
+  AgentHarness h(100, 4, PortlandConfig{});
+  h.agent->note_host_traffic(0);
+  h.feed_ldm(2, agg(201));
+  LdpMessage proposal;
+  for (auto it = h.sent_frames.rbegin(); it != h.sent_frames.rend(); ++it) {
+    if (it->second.type == LdpType::kProposePosition) {
+      proposal = it->second;
+      break;
+    }
+  }
+  // Force the negotiation to land on position 0 by acking whatever was
+  // proposed only if it is 0 — otherwise nack until 0 comes up.
+  int safety = 0;
+  while (safety++ < 64) {
+    if (proposal.position == 0) break;
+    LdpMessage nack;
+    nack.type = LdpType::kPositionNack;
+    nack.position = proposal.position;
+    nack.nonce = proposal.nonce;
+    nack.from = agg(201);
+    h.feed(2, nack);
+    h.sim.run_until(h.sim.now() + millis(100));
+    for (auto it = h.sent_frames.rbegin(); it != h.sent_frames.rend(); ++it) {
+      if (it->second.type == LdpType::kProposePosition) {
+        proposal = it->second;
+        break;
+      }
+    }
+  }
+  ASSERT_EQ(proposal.position, 0);
+  LdpMessage ack;
+  ack.type = LdpType::kPositionAck;
+  ack.position = 0;
+  ack.nonce = proposal.nonce;
+  ack.from = agg(201);
+  h.feed(2, ack);
+  ASSERT_EQ(h.agent->self().position, 0);
+  // A PodRequest went to the fabric manager.
+  bool requested = false;
+  for (const ControlBody& b : h.to_fm) {
+    if (std::holds_alternative<PodRequest>(b)) requested = true;
+  }
+  EXPECT_TRUE(requested);
+
+  h.agent->handle_pod_assignment(5);
+  EXPECT_EQ(h.agent->self().pod, 5);
+  EXPECT_TRUE(h.agent->located());
+  // Sticky: a second (spurious) assignment is ignored.
+  h.agent->handle_pod_assignment(9);
+  EXPECT_EQ(h.agent->self().pod, 5);
+}
+
+TEST(LdpAgentUnit, NeighborExpiresAfterTimeout) {
+  AgentHarness h(200, 4);
+  h.feed_ldm(0, edge(100));
+  ASSERT_TRUE(h.agent->neighbor(0).has_value());
+  h.neighbor_events.clear();
+
+  // Silence: 60 ms > 50 ms timeout.
+  h.sim.run_until(h.sim.now() + millis(80));
+  EXPECT_FALSE(h.agent->neighbor(0).has_value());
+  ASSERT_FALSE(h.neighbor_events.empty());
+  bool lost = false;
+  for (const auto& [port, id, l] : h.neighbor_events) {
+    if (port == 0 && id == 100 && l) lost = true;
+  }
+  EXPECT_TRUE(lost);
+}
+
+TEST(LdpAgentUnit, EchoLossMarksPortUnidirectional) {
+  AgentHarness h(200, 4);
+  h.feed_ldm(0, edge(100, 3, 1));
+  ASSERT_TRUE(h.agent->port_bidirectional(0));
+  h.neighbor_events.clear();
+
+  // Keep the neighbor audible but never echoing us: reverse path dead.
+  const SimTime start = h.sim.now();
+  while (h.sim.now() - start < millis(120)) {
+    h.sim.run_until(h.sim.now() + millis(10));
+    h.feed_ldm(0, edge(100, 3, 1), /*echo_us=*/false);
+  }
+  EXPECT_TRUE(h.agent->neighbor(0).has_value());  // still audible
+  EXPECT_FALSE(h.agent->port_bidirectional(0));   // but not usable
+  EXPECT_TRUE(h.agent->down_ports().empty());     // excluded from forwarding
+  bool reported = false;
+  for (const auto& [port, id, lost] : h.neighbor_events) {
+    if (port == 0 && lost) reported = true;
+  }
+  EXPECT_TRUE(reported);
+
+  // Echo resumes: the port heals and the recovery is reported.
+  h.neighbor_events.clear();
+  h.feed_ldm(0, edge(100, 3, 1), /*echo_us=*/true);
+  EXPECT_TRUE(h.agent->port_bidirectional(0));
+  bool healed = false;
+  for (const auto& [port, id, lost] : h.neighbor_events) {
+    if (port == 0 && !lost) healed = true;
+  }
+  EXPECT_TRUE(healed);
+}
+
+TEST(LdpAgentUnit, LdmsCarryEchoOfFreshNeighbors) {
+  AgentHarness h(200, 4);
+  h.feed_ldm(0, edge(100));
+  h.sent_frames.clear();
+  h.sim.run_until(h.sim.now() + millis(15));  // one LDM round
+  bool echoed = false;
+  for (const auto& [port, m] : h.sent_frames) {
+    if (m.type == LdpType::kLdm && port == 0 && m.heard_id == 100) {
+      echoed = true;
+    }
+  }
+  EXPECT_TRUE(echoed);
+}
+
+TEST(LdpAgentUnit, LevelIsSticky) {
+  AgentHarness h(200, 4);
+  h.feed_ldm(0, edge(100));
+  ASSERT_EQ(h.agent->self().level, Level::kAggregation);
+  // Later host traffic on another port must not flip the level.
+  h.agent->note_host_traffic(3);
+  EXPECT_EQ(h.agent->self().level, Level::kAggregation);
+}
+
+}  // namespace
+}  // namespace portland::core

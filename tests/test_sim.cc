@@ -1,0 +1,334 @@
+// Unit tests for the discrete-event engine: ordering, timers, links.
+#include <gtest/gtest.h>
+
+#include "sim/device.h"
+#include "sim/failure.h"
+#include "sim/link.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace portland::sim {
+namespace {
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.after(millis(3), [&] { order.push_back(3); });
+  sim.after(millis(1), [&] { order.push_back(1); });
+  sim.after(millis(2), [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), millis(3));
+}
+
+TEST(Simulator, SameTimeFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.at(millis(5), [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, NestedScheduling) {
+  Simulator sim;
+  int fired = 0;
+  sim.after(millis(1), [&] {
+    sim.after(millis(1), [&] { ++fired; });
+  });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), millis(2));
+}
+
+TEST(Simulator, RunUntilAdvancesClockWithoutEvents) {
+  Simulator sim;
+  sim.run_until(millis(7));
+  EXPECT_EQ(sim.now(), millis(7));
+}
+
+TEST(Simulator, RunUntilLeavesLaterEvents) {
+  Simulator sim;
+  int fired = 0;
+  sim.after(millis(10), [&] { ++fired; });
+  sim.run_until(millis(5));
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run_until(millis(15));
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, Stop) {
+  Simulator sim;
+  int fired = 0;
+  sim.after(1, [&] {
+    ++fired;
+    sim.stop();
+  });
+  sim.after(2, [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Timer, FiresOnce) {
+  Simulator sim;
+  Timer t(sim);
+  int fired = 0;
+  t.schedule_after(millis(1), [&] { ++fired; });
+  EXPECT_TRUE(t.pending());
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(t.pending());
+}
+
+TEST(Timer, CancelPreventsFire) {
+  Simulator sim;
+  Timer t(sim);
+  int fired = 0;
+  t.schedule_after(millis(1), [&] { ++fired; });
+  t.cancel();
+  sim.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Timer, RescheduleReplacesPrevious) {
+  Simulator sim;
+  Timer t(sim);
+  std::vector<int> hits;
+  t.schedule_after(millis(1), [&] { hits.push_back(1); });
+  t.schedule_after(millis(2), [&] { hits.push_back(2); });
+  sim.run();
+  EXPECT_EQ(hits, (std::vector<int>{2}));
+}
+
+TEST(PeriodicTimer, TicksAtPeriod) {
+  Simulator sim;
+  std::vector<SimTime> ticks;
+  PeriodicTimer t(sim, millis(10), [&] { ticks.push_back(sim.now()); });
+  t.start();
+  sim.run_until(millis(35));
+  t.stop();
+  ASSERT_EQ(ticks.size(), 3u);
+  EXPECT_EQ(ticks[0], millis(10));
+  EXPECT_EQ(ticks[1], millis(20));
+  EXPECT_EQ(ticks[2], millis(30));
+}
+
+TEST(PeriodicTimer, StopInsideCallback) {
+  Simulator sim;
+  int fired = 0;
+  PeriodicTimer* handle = nullptr;
+  PeriodicTimer t(sim, millis(1), [&] {
+    ++fired;
+    if (fired == 2) handle->stop();
+  });
+  handle = &t;
+  t.start();
+  sim.run_until(millis(20));
+  EXPECT_EQ(fired, 2);
+}
+
+/// Minimal device that records what it receives.
+class SinkDevice : public Device {
+ public:
+  SinkDevice(Simulator& sim, std::string name) : Device(sim, std::move(name)) {
+    add_port();
+  }
+  void handle_frame(PortId port, const FramePtr& frame) override {
+    (void)port;
+    frames.push_back(frame);
+    times.push_back(sim().now());
+  }
+  std::vector<FramePtr> frames;
+  std::vector<SimTime> times;
+};
+
+FramePtr frame_of_size(std::size_t n) {
+  return make_frame(FrameBytes(n, 0xEE));
+}
+
+TEST(Link, DeliversWithSerializationAndPropagation) {
+  Network net;
+  auto& a = net.add_device<SinkDevice>("a");
+  auto& b = net.add_device<SinkDevice>("b");
+  Link::Config cfg;
+  cfg.bandwidth_bps = 1e9;         // 1 Gb/s: 1000 bytes = 8 us
+  cfg.propagation = micros(5);
+  net.connect(a, 0, b, 0, cfg);
+
+  net.sim().at(0, [&] { a.send(0, frame_of_size(1000)); });
+  net.sim().run();
+  ASSERT_EQ(b.frames.size(), 1u);
+  EXPECT_EQ(b.times[0], micros(13));  // 8 us serialize + 5 us propagate
+}
+
+TEST(Link, BackToBackFramesQueueBehindEachOther) {
+  Network net;
+  auto& a = net.add_device<SinkDevice>("a");
+  auto& b = net.add_device<SinkDevice>("b");
+  Link::Config cfg;
+  cfg.bandwidth_bps = 1e9;
+  cfg.propagation = 0;
+  net.connect(a, 0, b, 0, cfg);
+
+  net.sim().at(0, [&] {
+    a.send(0, frame_of_size(1000));  // 8 us
+    a.send(0, frame_of_size(1000));  // +8 us
+  });
+  net.sim().run();
+  ASSERT_EQ(b.times.size(), 2u);
+  EXPECT_EQ(b.times[0], micros(8));
+  EXPECT_EQ(b.times[1], micros(16));
+}
+
+TEST(Link, DropTailWhenQueueFull) {
+  Network net;
+  auto& a = net.add_device<SinkDevice>("a");
+  auto& b = net.add_device<SinkDevice>("b");
+  Link::Config cfg;
+  cfg.bandwidth_bps = 1e6;  // slow: everything queues
+  cfg.queue_capacity_bytes = 2500;
+  net.connect(a, 0, b, 0, cfg);
+
+  net.sim().at(0, [&] {
+    for (int i = 0; i < 5; ++i) a.send(0, frame_of_size(1000));
+  });
+  net.sim().run();
+  EXPECT_EQ(b.frames.size(), 2u);  // 2 x 1000 fit; rest dropped
+  EXPECT_EQ(net.links()[0]->dropped_frames(0), 3u);
+}
+
+TEST(Link, DownLinkDropsAndNotifies) {
+  Network net;
+  auto& a = net.add_device<SinkDevice>("a");
+  auto& b = net.add_device<SinkDevice>("b");
+  Link& link = net.connect(a, 0, b, 0);
+
+  link.set_up(false);
+  net.sim().at(0, [&] { a.send(0, frame_of_size(100)); });
+  net.sim().run();
+  EXPECT_TRUE(b.frames.empty());
+  EXPECT_FALSE(a.port_up(0));
+  link.set_up(true);
+  net.sim().at(net.sim().now(), [&] { a.send(0, frame_of_size(100)); });
+  net.sim().run();
+  EXPECT_EQ(b.frames.size(), 1u);
+}
+
+TEST(Link, InFlightFramesLostOnFailure) {
+  Network net;
+  auto& a = net.add_device<SinkDevice>("a");
+  auto& b = net.add_device<SinkDevice>("b");
+  Link::Config cfg;
+  cfg.propagation = millis(1);
+  Link& link = net.connect(a, 0, b, 0, cfg);
+
+  net.sim().at(0, [&] { a.send(0, frame_of_size(100)); });
+  net.sim().at(micros(500), [&] { link.set_up(false); });  // mid-flight
+  net.sim().run();
+  EXPECT_TRUE(b.frames.empty());
+}
+
+TEST(Link, UnidirectionalFailure) {
+  Network net;
+  auto& a = net.add_device<SinkDevice>("a");
+  auto& b = net.add_device<SinkDevice>("b");
+  Link& link = net.connect(a, 0, b, 0);
+
+  link.set_direction_up(0, false);  // a -> b dead; b -> a alive
+  net.sim().at(0, [&] {
+    a.send(0, frame_of_size(10));
+    b.send(0, frame_of_size(10));
+  });
+  net.sim().run();
+  EXPECT_TRUE(b.frames.empty());
+  EXPECT_EQ(a.frames.size(), 1u);
+}
+
+TEST(Network, FindDeviceAndLink) {
+  Network net;
+  auto& a = net.add_device<SinkDevice>("alpha");
+  auto& b = net.add_device<SinkDevice>("beta");
+  Link& link = net.connect(a, 0, b, 0);
+  EXPECT_EQ(net.find_device("alpha"), &a);
+  EXPECT_EQ(net.find_device("nope"), nullptr);
+  EXPECT_EQ(net.find_link(a, b), &link);
+  EXPECT_EQ(net.find_link(b, a), &link);
+}
+
+TEST(Network, DisconnectFreesPorts) {
+  Network net;
+  auto& a = net.add_device<SinkDevice>("a");
+  auto& b = net.add_device<SinkDevice>("b");
+  auto& c = net.add_device<SinkDevice>("c");
+  Link& link = net.connect(a, 0, b, 0);
+  net.disconnect(link);
+  EXPECT_FALSE(a.port_connected(0));
+  // Ports can be re-wired after disconnect (VM migration).
+  net.connect(a, 0, c, 0);
+  net.sim().at(0, [&] { a.send(0, frame_of_size(10)); });
+  net.sim().run();
+  EXPECT_EQ(c.frames.size(), 1u);
+}
+
+TEST(FailureInjector, FailsAndRepairsOnSchedule) {
+  Network net;
+  auto& a = net.add_device<SinkDevice>("a");
+  auto& b = net.add_device<SinkDevice>("b");
+  Link& link = net.connect(a, 0, b, 0);
+  FailureInjector inj(net);
+  inj.fail_link_at(link, millis(10));
+  inj.repair_link_at(link, millis(20));
+
+  net.sim().run_until(millis(5));
+  EXPECT_TRUE(link.is_up());
+  net.sim().run_until(millis(15));
+  EXPECT_FALSE(link.is_up());
+  net.sim().run_until(millis(25));
+  EXPECT_TRUE(link.is_up());
+}
+
+TEST(FailureInjector, RandomLinkSelectionIsDistinct) {
+  Network net;
+  std::vector<Link*> links;
+  auto& hub = net.add_device<SinkDevice>("hub");
+  for (int i = 0; i < 8; ++i) {
+    hub.add_port();
+    auto& d = net.add_device<SinkDevice>("d" + std::to_string(i));
+    links.push_back(&net.connect(hub, static_cast<PortId>(i + 1), d, 0));
+  }
+  FailureInjector inj(net);
+  Rng rng(5);
+  const auto chosen = inj.fail_random_links_at(links, 4, millis(1), rng);
+  EXPECT_EQ(chosen.size(), 4u);
+  std::set<Link*> unique(chosen.begin(), chosen.end());
+  EXPECT_EQ(unique.size(), 4u);
+  net.sim().run_until(millis(2));
+  for (Link* l : chosen) EXPECT_FALSE(l->is_up());
+}
+
+TEST(Device, CountersTrackTraffic) {
+  Network net;
+  auto& a = net.add_device<SinkDevice>("a");
+  auto& b = net.add_device<SinkDevice>("b");
+  net.connect(a, 0, b, 0);
+  net.sim().at(0, [&] { a.send(0, frame_of_size(64)); });
+  net.sim().run();
+  EXPECT_EQ(a.counters().get("tx_frames"), 1u);
+  EXPECT_EQ(a.counters().get("tx_bytes"), 64u);
+  EXPECT_EQ(b.counters().get("rx_frames"), 1u);
+}
+
+TEST(Device, SendOnUnconnectedPortCountsDrop) {
+  Network net;
+  auto& a = net.add_device<SinkDevice>("a");
+  net.sim().at(0, [&] { a.send(0, frame_of_size(64)); });
+  net.sim().run();
+  EXPECT_EQ(a.counters().get("tx_drop_unconnected"), 1u);
+}
+
+}  // namespace
+}  // namespace portland::sim

@@ -1,0 +1,156 @@
+// Soak test: everything the fabric does, all at once, for several
+// simulated seconds — unicast flows, a TCP transfer, a multicast group,
+// link failures and repairs, a VM migration, and a fabric-manager
+// failover. At the end every invariant must hold simultaneously: all
+// traffic flowing, loop-freedom per packet, pristine reroute state, and a
+// fully reconstructed fabric-manager view.
+#include <gtest/gtest.h>
+
+#include "core/fabric.h"
+#include "core/migration.h"
+#include "core/path_audit.h"
+#include "host/apps.h"
+
+namespace portland::core {
+namespace {
+
+TEST(Soak, EverythingAtOnce) {
+  topo::FatTree tree(4);
+  PortlandFabric::Options options;
+  options.k = 4;
+  options.seed = 20260705;
+  options.skip_host_indices = {tree.host_index(3, 1, 1)};  // migration slot
+  PortlandFabric fabric(options);
+  ASSERT_TRUE(fabric.run_until_converged());
+  const SimTime t0 = fabric.sim().now();
+
+  PathAuditor auditor(fabric);
+  Rng rng(options.seed);
+
+  // --- 4 unicast probe flows across pods -------------------------------
+  struct Probe {
+    std::unique_ptr<host::UdpFlowReceiver> rx;
+    std::unique_ptr<host::UdpFlowSender> tx;
+  };
+  std::vector<Probe> probes;
+  const std::pair<std::array<std::size_t, 3>, std::array<std::size_t, 3>>
+      pairs[4] = {
+          {{0, 0, 1}, {1, 0, 0}},
+          {{1, 1, 0}, {2, 0, 1}},
+          {{2, 1, 1}, {0, 1, 0}},
+          {{3, 0, 0}, {1, 0, 1}},
+      };
+  std::uint16_t port = 7300;
+  for (const auto& [src, dst] : pairs) {
+    Probe p;
+    host::Host& a = fabric.host_at(src[0], src[1], src[2]);
+    host::Host& b = fabric.host_at(dst[0], dst[1], dst[2]);
+    p.rx = std::make_unique<host::UdpFlowReceiver>(b, port);
+    host::UdpFlowSender::Config cfg;
+    cfg.dst = b.ip();
+    cfg.src_port = cfg.dst_port = port;
+    cfg.interval = millis(2);
+    p.tx = std::make_unique<host::UdpFlowSender>(a, cfg);
+    p.tx->start();
+    probes.push_back(std::move(p));
+    ++port;
+  }
+
+  // --- one long TCP transfer (sender in pod 2 -> the future migrant) ----
+  host::Host& vm = fabric.host_at(0, 0, 0);
+  host::Host& tcp_sender = fabric.host_at(2, 0, 0);
+  host::TcpConnection* accepted = nullptr;
+  vm.tcp_listen(5001, [&](host::TcpConnection& c) { accepted = &c; });
+  host::TcpConnection* conn = nullptr;
+  const std::uint64_t kTcpBytes = 40'000'000;
+  fabric.sim().after(millis(5), [&] {
+    conn = tcp_sender.tcp_connect(vm.ip(), 5001);
+    conn->send(kTcpBytes);
+  });
+
+  // --- multicast group with three receivers -----------------------------
+  const Ipv4Address group(224, 9, 9, 9);
+  std::map<std::string, int> mcast_rx;
+  for (host::Host* r : {&fabric.host_at(1, 1, 1), &fabric.host_at(2, 1, 0),
+                        &fabric.host_at(3, 0, 1)}) {
+    r->join_group(group, [&, r](Ipv4Address, std::uint16_t, std::uint16_t,
+                                std::span<const std::uint8_t>) {
+      ++mcast_rx[r->name()];
+    });
+  }
+  host::Host& mcast_sender = fabric.host_at(0, 1, 1);
+  sim::PeriodicTimer mcast_stream(fabric.sim(), millis(5), [&] {
+    mcast_sender.send_udp_multicast(group, 8000, 8001, {0});
+  });
+  mcast_stream.start(millis(100));
+
+  // --- chaos schedule ----------------------------------------------------
+  // t0+300ms: two random link failures.  t0+900ms: repairs.
+  const auto victims = fabric.failures().fail_random_links_at(
+      fabric.fabric_links(), 2, t0 + millis(300), rng);
+  for (sim::Link* l : victims) {
+    fabric.failures().repair_link_at(*l, t0 + millis(900));
+  }
+  // t0+1200ms: the VM (TCP receiver) migrates to pod 3.
+  MigrationController migration(fabric);
+  MigrationController::Plan plan;
+  plan.vm_host_index = tree.host_index(0, 0, 0);
+  plan.to_pod = 3;
+  plan.to_edge = 1;
+  plan.to_port = 1;
+  plan.start = t0 + millis(1200);
+  plan.downtime = millis(150);
+  migration.schedule(plan);
+  // t0+1800ms: fabric-manager failover.
+  fabric.sim().at(t0 + millis(1800), [&] {
+    fabric.fabric_manager().simulate_failover();
+  });
+
+  // --- run 5 simulated seconds ------------------------------------------
+  fabric.sim().run_until(t0 + seconds(5));
+  for (auto& p : probes) p.tx->stop();
+  mcast_stream.stop();
+  fabric.sim().run_until(fabric.sim().now() + millis(50));
+
+  // --- the reckoning -----------------------------------------------------
+  // 1. Loop freedom held for every audited packet through all of it.
+  EXPECT_TRUE(auditor.violations().empty()) << auditor.violations().front();
+  EXPECT_GT(auditor.packets_completed(), 5000u);
+
+  // 2. Every probe flow is alive and lost only transient packets.
+  for (const auto& p : probes) {
+    EXPECT_GT(p.rx->last_arrival_time(), fabric.sim().now() - millis(100));
+    EXPECT_GT(p.rx->packets_received(), p.tx->packets_sent() * 8 / 10);
+  }
+
+  // 3. TCP finished intact across failures + migration + FM failover.
+  ASSERT_NE(accepted, nullptr);
+  EXPECT_EQ(accepted->bytes_delivered(), kTcpBytes);
+  EXPECT_FALSE(accepted->payload_corruption_seen());
+
+  // 4. Multicast delivered to all three receivers and kept flowing.
+  for (const auto& [name, n] : mcast_rx) {
+    EXPECT_GT(n, 500) << name;
+  }
+  EXPECT_EQ(mcast_rx.size(), 3u);
+
+  // 5. Fabric state is pristine: repaired links, no residual prunes, and
+  //    the failed-over FM rebuilt its whole view.
+  const FabricManager& fm = fabric.fabric_manager();
+  EXPECT_EQ(fm.graph().failed_link_count(), 0u);
+  EXPECT_EQ(fm.installed_prune_keys(), 0u);
+  for (const PortlandSwitch* sw : fabric.switches()) {
+    EXPECT_EQ(sw->prune_entry_count(), 0u) << sw->name();
+  }
+  EXPECT_EQ(fm.graph().switch_count(), fabric.switches().size());
+  EXPECT_EQ(fm.host_count(), fabric.hosts().size());
+  EXPECT_EQ(fm.pods_assigned(), 4u);
+  // The migrated VM is registered at its new home.
+  const auto record = fm.host(vm.ip());
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(Pmac::from_mac(record->pmac).pod,
+            fabric.edge_at(3, 1).locator().pod);
+}
+
+}  // namespace
+}  // namespace portland::core
