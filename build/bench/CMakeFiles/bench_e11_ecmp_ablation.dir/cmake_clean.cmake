@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e11_ecmp_ablation.dir/bench_e11_ecmp_ablation.cc.o"
+  "CMakeFiles/bench_e11_ecmp_ablation.dir/bench_e11_ecmp_ablation.cc.o.d"
+  "bench_e11_ecmp_ablation"
+  "bench_e11_ecmp_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_ecmp_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

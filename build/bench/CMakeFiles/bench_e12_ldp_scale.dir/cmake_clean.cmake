@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e12_ldp_scale.dir/bench_e12_ldp_scale.cc.o"
+  "CMakeFiles/bench_e12_ldp_scale.dir/bench_e12_ldp_scale.cc.o.d"
+  "bench_e12_ldp_scale"
+  "bench_e12_ldp_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e12_ldp_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

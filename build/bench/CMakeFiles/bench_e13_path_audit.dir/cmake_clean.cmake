@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e13_path_audit.dir/bench_e13_path_audit.cc.o"
+  "CMakeFiles/bench_e13_path_audit.dir/bench_e13_path_audit.cc.o.d"
+  "bench_e13_path_audit"
+  "bench_e13_path_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e13_path_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_vm_migration.dir/bench_e4_vm_migration.cc.o"
+  "CMakeFiles/bench_e4_vm_migration.dir/bench_e4_vm_migration.cc.o.d"
+  "bench_e4_vm_migration"
+  "bench_e4_vm_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_vm_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_state_table.dir/bench_e5_state_table.cc.o"
+  "CMakeFiles/bench_e5_state_table.dir/bench_e5_state_table.cc.o.d"
+  "bench_e5_state_table"
+  "bench_e5_state_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_state_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

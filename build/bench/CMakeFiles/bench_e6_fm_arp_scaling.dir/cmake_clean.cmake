@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_fm_arp_scaling.dir/bench_e6_fm_arp_scaling.cc.o"
+  "CMakeFiles/bench_e6_fm_arp_scaling.dir/bench_e6_fm_arp_scaling.cc.o.d"
+  "bench_e6_fm_arp_scaling"
+  "bench_e6_fm_arp_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_fm_arp_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_control_overhead.dir/bench_e7_control_overhead.cc.o"
+  "CMakeFiles/bench_e7_control_overhead.dir/bench_e7_control_overhead.cc.o.d"
+  "bench_e7_control_overhead"
+  "bench_e7_control_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_control_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_baseline_ethernet.dir/bench_e8_baseline_ethernet.cc.o"
+  "CMakeFiles/bench_e8_baseline_ethernet.dir/bench_e8_baseline_ethernet.cc.o.d"
+  "bench_e8_baseline_ethernet"
+  "bench_e8_baseline_ethernet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_baseline_ethernet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

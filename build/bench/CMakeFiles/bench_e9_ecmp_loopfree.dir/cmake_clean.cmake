@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_ecmp_loopfree.dir/bench_e9_ecmp_loopfree.cc.o"
+  "CMakeFiles/bench_e9_ecmp_loopfree.dir/bench_e9_ecmp_loopfree.cc.o.d"
+  "bench_e9_ecmp_loopfree"
+  "bench_e9_ecmp_loopfree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_ecmp_loopfree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multicast_demo.dir/multicast_demo.cpp.o"
+  "CMakeFiles/multicast_demo.dir/multicast_demo.cpp.o.d"
+  "multicast_demo"
+  "multicast_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multicast_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_migration_demo.dir/vm_migration_demo.cpp.o"
+  "CMakeFiles/vm_migration_demo.dir/vm_migration_demo.cpp.o.d"
+  "vm_migration_demo"
+  "vm_migration_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_migration_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

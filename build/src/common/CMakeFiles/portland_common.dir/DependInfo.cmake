@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/byte_io.cc" "src/common/CMakeFiles/portland_common.dir/byte_io.cc.o" "gcc" "src/common/CMakeFiles/portland_common.dir/byte_io.cc.o.d"
+  "/root/repo/src/common/histogram.cc" "src/common/CMakeFiles/portland_common.dir/histogram.cc.o" "gcc" "src/common/CMakeFiles/portland_common.dir/histogram.cc.o.d"
+  "/root/repo/src/common/ipv4_address.cc" "src/common/CMakeFiles/portland_common.dir/ipv4_address.cc.o" "gcc" "src/common/CMakeFiles/portland_common.dir/ipv4_address.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/common/CMakeFiles/portland_common.dir/logging.cc.o" "gcc" "src/common/CMakeFiles/portland_common.dir/logging.cc.o.d"
+  "/root/repo/src/common/mac_address.cc" "src/common/CMakeFiles/portland_common.dir/mac_address.cc.o" "gcc" "src/common/CMakeFiles/portland_common.dir/mac_address.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/common/CMakeFiles/portland_common.dir/random.cc.o" "gcc" "src/common/CMakeFiles/portland_common.dir/random.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/common/CMakeFiles/portland_common.dir/stats.cc.o" "gcc" "src/common/CMakeFiles/portland_common.dir/stats.cc.o.d"
+  "/root/repo/src/common/strings.cc" "src/common/CMakeFiles/portland_common.dir/strings.cc.o" "gcc" "src/common/CMakeFiles/portland_common.dir/strings.cc.o.d"
+  "/root/repo/src/common/units.cc" "src/common/CMakeFiles/portland_common.dir/units.cc.o" "gcc" "src/common/CMakeFiles/portland_common.dir/units.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

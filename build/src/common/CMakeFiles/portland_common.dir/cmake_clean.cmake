@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/portland_common.dir/byte_io.cc.o"
+  "CMakeFiles/portland_common.dir/byte_io.cc.o.d"
+  "CMakeFiles/portland_common.dir/histogram.cc.o"
+  "CMakeFiles/portland_common.dir/histogram.cc.o.d"
+  "CMakeFiles/portland_common.dir/ipv4_address.cc.o"
+  "CMakeFiles/portland_common.dir/ipv4_address.cc.o.d"
+  "CMakeFiles/portland_common.dir/logging.cc.o"
+  "CMakeFiles/portland_common.dir/logging.cc.o.d"
+  "CMakeFiles/portland_common.dir/mac_address.cc.o"
+  "CMakeFiles/portland_common.dir/mac_address.cc.o.d"
+  "CMakeFiles/portland_common.dir/random.cc.o"
+  "CMakeFiles/portland_common.dir/random.cc.o.d"
+  "CMakeFiles/portland_common.dir/stats.cc.o"
+  "CMakeFiles/portland_common.dir/stats.cc.o.d"
+  "CMakeFiles/portland_common.dir/strings.cc.o"
+  "CMakeFiles/portland_common.dir/strings.cc.o.d"
+  "CMakeFiles/portland_common.dir/units.cc.o"
+  "CMakeFiles/portland_common.dir/units.cc.o.d"
+  "libportland_common.a"
+  "libportland_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/portland_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libportland_common.a"
+)

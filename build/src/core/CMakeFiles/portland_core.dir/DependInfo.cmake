@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/control_plane.cc" "src/core/CMakeFiles/portland_core.dir/control_plane.cc.o" "gcc" "src/core/CMakeFiles/portland_core.dir/control_plane.cc.o.d"
+  "/root/repo/src/core/fabric.cc" "src/core/CMakeFiles/portland_core.dir/fabric.cc.o" "gcc" "src/core/CMakeFiles/portland_core.dir/fabric.cc.o.d"
+  "/root/repo/src/core/fabric_graph.cc" "src/core/CMakeFiles/portland_core.dir/fabric_graph.cc.o" "gcc" "src/core/CMakeFiles/portland_core.dir/fabric_graph.cc.o.d"
+  "/root/repo/src/core/fabric_manager.cc" "src/core/CMakeFiles/portland_core.dir/fabric_manager.cc.o" "gcc" "src/core/CMakeFiles/portland_core.dir/fabric_manager.cc.o.d"
+  "/root/repo/src/core/ldp_agent.cc" "src/core/CMakeFiles/portland_core.dir/ldp_agent.cc.o" "gcc" "src/core/CMakeFiles/portland_core.dir/ldp_agent.cc.o.d"
+  "/root/repo/src/core/locator.cc" "src/core/CMakeFiles/portland_core.dir/locator.cc.o" "gcc" "src/core/CMakeFiles/portland_core.dir/locator.cc.o.d"
+  "/root/repo/src/core/messages.cc" "src/core/CMakeFiles/portland_core.dir/messages.cc.o" "gcc" "src/core/CMakeFiles/portland_core.dir/messages.cc.o.d"
+  "/root/repo/src/core/migration.cc" "src/core/CMakeFiles/portland_core.dir/migration.cc.o" "gcc" "src/core/CMakeFiles/portland_core.dir/migration.cc.o.d"
+  "/root/repo/src/core/multicast.cc" "src/core/CMakeFiles/portland_core.dir/multicast.cc.o" "gcc" "src/core/CMakeFiles/portland_core.dir/multicast.cc.o.d"
+  "/root/repo/src/core/path_audit.cc" "src/core/CMakeFiles/portland_core.dir/path_audit.cc.o" "gcc" "src/core/CMakeFiles/portland_core.dir/path_audit.cc.o.d"
+  "/root/repo/src/core/pmac.cc" "src/core/CMakeFiles/portland_core.dir/pmac.cc.o" "gcc" "src/core/CMakeFiles/portland_core.dir/pmac.cc.o.d"
+  "/root/repo/src/core/portland_switch.cc" "src/core/CMakeFiles/portland_core.dir/portland_switch.cc.o" "gcc" "src/core/CMakeFiles/portland_core.dir/portland_switch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/host/CMakeFiles/portland_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/portland_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/portland_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/portland_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/portland_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/portland_core.dir/control_plane.cc.o"
+  "CMakeFiles/portland_core.dir/control_plane.cc.o.d"
+  "CMakeFiles/portland_core.dir/fabric.cc.o"
+  "CMakeFiles/portland_core.dir/fabric.cc.o.d"
+  "CMakeFiles/portland_core.dir/fabric_graph.cc.o"
+  "CMakeFiles/portland_core.dir/fabric_graph.cc.o.d"
+  "CMakeFiles/portland_core.dir/fabric_manager.cc.o"
+  "CMakeFiles/portland_core.dir/fabric_manager.cc.o.d"
+  "CMakeFiles/portland_core.dir/ldp_agent.cc.o"
+  "CMakeFiles/portland_core.dir/ldp_agent.cc.o.d"
+  "CMakeFiles/portland_core.dir/locator.cc.o"
+  "CMakeFiles/portland_core.dir/locator.cc.o.d"
+  "CMakeFiles/portland_core.dir/messages.cc.o"
+  "CMakeFiles/portland_core.dir/messages.cc.o.d"
+  "CMakeFiles/portland_core.dir/migration.cc.o"
+  "CMakeFiles/portland_core.dir/migration.cc.o.d"
+  "CMakeFiles/portland_core.dir/multicast.cc.o"
+  "CMakeFiles/portland_core.dir/multicast.cc.o.d"
+  "CMakeFiles/portland_core.dir/path_audit.cc.o"
+  "CMakeFiles/portland_core.dir/path_audit.cc.o.d"
+  "CMakeFiles/portland_core.dir/pmac.cc.o"
+  "CMakeFiles/portland_core.dir/pmac.cc.o.d"
+  "CMakeFiles/portland_core.dir/portland_switch.cc.o"
+  "CMakeFiles/portland_core.dir/portland_switch.cc.o.d"
+  "libportland_core.a"
+  "libportland_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/portland_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/host/apps.cc" "src/host/CMakeFiles/portland_host.dir/apps.cc.o" "gcc" "src/host/CMakeFiles/portland_host.dir/apps.cc.o.d"
+  "/root/repo/src/host/arp_cache.cc" "src/host/CMakeFiles/portland_host.dir/arp_cache.cc.o" "gcc" "src/host/CMakeFiles/portland_host.dir/arp_cache.cc.o.d"
+  "/root/repo/src/host/host.cc" "src/host/CMakeFiles/portland_host.dir/host.cc.o" "gcc" "src/host/CMakeFiles/portland_host.dir/host.cc.o.d"
+  "/root/repo/src/host/tcp.cc" "src/host/CMakeFiles/portland_host.dir/tcp.cc.o" "gcc" "src/host/CMakeFiles/portland_host.dir/tcp.cc.o.d"
+  "/root/repo/src/host/vswitch.cc" "src/host/CMakeFiles/portland_host.dir/vswitch.cc.o" "gcc" "src/host/CMakeFiles/portland_host.dir/vswitch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/portland_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/portland_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/portland_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

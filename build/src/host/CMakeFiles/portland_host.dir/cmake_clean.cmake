@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/portland_host.dir/apps.cc.o"
+  "CMakeFiles/portland_host.dir/apps.cc.o.d"
+  "CMakeFiles/portland_host.dir/arp_cache.cc.o"
+  "CMakeFiles/portland_host.dir/arp_cache.cc.o.d"
+  "CMakeFiles/portland_host.dir/host.cc.o"
+  "CMakeFiles/portland_host.dir/host.cc.o.d"
+  "CMakeFiles/portland_host.dir/tcp.cc.o"
+  "CMakeFiles/portland_host.dir/tcp.cc.o.d"
+  "CMakeFiles/portland_host.dir/vswitch.cc.o"
+  "CMakeFiles/portland_host.dir/vswitch.cc.o.d"
+  "libportland_host.a"
+  "libportland_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/portland_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

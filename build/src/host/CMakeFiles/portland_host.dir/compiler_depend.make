@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for portland_host.
+# This may be replaced when dependencies are built.

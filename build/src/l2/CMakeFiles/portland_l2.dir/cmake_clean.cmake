@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/portland_l2.dir/baseline_fabric.cc.o"
+  "CMakeFiles/portland_l2.dir/baseline_fabric.cc.o.d"
+  "CMakeFiles/portland_l2.dir/learning_switch.cc.o"
+  "CMakeFiles/portland_l2.dir/learning_switch.cc.o.d"
+  "CMakeFiles/portland_l2.dir/stp.cc.o"
+  "CMakeFiles/portland_l2.dir/stp.cc.o.d"
+  "libportland_l2.a"
+  "libportland_l2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/portland_l2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

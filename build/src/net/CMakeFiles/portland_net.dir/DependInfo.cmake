@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/arp.cc" "src/net/CMakeFiles/portland_net.dir/arp.cc.o" "gcc" "src/net/CMakeFiles/portland_net.dir/arp.cc.o.d"
+  "/root/repo/src/net/checksum.cc" "src/net/CMakeFiles/portland_net.dir/checksum.cc.o" "gcc" "src/net/CMakeFiles/portland_net.dir/checksum.cc.o.d"
+  "/root/repo/src/net/ethernet.cc" "src/net/CMakeFiles/portland_net.dir/ethernet.cc.o" "gcc" "src/net/CMakeFiles/portland_net.dir/ethernet.cc.o.d"
+  "/root/repo/src/net/igmp.cc" "src/net/CMakeFiles/portland_net.dir/igmp.cc.o" "gcc" "src/net/CMakeFiles/portland_net.dir/igmp.cc.o.d"
+  "/root/repo/src/net/ipv4.cc" "src/net/CMakeFiles/portland_net.dir/ipv4.cc.o" "gcc" "src/net/CMakeFiles/portland_net.dir/ipv4.cc.o.d"
+  "/root/repo/src/net/packet.cc" "src/net/CMakeFiles/portland_net.dir/packet.cc.o" "gcc" "src/net/CMakeFiles/portland_net.dir/packet.cc.o.d"
+  "/root/repo/src/net/tcp.cc" "src/net/CMakeFiles/portland_net.dir/tcp.cc.o" "gcc" "src/net/CMakeFiles/portland_net.dir/tcp.cc.o.d"
+  "/root/repo/src/net/udp.cc" "src/net/CMakeFiles/portland_net.dir/udp.cc.o" "gcc" "src/net/CMakeFiles/portland_net.dir/udp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/portland_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

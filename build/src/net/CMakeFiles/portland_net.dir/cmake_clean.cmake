@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/portland_net.dir/arp.cc.o"
+  "CMakeFiles/portland_net.dir/arp.cc.o.d"
+  "CMakeFiles/portland_net.dir/checksum.cc.o"
+  "CMakeFiles/portland_net.dir/checksum.cc.o.d"
+  "CMakeFiles/portland_net.dir/ethernet.cc.o"
+  "CMakeFiles/portland_net.dir/ethernet.cc.o.d"
+  "CMakeFiles/portland_net.dir/igmp.cc.o"
+  "CMakeFiles/portland_net.dir/igmp.cc.o.d"
+  "CMakeFiles/portland_net.dir/ipv4.cc.o"
+  "CMakeFiles/portland_net.dir/ipv4.cc.o.d"
+  "CMakeFiles/portland_net.dir/packet.cc.o"
+  "CMakeFiles/portland_net.dir/packet.cc.o.d"
+  "CMakeFiles/portland_net.dir/tcp.cc.o"
+  "CMakeFiles/portland_net.dir/tcp.cc.o.d"
+  "CMakeFiles/portland_net.dir/udp.cc.o"
+  "CMakeFiles/portland_net.dir/udp.cc.o.d"
+  "libportland_net.a"
+  "libportland_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/portland_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for portland_net.
+# This may be replaced when dependencies are built.

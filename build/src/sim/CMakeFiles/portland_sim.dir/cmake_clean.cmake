@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/portland_sim.dir/device.cc.o"
+  "CMakeFiles/portland_sim.dir/device.cc.o.d"
+  "CMakeFiles/portland_sim.dir/failure.cc.o"
+  "CMakeFiles/portland_sim.dir/failure.cc.o.d"
+  "CMakeFiles/portland_sim.dir/link.cc.o"
+  "CMakeFiles/portland_sim.dir/link.cc.o.d"
+  "CMakeFiles/portland_sim.dir/network.cc.o"
+  "CMakeFiles/portland_sim.dir/network.cc.o.d"
+  "CMakeFiles/portland_sim.dir/simulator.cc.o"
+  "CMakeFiles/portland_sim.dir/simulator.cc.o.d"
+  "libportland_sim.a"
+  "libportland_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/portland_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

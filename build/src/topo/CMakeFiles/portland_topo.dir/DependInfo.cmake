@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topo/fat_tree.cc" "src/topo/CMakeFiles/portland_topo.dir/fat_tree.cc.o" "gcc" "src/topo/CMakeFiles/portland_topo.dir/fat_tree.cc.o.d"
+  "/root/repo/src/topo/graph.cc" "src/topo/CMakeFiles/portland_topo.dir/graph.cc.o" "gcc" "src/topo/CMakeFiles/portland_topo.dir/graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/portland_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/portland_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/portland_topo.dir/fat_tree.cc.o"
+  "CMakeFiles/portland_topo.dir/fat_tree.cc.o.d"
+  "CMakeFiles/portland_topo.dir/graph.cc.o"
+  "CMakeFiles/portland_topo.dir/graph.cc.o.d"
+  "libportland_topo.a"
+  "libportland_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/portland_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

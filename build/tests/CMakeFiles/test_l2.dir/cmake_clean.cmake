@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_l2.dir/test_l2.cc.o"
+  "CMakeFiles/test_l2.dir/test_l2.cc.o.d"
+  "test_l2"
+  "test_l2.pdb"
+  "test_l2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_l2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ldp.dir/test_ldp.cc.o"
+  "CMakeFiles/test_ldp.dir/test_ldp.cc.o.d"
+  "test_ldp"
+  "test_ldp.pdb"
+  "test_ldp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ldp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_ldp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ldp_protocol.dir/test_ldp_protocol.cc.o"
+  "CMakeFiles/test_ldp_protocol.dir/test_ldp_protocol.cc.o.d"
+  "test_ldp_protocol"
+  "test_ldp_protocol.pdb"
+  "test_ldp_protocol[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ldp_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_messages.dir/test_messages.cc.o"
+  "CMakeFiles/test_messages.dir/test_messages.cc.o.d"
+  "test_messages"
+  "test_messages.pdb"
+  "test_messages[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_messages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

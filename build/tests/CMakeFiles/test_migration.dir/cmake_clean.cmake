@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_migration.dir/test_migration.cc.o"
+  "CMakeFiles/test_migration.dir/test_migration.cc.o.d"
+  "test_migration"
+  "test_migration.pdb"
+  "test_migration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

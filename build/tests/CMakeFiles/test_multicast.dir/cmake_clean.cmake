@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multicast.dir/test_multicast.cc.o"
+  "CMakeFiles/test_multicast.dir/test_multicast.cc.o.d"
+  "test_multicast"
+  "test_multicast.pdb"
+  "test_multicast[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multicast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

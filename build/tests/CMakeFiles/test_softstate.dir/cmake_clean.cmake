@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_softstate.dir/test_softstate.cc.o"
+  "CMakeFiles/test_softstate.dir/test_softstate.cc.o.d"
+  "test_softstate"
+  "test_softstate.pdb"
+  "test_softstate[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_softstate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vmid.dir/test_vmid.cc.o"
+  "CMakeFiles/test_vmid.dir/test_vmid.cc.o.d"
+  "test_vmid"
+  "test_vmid.pdb"
+  "test_vmid[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vmid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+add_test([=[Soak.EverythingAtOnce]=]  /root/repo/build/tests/test_soak [==[--gtest_filter=Soak.EverythingAtOnce]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[Soak.EverythingAtOnce]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  test_soak_TESTS Soak.EverythingAtOnce)
