@@ -1,5 +1,9 @@
 #!/usr/bin/env bash
 # Runs every experiment bench in order, as cited by EXPERIMENTS.md.
+#
+# Machine-readable outputs land next to the binaries:
+#   build/BENCH_e10.json  google-benchmark JSON for the E10 micro suite
+#   build/BENCH_e14.json  end-to-end fast-path numbers from bench_e14
 set -u
 cd "$(dirname "$0")/.."
 for b in build/bench/bench_e1_convergence \
@@ -11,7 +15,6 @@ for b in build/bench/bench_e1_convergence \
          build/bench/bench_e7_control_overhead \
          build/bench/bench_e8_baseline_ethernet \
          build/bench/bench_e9_ecmp_loopfree \
-         build/bench/bench_e10_micro \
          build/bench/bench_e11_ecmp_ablation \
          build/bench/bench_e12_ldp_scale \
          build/bench/bench_e13_path_audit; do
@@ -19,3 +22,14 @@ for b in build/bench/bench_e1_convergence \
   echo "################  $(basename "$b")  ################"
   "$b" || echo "BENCH FAILED: $b"
 done
+
+echo
+echo "################  bench_e10_micro  ################"
+build/bench/bench_e10_micro \
+    --benchmark_out=build/BENCH_e10.json --benchmark_out_format=json \
+  || echo "BENCH FAILED: build/bench/bench_e10_micro"
+
+echo
+echo "################  bench_e14_fastpath  ################"
+build/bench/bench_e14_fastpath --json build/BENCH_e14.json \
+  || echo "BENCH FAILED: build/bench/bench_e14_fastpath"

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Builds the tree with AddressSanitizer (-DPORTLAND_SANITIZE=address) in a
+# separate build directory and runs the simulator-layer tests under it.
+# The fast path leans on in-place frame patching, slot-pooled event
+# payloads, and lazily drained link queues — exactly the kind of code ASan
+# is for.
+set -eu
+cd "$(dirname "$0")/.."
+BUILD=build-asan
+cmake -S . -B "$BUILD" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DPORTLAND_SANITIZE=address >/dev/null
+cmake --build "$BUILD" --parallel \
+      --target test_sim test_net test_host test_fabric test_fastpath
+for t in test_sim test_net test_host test_fabric test_fastpath; do
+  echo
+  echo "################  $t (ASan)  ################"
+  "$BUILD/tests/$t"
+done

@@ -37,7 +37,11 @@ std::uint64_t CounterSet::get(const std::string& name) const {
   return it == counters_.end() ? 0 : it->second;
 }
 
-void CounterSet::reset() { counters_.clear(); }
+void CounterSet::reset() {
+  // Zero in place rather than erase: per-frame paths hold handle()
+  // pointers into the map nodes.
+  for (auto& [name, value] : counters_) value = 0;
+}
 
 double percentile(std::vector<double> values, double p) {
   if (values.empty()) return 0.0;

@@ -41,6 +41,15 @@ class CounterSet {
   /// Adds `delta` to counter `name`, creating it at zero if absent.
   void add(const std::string& name, std::uint64_t delta = 1);
 
+  /// Stable pointer to the counter cell for `name`, creating it at zero.
+  /// Callers on per-frame paths cache the handle once and bump it
+  /// directly, skipping the string-keyed lookup. Handles stay valid for
+  /// the CounterSet's lifetime (the map is node-based and reset() zeroes
+  /// values instead of erasing them).
+  [[nodiscard]] std::uint64_t* handle(const std::string& name) {
+    return &counters_[name];
+  }
+
   /// Current value; zero if the counter has never been touched.
   [[nodiscard]] std::uint64_t get(const std::string& name) const;
 

@@ -68,6 +68,7 @@ void LdpAgent::liveness_sweep() {
     if (!ps.echo_lost && now - ps.last_echo > config_.neighbor_timeout) {
       ps.echo_lost = true;
       ps.reported_down = true;
+      invalidate_topology();
       hooks_.neighbor_event(p, ps.neighbor->switch_id, /*lost=*/true);
     }
   }
@@ -85,6 +86,7 @@ void LdpAgent::expire_neighbor(sim::PortId port) {
   ps.last_echo = -1;
   ps.echo_lost = false;
   ps.reported_down = true;
+  invalidate_topology();
   hooks_.neighbor_event(port, lost, /*lost=*/true);
 }
 
@@ -113,6 +115,7 @@ void LdpAgent::handle_frame(sim::PortId port,
           // Reverse direction healed.
           ps.echo_lost = false;
           ps.reported_down = false;
+          invalidate_topology();
           hooks_.neighbor_event(port, msg->from.switch_id, /*lost=*/false);
         }
       }
@@ -121,6 +124,7 @@ void LdpAgent::handle_frame(sim::PortId port,
         hooks_.neighbor_event(port, msg->from.switch_id, /*lost=*/false);
       }
       if (changed) {
+        invalidate_topology();
         maybe_infer_level();
         adopt_pod(msg->from);
         // Aggregation switches track confirmed edge positions from LDMs so
@@ -154,6 +158,7 @@ void LdpAgent::note_host_traffic(sim::PortId port) {
   if (ps.neighbor.has_value()) return;  // it's a switch port
   if (!ps.host_seen) {
     ps.host_seen = true;
+    invalidate_topology();
     if (self_.level == Level::kUnknown) {
       set_level(Level::kEdge);
       start_position_negotiation();
@@ -168,6 +173,7 @@ void LdpAgent::set_level(Level level) {
   if (level == Level::kCore) {
     // Cores are fully located without pod/position.
   }
+  invalidate_topology();
   hooks_.location_changed();
 }
 
@@ -368,46 +374,56 @@ bool LdpAgent::is_host_port(sim::PortId port) const {
          !ports_[port].neighbor.has_value();
 }
 
-std::vector<sim::PortId> LdpAgent::up_ports() const {
-  std::vector<sim::PortId> out;
+void LdpAgent::invalidate_topology() {
+  ++topology_generation_;
+  port_caches_dirty_ = true;
+}
+
+void LdpAgent::rebuild_port_caches() const {
+  ++port_cache_rebuilds_;
+  port_caches_dirty_ = false;
+  up_cache_.clear();
+  down_cache_.clear();
+
   const Level above = self_.level == Level::kEdge ? Level::kAggregation
                       : self_.level == Level::kAggregation ? Level::kCore
                                                            : Level::kUnknown;
-  if (above == Level::kUnknown) return out;
-  for (sim::PortId p = 0; p < ports_.size(); ++p) {
-    if (ports_[p].neighbor.has_value() && !ports_[p].echo_lost &&
-        ports_[p].neighbor->level == above) {
-      out.push_back(p);
-    }
-  }
-  return out;
-}
-
-std::vector<sim::PortId> LdpAgent::down_ports() const {
-  std::vector<sim::PortId> out;
   for (sim::PortId p = 0; p < ports_.size(); ++p) {
     const PortState& ps = ports_[p];
+    if (above != Level::kUnknown && ps.neighbor.has_value() &&
+        !ps.echo_lost && ps.neighbor->level == above) {
+      up_cache_.push_back(p);
+    }
     switch (self_.level) {
       case Level::kEdge:
-        if (ps.host_seen && !ps.neighbor.has_value()) out.push_back(p);
+        if (ps.host_seen && !ps.neighbor.has_value()) down_cache_.push_back(p);
         break;
       case Level::kAggregation:
         if (ps.neighbor.has_value() && !ps.echo_lost &&
             ps.neighbor->level == Level::kEdge) {
-          out.push_back(p);
+          down_cache_.push_back(p);
         }
         break;
       case Level::kCore:
         if (ps.neighbor.has_value() && !ps.echo_lost &&
             ps.neighbor->level == Level::kAggregation) {
-          out.push_back(p);
+          down_cache_.push_back(p);
         }
         break;
       case Level::kUnknown:
         break;
     }
   }
-  return out;
+}
+
+const std::vector<sim::PortId>& LdpAgent::up_ports() const {
+  if (port_caches_dirty_) rebuild_port_caches();
+  return up_cache_;
+}
+
+const std::vector<sim::PortId>& LdpAgent::down_ports() const {
+  if (port_caches_dirty_) rebuild_port_caches();
+  return down_cache_;
 }
 
 std::vector<NeighborEntry> LdpAgent::neighbor_entries() const {

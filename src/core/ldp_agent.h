@@ -75,17 +75,34 @@ class LdpAgent {
   [[nodiscard]] std::optional<SwitchLocator> neighbor(sim::PortId port) const;
   [[nodiscard]] bool is_host_port(sim::PortId port) const;
 
+  /// True when `port` currently has an LDM neighbor (cheaper than
+  /// neighbor(), which copies the locator — this is the per-frame check).
+  [[nodiscard]] bool has_neighbor(sim::PortId port) const {
+    return port < ports_.size() && ports_[port].neighbor.has_value();
+  }
+
   /// True when the link behind `port` passes traffic in BOTH directions
   /// (neighbor fresh and our own LDMs are being echoed back). Only
   /// bidirectional ports participate in forwarding.
   [[nodiscard]] bool port_bidirectional(sim::PortId port) const;
 
   /// Ports whose live neighbor sits one level above us (edge: aggs;
-  /// agg: cores). Sorted for deterministic ECMP.
-  [[nodiscard]] std::vector<sim::PortId> up_ports() const;
+  /// agg: cores). Sorted for deterministic ECMP. The reference stays
+  /// valid until the next topology event; the list is rebuilt lazily on
+  /// change, never per call — the steady-state data plane performs no
+  /// allocation here.
+  [[nodiscard]] const std::vector<sim::PortId>& up_ports() const;
 
-  /// Ports whose live neighbor sits one level below us.
-  [[nodiscard]] std::vector<sim::PortId> down_ports() const;
+  /// Ports whose live neighbor sits one level below us. Same caching
+  /// contract as up_ports().
+  [[nodiscard]] const std::vector<sim::PortId>& down_ports() const;
+
+  /// Bumped on every event that can change up_ports()/down_ports() or any
+  /// port's neighbor identity. The switch FIB stamps this to know when
+  /// its precomputed tables are stale (event-driven invalidation).
+  [[nodiscard]] std::uint64_t topology_generation() const {
+    return topology_generation_;
+  }
 
   /// Neighbor table for SwitchHello reports.
   [[nodiscard]] std::vector<NeighborEntry> neighbor_entries() const;
@@ -94,6 +111,11 @@ class LdpAgent {
   [[nodiscard]] std::uint64_t ldms_sent() const { return ldms_sent_; }
   [[nodiscard]] std::uint64_t ldms_received() const { return ldms_received_; }
   [[nodiscard]] std::uint64_t ldm_bytes_sent() const { return ldm_bytes_sent_; }
+  /// Times the port-list caches were recomputed (should track topology
+  /// events, not packets).
+  [[nodiscard]] std::uint64_t port_cache_rebuilds() const {
+    return port_cache_rebuilds_;
+  }
 
  private:
   struct PortState {
@@ -110,6 +132,9 @@ class LdpAgent {
 
   void send_ldms();
   void liveness_sweep();
+  /// Marks the cached port lists stale and bumps topology_generation().
+  void invalidate_topology();
+  void rebuild_port_caches() const;
   void maybe_infer_level();
   void adopt_pod(const SwitchLocator& nbr);
   void start_position_negotiation();
@@ -128,6 +153,13 @@ class LdpAgent {
 
   SwitchLocator self_;
   std::vector<PortState> ports_;
+
+  // Allocation-free accessor caches (see up_ports()).
+  std::uint64_t topology_generation_ = 1;
+  mutable bool port_caches_dirty_ = true;
+  mutable std::vector<sim::PortId> up_cache_;
+  mutable std::vector<sim::PortId> down_cache_;
+  mutable std::uint64_t port_cache_rebuilds_ = 0;
 
   // Edge-side position negotiation.
   bool position_confirmed_ = false;

@@ -20,7 +20,16 @@ PathAuditor::~PathAuditor() { fabric_->network().set_frame_tap({}); }
 
 void PathAuditor::on_delivery(const sim::Link& link, int rx_side,
                               const sim::FramePtr& frame) {
-  const net::ParsedFrame parsed = net::parse_frame(sim::frame_span(frame));
+  // LDP frames dominate tap deliveries; skip them on a raw EtherType peek
+  // so the audit never forces parse metadata onto control traffic.
+  const auto bytes = sim::frame_span(frame);
+  if (bytes.size() >= net::EthernetHeader::kSize &&
+      (static_cast<std::uint16_t>(bytes[12]) << 8 | bytes[13]) ==
+          net::to_u16(net::EtherType::kLdp)) {
+    return;
+  }
+  // Data frames already carry their parse from the first switch hop.
+  const net::ParsedFrame& parsed = net::parsed_of(frame);
   // Audit unicast UDP data packets only (probe flows carry a u64 sequence
   // number as the first payload bytes).
   if (!parsed.valid || !parsed.udp.has_value() || parsed.payload.size() < 8 ||

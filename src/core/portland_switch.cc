@@ -96,13 +96,20 @@ void PortlandSwitch::handle_link_status(sim::PortId port, bool up) {
 void PortlandSwitch::handle_frame(sim::PortId in_port,
                                   const sim::FramePtr& frame) {
   const auto bytes = sim::frame_span(frame);
-  const ParsedFrame parsed = net::parse_frame(bytes);
-  if (parsed.valid && parsed.eth.is(net::EtherType::kLdp)) {
+  // LDP control frames are spotted with a raw EtherType peek so the very
+  // frequent LDMs never pay for (or pollute) the parse-metadata cache.
+  if (bytes.size() >= net::EthernetHeader::kSize &&
+      (static_cast<std::uint16_t>(bytes[12]) << 8 | bytes[13]) ==
+          net::to_u16(net::EtherType::kLdp)) {
     ldp_.handle_frame(in_port, bytes);
     return;
   }
 
-  const bool host_port = !ldp_.neighbor(in_port).has_value();
+  // Parse-once: the first switch on the path parses and attaches the
+  // summary to the frame; every later hop reads it back for free.
+  const ParsedFrame& parsed = net::parsed_of(frame);
+
+  const bool host_port = !ldp_.has_neighbor(in_port);
   if (host_port) ldp_.note_host_traffic(in_port);
 
   if (!parsed.valid) {
@@ -171,8 +178,9 @@ void PortlandSwitch::handle_host_ingress(sim::PortId port,
   }
 
   // Ingress rewrite: the host's AMAC becomes its PMAC fabric-wide (§3.2).
-  const auto rewritten = sim::make_frame(
-      net::rewrite_eth_src(sim::frame_span(frame), host->pmac.to_mac()));
+  net::FrameRewrite rw;
+  rw.eth_src = host->pmac.to_mac();
+  const auto rewritten = net::rewrite_frame(frame, rw);
 
   if (parsed.eth.dst.is_broadcast()) {
     counters().add("host_broadcasts");
@@ -211,44 +219,111 @@ void PortlandSwitch::handle_fabric_ingress(sim::PortId port,
 // Unicast forwarding
 // ---------------------------------------------------------------------------
 
-std::optional<sim::PortId> PortlandSwitch::pick_up_port(
-    const ParsedFrame& parsed, std::uint16_t dst_pod,
-    std::uint8_t dst_position) const {
-  const std::vector<sim::PortId> ups = ldp_.up_ports();
-  if (ups.empty()) return std::nullopt;
-
-  // Merge the per-destination and per-pod avoid sets installed by the
-  // fabric manager.
-  const std::set<SwitchId>* fine = nullptr;
-  const std::set<SwitchId>* coarse = nullptr;
-  if (const auto it = prunes_.find(DstKey{dst_pod, dst_position});
-      it != prunes_.end()) {
-    fine = &it->second;
+const PortlandSwitch::Fib& PortlandSwitch::fib() const {
+  if (fib_.ldp_gen != ldp_.topology_generation() ||
+      fib_.prune_gen != prune_generation_) {
+    rebuild_fib();
   }
-  if (const auto it = prunes_.find(DstKey{dst_pod, kUnknownPosition});
-      it != prunes_.end()) {
-    coarse = &it->second;
+  return fib_;
+}
+
+void PortlandSwitch::rebuild_fib() const {
+  ++fib_rebuilds_;
+  ++fib_.generation;  // retires every flow-cache entry at once
+  fib_.ldp_gen = ldp_.topology_generation();
+  fib_.prune_gen = prune_generation_;
+  fib_.base_up = ldp_.up_ports();
+  fib_.pruned_up.clear();
+  fib_.down_by_position.clear();
+  fib_.down_by_pod.clear();
+
+  // One prune-applied candidate array per installed destination key. Fine
+  // (pod, position) entries fold in the pod-wide coarse set so lookups
+  // never merge sets per packet.
+  for (const auto& [key, avoid] : prunes_) {
+    const std::set<SwitchId>* coarse = nullptr;
+    if (key.position != kUnknownPosition) {
+      const auto cit = prunes_.find(DstKey{key.pod, kUnknownPosition});
+      if (cit != prunes_.end()) coarse = &cit->second;
+    }
+    std::vector<sim::PortId> candidates;
+    candidates.reserve(fib_.base_up.size());
+    for (const sim::PortId p : fib_.base_up) {
+      const auto nbr = ldp_.neighbor(p);
+      if (!nbr.has_value()) continue;
+      if (avoid.count(nbr->switch_id) != 0) continue;
+      if (coarse != nullptr && coarse->count(nbr->switch_id) != 0) continue;
+      candidates.push_back(p);
+    }
+    fib_.pruned_up.emplace(key, std::move(candidates));
   }
 
-  std::vector<sim::PortId> candidates;
-  candidates.reserve(ups.size());
-  for (const sim::PortId p : ups) {
+  // Down-path indexes: aggregation forwards by the PMAC's position field,
+  // cores by its pod field — both O(1) array loads instead of a neighbor
+  // scan per packet.
+  for (const sim::PortId p : ldp_.down_ports()) {
     const auto nbr = ldp_.neighbor(p);
     if (!nbr.has_value()) continue;
-    if (fine != nullptr && fine->count(nbr->switch_id) != 0) continue;
-    if (coarse != nullptr && coarse->count(nbr->switch_id) != 0) continue;
-    candidates.push_back(p);
+    if (nbr->position != kUnknownPosition) {
+      if (fib_.down_by_position.size() <= nbr->position) {
+        fib_.down_by_position.resize(nbr->position + 1, -1);
+      }
+      fib_.down_by_position[nbr->position] = static_cast<std::int32_t>(p);
+    }
+    if (nbr->pod != kUnknownPod) {
+      if (fib_.down_by_pod.size() <= nbr->pod) {
+        fib_.down_by_pod.resize(nbr->pod + 1, -1);
+      }
+      fib_.down_by_pod[nbr->pod] = static_cast<std::int32_t>(p);
+    }
   }
-  if (candidates.empty()) return std::nullopt;
+}
 
-  if (config_.ecmp_mode == PortlandConfig::EcmpMode::kPacketSpray) {
+std::optional<sim::PortId> PortlandSwitch::pick_up_port(
+    const ParsedFrame& parsed, MacAddress dst, std::uint16_t dst_pod,
+    std::uint8_t dst_position) const {
+  const Fib& fib = this->fib();
+  const bool spray =
+      config_.ecmp_mode == PortlandConfig::EcmpMode::kPacketSpray;
+
+  const FlowCacheKey key{dst.to_u64(), parsed.flow_hash};
+  if (!spray) {
+    // Exact-match flow cache: (dst PMAC, flow hash) -> egress port. An
+    // entry is live only for the FIB generation it was computed against,
+    // so topology or prune churn invalidates everything implicitly.
+    const auto it = flow_cache_.find(key);
+    if (it != flow_cache_.end() && it->second.generation == fib.generation) {
+      ++flow_cache_hits_;
+      return it->second.port;
+    }
+    ++flow_cache_misses_;
+  }
+
+  const std::vector<sim::PortId>* candidates = &fib.base_up;
+  if (!fib.pruned_up.empty()) {
+    if (const auto it = fib.pruned_up.find(DstKey{dst_pod, dst_position});
+        it != fib.pruned_up.end()) {
+      candidates = &it->second;
+    } else if (const auto cit =
+                   fib.pruned_up.find(DstKey{dst_pod, kUnknownPosition});
+               cit != fib.pruned_up.end()) {
+      candidates = &cit->second;
+    }
+  }
+  if (candidates->empty()) return std::nullopt;
+
+  if (spray) {
     // Ablation: per-packet round robin. Best instantaneous balance, but
     // reorders flows — E11 measures what that does to TCP.
-    return candidates[spray_counter_++ % candidates.size()];
+    return (*candidates)[spray_counter_++ % candidates->size()];
   }
-  // Flow-level ECMP: all packets of a flow hash to one uplink (§3.5).
-  const std::uint64_t h = net::flow_hash(net::flow_key_of(parsed));
-  return candidates[h % candidates.size()];
+  // Flow-level ECMP: all packets of a flow hash to one uplink (§3.5). The
+  // hash was precomputed at parse time.
+  const sim::PortId port =
+      (*candidates)[parsed.flow_hash % candidates->size()];
+  if (flow_cache_.size() >= kFlowCacheCap) flow_cache_.clear();
+  flow_cache_.emplace(key, FlowCacheEntry{port, fib.generation});
+  return port;
 }
 
 void PortlandSwitch::forward_unicast(sim::PortId in_port, MacAddress dst,
@@ -272,16 +347,17 @@ void PortlandSwitch::forward_unicast(sim::PortId in_port, MacAddress dst,
           counters().add("migration_redirects");
           const MacAddress new_pmac = rit->second.new_pmac;
           send_garp_to_sender(dst, parsed.eth.src);
-          const auto rewritten = sim::make_frame(
-              net::rewrite_eth_dst(sim::frame_span(frame), new_pmac));
-          forward_unicast(in_port, new_pmac, parsed, rewritten,
-                          redirect_depth + 1);
+          net::FrameRewrite rw;
+          rw.eth_dst = new_pmac;
+          const auto rewritten = net::rewrite_frame(frame, rw);
+          forward_unicast(in_port, new_pmac, net::parsed_of(rewritten),
+                          rewritten, redirect_depth + 1);
           return;
         }
         counters().add("drop_unknown_local_dst");
         return;
       }
-      const auto up = pick_up_port(parsed, pmac.pod, pmac.position);
+      const auto up = pick_up_port(parsed, dst, pmac.pod, pmac.position);
       if (!up.has_value()) {
         counters().add("drop_no_uplink");
         return;
@@ -291,18 +367,21 @@ void PortlandSwitch::forward_unicast(sim::PortId in_port, MacAddress dst,
     }
     case Level::kAggregation: {
       if (pmac.pod == self.pod) {
-        // Down to the edge at `position` (unique path below us).
-        for (const sim::PortId p : ldp_.down_ports()) {
-          const auto nbr = ldp_.neighbor(p);
-          if (nbr.has_value() && nbr->position == pmac.position) {
-            send(p, frame);
-            return;
-          }
+        // Down to the edge at `position` (unique path below us): O(1)
+        // index load from the FIB.
+        const Fib& fib = this->fib();
+        const std::int32_t p =
+            pmac.position < fib.down_by_position.size()
+                ? fib.down_by_position[pmac.position]
+                : -1;
+        if (p >= 0) {
+          send(static_cast<sim::PortId>(p), frame);
+          return;
         }
         counters().add("drop_no_downlink");
         return;
       }
-      const auto up = pick_up_port(parsed, pmac.pod, pmac.position);
+      const auto up = pick_up_port(parsed, dst, pmac.pod, pmac.position);
       if (!up.has_value()) {
         counters().add("drop_no_uplink");
         return;
@@ -311,12 +390,12 @@ void PortlandSwitch::forward_unicast(sim::PortId in_port, MacAddress dst,
       return;
     }
     case Level::kCore: {
-      for (const sim::PortId p : ldp_.down_ports()) {
-        const auto nbr = ldp_.neighbor(p);
-        if (nbr.has_value() && nbr->pod == pmac.pod) {
-          send(p, frame);
-          return;
-        }
+      const Fib& fib = this->fib();
+      const std::int32_t p =
+          pmac.pod < fib.down_by_pod.size() ? fib.down_by_pod[pmac.pod] : -1;
+      if (p >= 0) {
+        send(static_cast<sim::PortId>(p), frame);
+        return;
       }
       counters().add("drop_no_pod_port");
       return;
@@ -330,13 +409,12 @@ void PortlandSwitch::forward_unicast(sim::PortId in_port, MacAddress dst,
 void PortlandSwitch::deliver_to_local_host(const HostEntry& entry,
                                            const ParsedFrame& parsed,
                                            const sim::FramePtr& frame) {
-  // Egress rewrite: PMAC back to the host's actual MAC (§3.2).
-  auto bytes = net::rewrite_eth_dst(sim::frame_span(frame), entry.amac);
-  if (parsed.arp.has_value()) {
-    // ARP payloads carry the target MAC too.
-    bytes = net::rewrite_arp_mac(bytes, /*sender=*/false, entry.amac);
-  }
-  send(entry.port, sim::make_frame(std::move(bytes)));
+  // Egress rewrite: PMAC back to the host's actual MAC (§3.2) — a single
+  // buffer copy even when the ARP target MAC needs patching too.
+  net::FrameRewrite rw;
+  rw.eth_dst = entry.amac;
+  if (parsed.arp.has_value()) rw.arp_target_mac = entry.amac;
+  send(entry.port, net::rewrite_frame(frame, rw));
 }
 
 // ---------------------------------------------------------------------------
@@ -345,7 +423,7 @@ void PortlandSwitch::deliver_to_local_host(const HostEntry& entry,
 // ---------------------------------------------------------------------------
 
 std::optional<sim::PortId> PortlandSwitch::designated_up_port() const {
-  const std::vector<sim::PortId> ups = ldp_.up_ports();
+  const std::vector<sim::PortId>& ups = ldp_.up_ports();
   if (ups.empty()) return std::nullopt;
   return ups.front();  // lowest alive uplink
 }
@@ -458,10 +536,10 @@ void PortlandSwitch::handle_host_arp(sim::PortId port,
   // Unicast ARP reply from a host (answering a broadcast-fallback
   // request): rewrite the sender's AMAC to its PMAC in both the Ethernet
   // and ARP headers, then forward like any unicast frame.
-  auto bytes = net::rewrite_eth_src(sim::frame_span(frame),
-                                    host.pmac.to_mac());
-  bytes = net::rewrite_arp_mac(bytes, /*sender=*/true, host.pmac.to_mac());
-  forward_unicast(port, parsed.eth.dst, parsed, sim::make_frame(std::move(bytes)),
+  net::FrameRewrite rw;
+  rw.eth_src = host.pmac.to_mac();
+  rw.arp_sender_mac = host.pmac.to_mac();
+  forward_unicast(port, parsed.eth.dst, parsed, net::rewrite_frame(frame, rw),
                   /*redirect_depth=*/0);
 }
 
@@ -476,12 +554,12 @@ void PortlandSwitch::on_arp_response(const ArpResponse& m) {
     // Fabric-manager miss: fall back to a loop-free broadcast of the
     // original request so the owner can answer directly.
     counters().add("arp_fallback_broadcasts");
-    auto bytes = net::rewrite_eth_src(sim::frame_span(pending.original),
-                                      pending.requester_pmac);
-    bytes = net::rewrite_arp_mac(bytes, /*sender=*/true,
-                                 pending.requester_pmac);
+    net::FrameRewrite rw;
+    rw.eth_src = pending.requester_pmac;
+    rw.arp_sender_mac = pending.requester_pmac;
     forward_broadcast(pending.host_port, /*from_host=*/true,
-                      /*from_above=*/false, sim::make_frame(std::move(bytes)));
+                      /*from_above=*/false,
+                      net::rewrite_frame(pending.original, rw));
     return;
   }
 
@@ -499,11 +577,12 @@ void PortlandSwitch::flood_arp_fallback(std::uint32_t query_id) {
   counters().add("arp_query_timeouts");
   PendingArp pending = std::move(it->second);
   pending_arps_.erase(it);
-  auto bytes = net::rewrite_eth_src(sim::frame_span(pending.original),
-                                    pending.requester_pmac);
-  bytes = net::rewrite_arp_mac(bytes, /*sender=*/true, pending.requester_pmac);
+  net::FrameRewrite rw;
+  rw.eth_src = pending.requester_pmac;
+  rw.arp_sender_mac = pending.requester_pmac;
   forward_broadcast(pending.host_port, /*from_host=*/true,
-                    /*from_above=*/false, sim::make_frame(std::move(bytes)));
+                    /*from_above=*/false,
+                    net::rewrite_frame(pending.original, rw));
 }
 
 void PortlandSwitch::send_garp_to_sender(MacAddress old_pmac,
@@ -518,7 +597,7 @@ void PortlandSwitch::send_garp_to_sender(MacAddress old_pmac,
   ArpMessage garp = ArpMessage::gratuitous(redirect.new_pmac, redirect.ip);
   const auto frame = sim::make_frame(
       net::build_arp_frame(sender_pmac, redirect.new_pmac, garp));
-  const ParsedFrame parsed = net::parse_frame(sim::frame_span(frame));
+  const ParsedFrame& parsed = net::parsed_of(frame);
   counters().add("migration_garps_sent");
   forward_unicast(/*in_port=*/0, sender_pmac, parsed, frame,
                   /*redirect_depth=*/0);
@@ -600,6 +679,9 @@ void PortlandSwitch::on_control(const ControlMessage& msg) {
     }
     void operator()(const ArpResponse& m) { sw.on_arp_response(m); }
     void operator()(const PruneUpdate& m) {
+      // Any prune change retires the precomputed FIB (and with it every
+      // flow-cache entry): the very next frame routes on the new tables.
+      ++sw.prune_generation_;
       if (m.flush) {
         sw.prunes_.clear();
         sw.counters().add("prune_flushes");

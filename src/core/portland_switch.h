@@ -26,6 +26,8 @@
 #include <memory>
 #include <optional>
 #include <set>
+#include <unordered_map>
+#include <vector>
 
 #include "common/random.h"
 #include "core/config.h"
@@ -73,6 +75,23 @@ class PortlandSwitch : public sim::Device {
   /// prunes + multicast) — compared against the baseline's MAC table in E5.
   [[nodiscard]] std::size_t forwarding_state_size() const;
 
+  // --- fast-path introspection -------------------------------------------
+  /// Exact-match flow-cache performance on the unicast path.
+  [[nodiscard]] std::uint64_t flow_cache_hits() const {
+    return flow_cache_hits_;
+  }
+  [[nodiscard]] std::uint64_t flow_cache_misses() const {
+    return flow_cache_misses_;
+  }
+  /// Times the precomputed FIB was rebuilt (should track topology / prune
+  /// events, never packet count).
+  [[nodiscard]] std::uint64_t fib_rebuilds() const { return fib_rebuilds_; }
+  /// Current FIB generation; flow-cache entries from older generations are
+  /// dead on arrival.
+  [[nodiscard]] std::uint64_t fib_generation() const {
+    return fib_.generation;
+  }
+
  private:
   struct HostEntry {
     MacAddress amac;
@@ -95,6 +114,48 @@ class PortlandSwitch : public sim::Device {
     std::set<MacAddress> garp_sent_to;  // sender PMACs already corrected
   };
 
+  /// Precomputed forwarding tables, derived from the LDP neighbor table
+  /// and the FM-installed prune sets. Rebuilt lazily when either input's
+  /// generation moves (event-driven invalidation) — never per packet.
+  struct Fib {
+    // Input generations this build reflects. Start stale so the first
+    // lookup builds.
+    std::uint64_t ldp_gen = 0;
+    std::uint64_t prune_gen = 0;
+    /// Bumped at every rebuild; stamps flow-cache entries.
+    std::uint64_t generation = 0;
+    /// Live uplinks with no prune applied (the common case).
+    std::vector<sim::PortId> base_up;
+    /// Per-destination uplink candidate arrays with the avoid sets already
+    /// subtracted (fine entries also fold in the pod-wide coarse set).
+    std::map<DstKey, std::vector<sim::PortId>> pruned_up;
+    /// Aggregation: edge position -> down port (-1 = none).
+    std::vector<std::int32_t> down_by_position;
+    /// Core: pod -> down port (-1 = none).
+    std::vector<std::int32_t> down_by_pod;
+  };
+
+  struct FlowCacheKey {
+    std::uint64_t dst = 0;  // destination PMAC as u64
+    std::uint64_t flow_hash = 0;
+    friend bool operator==(const FlowCacheKey&, const FlowCacheKey&) = default;
+  };
+  struct FlowCacheKeyHash {
+    std::size_t operator()(const FlowCacheKey& k) const {
+      std::uint64_t x = k.dst ^ (k.flow_hash * 0x9E3779B97F4A7C15ull);
+      x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+      x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+      return static_cast<std::size_t>(x ^ (x >> 31));
+    }
+  };
+  struct FlowCacheEntry {
+    sim::PortId port = 0;
+    std::uint64_t generation = 0;  // FIB generation at insert
+  };
+  /// Bound on cached flows per switch; on overflow the cache is dropped
+  /// wholesale (entries regenerate in one miss each).
+  static constexpr std::size_t kFlowCacheCap = 65536;
+
   // --- ingress dispatch ---
   void handle_host_ingress(sim::PortId port, const net::ParsedFrame& parsed,
                            const sim::FramePtr& frame);
@@ -114,9 +175,13 @@ class PortlandSwitch : public sim::Device {
                              const net::ParsedFrame& parsed,
                              const sim::FramePtr& frame);
   [[nodiscard]] std::optional<sim::PortId> pick_up_port(
-      const net::ParsedFrame& parsed, std::uint16_t dst_pod,
+      const net::ParsedFrame& parsed, MacAddress dst, std::uint16_t dst_pod,
       std::uint8_t dst_position) const;
   [[nodiscard]] std::optional<sim::PortId> designated_up_port() const;
+
+  /// Returns the precomputed FIB, rebuilding first if an input changed.
+  [[nodiscard]] const Fib& fib() const;
+  void rebuild_fib() const;
 
   // --- proxy ARP ---
   void handle_host_arp(sim::PortId port, const net::ParsedFrame& parsed,
@@ -157,8 +222,19 @@ class PortlandSwitch : public sim::Device {
   std::map<std::uint32_t, PendingArp> pending_arps_;
   std::uint32_t next_query_id_ = 1;
 
-  // Reroute state installed by the fabric manager.
+  // Reroute state installed by the fabric manager. `prune_generation_` is
+  // bumped on every PruneUpdate so the FIB knows to fold the new avoid
+  // sets in.
   std::map<DstKey, std::set<SwitchId>> prunes_;
+  std::uint64_t prune_generation_ = 1;
+
+  // Data-plane fast path (logically derived state, hence mutable).
+  mutable Fib fib_;
+  mutable std::unordered_map<FlowCacheKey, FlowCacheEntry, FlowCacheKeyHash>
+      flow_cache_;
+  mutable std::uint64_t flow_cache_hits_ = 0;
+  mutable std::uint64_t flow_cache_misses_ = 0;
+  mutable std::uint64_t fib_rebuilds_ = 0;
 
   // Multicast state.
   std::map<Ipv4Address, std::set<sim::PortId>> mcast_ports_;  // FM-installed

@@ -1,5 +1,6 @@
 #include "host/host.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "common/logging.h"
@@ -10,6 +11,15 @@ namespace portland::host {
 using net::ArpMessage;
 using net::ArpOp;
 using net::ParsedFrame;
+
+namespace {
+/// The host owns these freshly built frame bytes, so the resolved
+/// destination is patched in place instead of copying the whole buffer.
+void patch_eth_dst(std::vector<std::uint8_t>& frame, MacAddress dst) {
+  const auto& b = dst.bytes();
+  std::copy(b.begin(), b.end(), frame.begin());
+}
+}  // namespace
 
 Host::Host(sim::Simulator& sim, std::string name, MacAddress mac,
            Ipv4Address ip, HostConfig config)
@@ -51,7 +61,17 @@ void Host::send_gratuitous_arp() {
 
 void Host::handle_frame(sim::PortId in_port, const sim::FramePtr& frame) {
   (void)in_port;
-  const ParsedFrame parsed = net::parse_frame(sim::frame_span(frame));
+  // Edge switches emit LDMs on host-facing ports every period; drop them
+  // on a raw EtherType peek so hosts never parse (or attach metadata to)
+  // fabric control traffic.
+  const auto bytes = sim::frame_span(frame);
+  if (bytes.size() >= net::EthernetHeader::kSize &&
+      (static_cast<std::uint16_t>(bytes[12]) << 8 | bytes[13]) ==
+          net::to_u16(net::EtherType::kLdp)) {
+    counters().add("rx_ignored");
+    return;
+  }
+  const ParsedFrame& parsed = net::parsed_of(frame);
   if (!parsed.valid) {
     counters().add("rx_malformed");
     return;
@@ -234,7 +254,8 @@ void Host::send_udp_multicast(Ipv4Address group, std::uint16_t src_port,
 
 void Host::send_resolved(Ipv4Address dst, std::vector<std::uint8_t> frame) {
   if (const auto mac = arp_cache_.lookup(dst, sim().now()); mac.has_value()) {
-    send(0, sim::make_frame(net::rewrite_eth_dst(frame, *mac)));
+    patch_eth_dst(frame, *mac);
+    send(0, sim::make_frame(std::move(frame)));
     return;
   }
   Pending& p = pending_[dst];
@@ -280,7 +301,8 @@ void Host::flush_pending(Ipv4Address dst, MacAddress mac) {
   std::deque<std::vector<std::uint8_t>> frames = std::move(it->second.frames);
   pending_.erase(it);
   for (auto& f : frames) {
-    send(0, sim::make_frame(net::rewrite_eth_dst(f, mac)));
+    patch_eth_dst(f, mac);
+    send(0, sim::make_frame(std::move(f)));
   }
 }
 

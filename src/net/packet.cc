@@ -6,7 +6,32 @@
 
 namespace portland::net {
 
+ParseStats& parse_stats() {
+  static ParseStats stats;
+  return stats;
+}
+
+namespace {
+/// Fills the flow key + hash once the headers are known; every downstream
+/// ECMP decision then reads the cached hash instead of rehashing.
+void finish_flow(ParsedFrame& p) {
+  if (!p.ipv4.has_value()) return;
+  p.flow.src_ip = p.ipv4->src;
+  p.flow.dst_ip = p.ipv4->dst;
+  p.flow.protocol = p.ipv4->protocol;
+  if (p.udp.has_value()) {
+    p.flow.src_port = p.udp->src_port;
+    p.flow.dst_port = p.udp->dst_port;
+  } else if (p.tcp.has_value()) {
+    p.flow.src_port = p.tcp->src_port;
+    p.flow.dst_port = p.tcp->dst_port;
+  }
+  p.flow_hash = flow_hash(p.flow);
+}
+}  // namespace
+
 ParsedFrame parse_frame(std::span<const std::uint8_t> bytes) {
+  ++parse_stats().parse_calls;
   ParsedFrame p;
   ByteReader r(bytes);
   p.eth = EthernetHeader::deserialize(r);
@@ -44,6 +69,7 @@ ParsedFrame parse_frame(std::span<const std::uint8_t> bytes) {
       p.payload = r.remaining();
     }
     p.valid = true;
+    finish_flow(p);
     return p;
   }
 
@@ -216,6 +242,84 @@ std::vector<std::uint8_t> rewrite_arp_mac(std::span<const std::uint8_t> frame,
   const std::size_t base = EthernetHeader::kSize + 8;
   const std::size_t offset = sender ? base : base + 6 + 4;
   write_mac_at(out, offset, new_mac);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parse-once metadata and the single-copy rewrite fast path
+// ---------------------------------------------------------------------------
+
+const ParsedFrame& parsed_of(const sim::FramePtr& frame) {
+  if (frame->meta != nullptr) {
+    ++parse_stats().meta_hits;
+    return *static_cast<const ParsedFrame*>(frame->meta.get());
+  }
+  auto meta = std::make_shared<ParsedFrame>(parse_frame(frame_span(frame)));
+  const ParsedFrame& ref = *meta;
+  frame->meta = std::move(meta);
+  ++parse_stats().meta_attaches;
+  return ref;
+}
+
+namespace {
+constexpr std::size_t kArpMacBase = EthernetHeader::kSize + 8;
+
+void patch_mac(sim::FrameBytes& bytes, std::size_t offset, MacAddress mac) {
+  assert(offset + MacAddress::kSize <= bytes.size());
+  const auto& raw = mac.bytes();
+  std::copy(raw.begin(), raw.end(),
+            bytes.begin() + static_cast<std::ptrdiff_t>(offset));
+}
+}  // namespace
+
+sim::FramePtr rewrite_frame(const sim::FramePtr& in, const FrameRewrite& rw) {
+  ++parse_stats().rewrite_copies;
+  auto out = std::make_shared<sim::Frame>();
+  out->bytes = in->bytes;  // the single whole-frame copy
+
+  if (rw.eth_dst.has_value()) patch_mac(out->bytes, 0, *rw.eth_dst);
+  if (rw.eth_src.has_value()) {
+    patch_mac(out->bytes, MacAddress::kSize, *rw.eth_src);
+  }
+  // ARP layout after the Ethernet header: 8 fixed bytes, then SHA(6)
+  // SPA(4) THA(6) TPA(4).
+  if (rw.arp_sender_mac.has_value()) {
+    patch_mac(out->bytes, kArpMacBase, *rw.arp_sender_mac);
+  }
+  if (rw.arp_target_mac.has_value()) {
+    patch_mac(out->bytes, kArpMacBase + 6 + 4, *rw.arp_target_mac);
+  }
+
+  // Carry the parse across: clone the cached summary with the same
+  // patches applied (and the payload view re-anchored into the new
+  // buffer) so downstream hops skip the parse entirely. Without a cached
+  // summary the patched buffer is parsed once here — still one parse per
+  // frame, just paid at the rewrite instead of at ingress.
+  const auto* old = static_cast<const ParsedFrame*>(in->meta.get());
+  std::shared_ptr<ParsedFrame> meta;
+  if (old != nullptr) {
+    meta = std::make_shared<ParsedFrame>(*old);
+    if (rw.eth_dst.has_value()) meta->eth.dst = *rw.eth_dst;
+    if (rw.eth_src.has_value()) meta->eth.src = *rw.eth_src;
+    if (meta->arp.has_value()) {
+      if (rw.arp_sender_mac.has_value()) {
+        meta->arp->sender_mac = *rw.arp_sender_mac;
+      }
+      if (rw.arp_target_mac.has_value()) {
+        meta->arp->target_mac = *rw.arp_target_mac;
+      }
+    }
+    if (!meta->payload.empty()) {
+      const auto offset = static_cast<std::size_t>(meta->payload.data() -
+                                                   in->bytes.data());
+      meta->payload = std::span<const std::uint8_t>(out->bytes)
+                          .subspan(offset, meta->payload.size());
+    }
+  } else {
+    meta = std::make_shared<ParsedFrame>(
+        parse_frame({out->bytes.data(), out->bytes.size()}));
+  }
+  out->meta = std::move(meta);
   return out;
 }
 

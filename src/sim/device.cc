@@ -32,8 +32,8 @@ Link* Device::port_link(PortId port) const {
 
 void Device::send(PortId port, const FramePtr& frame) {
   assert(port < ports_.size());
-  counters_.add("tx_frames");
-  counters_.add("tx_bytes", frame->size());
+  ++*tx_frames_;
+  *tx_bytes_ += frame->size();
   Link* link = ports_[port].link;
   if (link == nullptr) {
     counters_.add("tx_drop_unconnected");

@@ -72,6 +72,11 @@ class Device {
   /// migration). The port may be re-attached later.
   void detach_link(PortId port);
 
+  /// Cached per-frame counter cells (avoid the string-keyed map lookup on
+  /// every tx/rx; see CounterSet::handle). Used by Link on delivery.
+  [[nodiscard]] std::uint64_t* rx_frames_cell() { return rx_frames_; }
+  [[nodiscard]] std::uint64_t* rx_bytes_cell() { return rx_bytes_; }
+
  private:
   struct PortSlot {
     Link* link = nullptr;
@@ -82,6 +87,10 @@ class Device {
   std::string name_;
   std::vector<PortSlot> ports_;
   CounterSet counters_;
+  std::uint64_t* tx_frames_ = counters_.handle("tx_frames");
+  std::uint64_t* tx_bytes_ = counters_.handle("tx_bytes");
+  std::uint64_t* rx_frames_ = counters_.handle("rx_frames");
+  std::uint64_t* rx_bytes_ = counters_.handle("rx_bytes");
 };
 
 }  // namespace portland::sim

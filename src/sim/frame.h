@@ -1,9 +1,19 @@
-// Frames: immutable byte buffers travelling over simulated links.
+// Frames: immutable byte buffers travelling over simulated links, plus a
+// parse-once metadata slot.
 //
 // Frames are reference-counted so a broadcast or multicast replication
-// does not copy payload bytes. Devices parse frames with ByteReader; they
-// never mutate a frame in place (rewrites, e.g. PortLand's PMAC<->AMAC
-// translation, build a new frame).
+// does not copy payload bytes. Devices never mutate frame *bytes* in
+// place (rewrites, e.g. PortLand's PMAC<->AMAC translation, build a new
+// frame).
+//
+// `meta` is a type-erased cache for a header summary: the first device to
+// parse a frame attaches its parse result, and every later hop reads the
+// summary instead of re-walking the bytes (net::parsed_of). The slot is
+// deliberately opaque here so the sim layer stays below net in the
+// layering; net/packet.h owns the only type ever stored in it. It is
+// `mutable` because attaching a cache entry does not change the frame's
+// observable value — the simulation is single-threaded, so the lazy fill
+// is race-free.
 #pragma once
 
 #include <cstdint>
@@ -14,15 +24,28 @@
 namespace portland::sim {
 
 using FrameBytes = std::vector<std::uint8_t>;
-using FramePtr = std::shared_ptr<const FrameBytes>;
+
+struct Frame {
+  FrameBytes bytes;
+  /// Parse-once cache slot (see file comment). Owned by net::parsed_of /
+  /// net::rewrite_frame; everything else treats it as opaque.
+  mutable std::shared_ptr<const void> meta;
+
+  [[nodiscard]] std::size_t size() const { return bytes.size(); }
+  [[nodiscard]] const std::uint8_t* data() const { return bytes.data(); }
+};
+
+using FramePtr = std::shared_ptr<const Frame>;
 
 [[nodiscard]] inline FramePtr make_frame(FrameBytes bytes) {
-  return std::make_shared<const FrameBytes>(std::move(bytes));
+  auto f = std::make_shared<Frame>();
+  f->bytes = std::move(bytes);
+  return f;
 }
 
 [[nodiscard]] inline std::span<const std::uint8_t> frame_span(
     const FramePtr& f) {
-  return {f->data(), f->size()};
+  return {f->bytes.data(), f->bytes.size()};
 }
 
 }  // namespace portland::sim

@@ -31,38 +31,33 @@ void Link::transmit(int from_side, const FramePtr& frame) {
     ++dir.dropped;
     return;
   }
+  const SimTime now = sim_->now();
+  dir.settle(now);  // lazily credit frames whose serialization finished
   if (dir.queued_bytes + frame->size() > config_.queue_capacity_bytes) {
     ++dir.dropped;  // drop-tail
     return;
   }
 
-  const SimTime now = sim_->now();
   const SimTime start = std::max(now, dir.busy_until);
   const SimTime tx_done = start + serialization_time(frame->size());
   const SimTime arrival = tx_done + config_.propagation;
   dir.busy_until = tx_done;
   dir.queued_bytes += frame->size();
+  dir.drains.push_back(Direction::PendingDrain{
+      tx_done, static_cast<std::uint32_t>(frame->size())});
   ++dir.tx_frames;
   dir.tx_bytes += frame->size();
 
   const std::uint64_t epoch = dir.epoch;
   Device* receiver = end_[side_index(1 - from_side)].device;
   const PortId rx_port = end_[side_index(1 - from_side)].port;
-  const std::size_t size = frame->size();
 
-  sim_->at(tx_done, [this, from_side, epoch, size] {
-    Direction& d = dir_[side_index(from_side)];
-    // A failure zeroes the queue accounting; stale decrements must not
-    // underflow it.
-    if (d.epoch != epoch) return;
-    d.queued_bytes -= size;
-  });
   sim_->at(arrival, [this, from_side, epoch, receiver, rx_port, frame] {
     Direction& d = dir_[side_index(from_side)];
     // Frames in flight when the direction failed are lost.
     if (!d.up || d.epoch != epoch) return;
-    receiver->counters().add("rx_frames");
-    receiver->counters().add("rx_bytes", frame->size());
+    ++*receiver->rx_frames_cell();
+    *receiver->rx_bytes_cell() += frame->size();
     if (tap_ != nullptr && *tap_) (*tap_)(*this, 1 - from_side, frame);
     receiver->handle_frame(rx_port, frame);
   });
@@ -85,6 +80,8 @@ void Link::set_direction_up(int from_side, bool up) {
   if (!up) {
     ++dir.epoch;  // voids all in-flight frames in this direction
     dir.queued_bytes = 0;
+    dir.drains.clear();
+    dir.drain_head = 0;
     dir.busy_until = sim_->now();
   }
 }

@@ -11,6 +11,7 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "common/units.h"
 #include "sim/device.h"
@@ -97,6 +98,29 @@ class Link {
     std::uint64_t tx_bytes = 0;
     std::uint64_t dropped = 0;
     std::uint64_t epoch = 0;      // bumped on failure to void in-flight frames
+
+    /// Queue-occupancy accounting is drained lazily: each admitted frame
+    /// records when its serialization completes, and the next transmit()
+    /// settles everything already serialized before the drop-tail check.
+    /// `queued_bytes` is only ever read there, so this is equivalent to
+    /// the eager version but costs zero simulator events.
+    struct PendingDrain {
+      SimTime done;
+      std::uint32_t bytes;
+    };
+    std::vector<PendingDrain> drains;
+    std::size_t drain_head = 0;
+
+    void settle(SimTime now) {
+      while (drain_head < drains.size() && drains[drain_head].done <= now) {
+        queued_bytes -= drains[drain_head].bytes;
+        ++drain_head;
+      }
+      if (drain_head == drains.size()) {
+        drains.clear();  // capacity is retained: no realloc at steady state
+        drain_head = 0;
+      }
+    }
   };
 
   static std::size_t side_index(int side);

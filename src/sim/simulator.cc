@@ -4,24 +4,81 @@
 
 namespace portland::sim {
 
-void Simulator::at(SimTime t, std::function<void()> fn) {
-  assert(t >= now_);
-  queue_.push(Event{t, next_seq_++, std::move(fn)});
+namespace {
+/// Default queue capacity: covers a k=8 fabric's steady-state event
+/// population without reallocation; larger fabrics grow once, early.
+constexpr std::size_t kDefaultEventCapacity = 4096;
+}  // namespace
+
+Simulator::Simulator() {
+  queue_.reserve(kDefaultEventCapacity);
+  slots_.reserve(kDefaultEventCapacity);
+  free_slots_.reserve(kDefaultEventCapacity);
 }
 
-void Simulator::after(SimDuration delay, std::function<void()> fn) {
+std::uint32_t Simulator::acquire_slot() {
+  if (free_slots_.empty()) {
+    slots_.emplace_back();
+    return static_cast<std::uint32_t>(slots_.size() - 1);
+  }
+  const std::uint32_t slot = free_slots_.back();
+  free_slots_.pop_back();
+  return slot;
+}
+
+void Simulator::at(SimTime t, SmallFn fn) {
+  assert(t >= now_);
+  const std::uint32_t slot = acquire_slot();
+  slots_[slot].fn = std::move(fn);
+  queue_.push(QNode{t, next_seq_++, slot});
+}
+
+void Simulator::after(SimDuration delay, SmallFn fn) {
   assert(delay >= 0);
   at(now_ + delay, std::move(fn));
 }
 
+void Simulator::at_timer(SimTime t, std::shared_ptr<TimerCore> core,
+                         std::uint64_t generation) {
+  assert(t >= now_);
+  const std::uint32_t slot = acquire_slot();
+  slots_[slot].timer = std::move(core);
+  slots_[slot].timer_gen = generation;
+  queue_.push(QNode{t, next_seq_++, slot});
+}
+
+void Simulator::reserve_events(std::size_t capacity) {
+  queue_.reserve(capacity);
+  slots_.reserve(capacity);
+  free_slots_.reserve(capacity);
+}
+
 void Simulator::dispatch_one() {
-  // The event must be moved out before running: the callback may schedule
-  // new events and invalidate references into the queue.
-  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  const QNode node = queue_.top();
   queue_.pop();
-  now_ = ev.time;
+  now_ = node.time;
   ++executed_;
-  ev.fn();
+  // The payload must be moved out and its slot released before running:
+  // the callback may schedule new events, reusing (or growing) the pool.
+  EventPayload& slot = slots_[node.slot];
+  if (slot.timer != nullptr) {
+    const std::shared_ptr<TimerCore> timer = std::move(slot.timer);
+    const std::uint64_t gen = slot.timer_gen;
+    free_slots_.push_back(node.slot);
+    TimerCore& core = *timer;
+    if (core.generation != gen || !core.pending) return;
+    core.pending = false;
+    // Run the callback from a local so a schedule_after() inside it (which
+    // replaces core.fn) cannot destroy the closure mid-execution; restore
+    // it afterwards unless it was replaced, keeping rearm() working.
+    std::function<void()> fn = std::move(core.fn);
+    fn();
+    if (!core.fn && fn) core.fn = std::move(fn);
+    return;
+  }
+  SmallFn fn = std::move(slot.fn);
+  free_slots_.push_back(node.slot);
+  fn();
 }
 
 void Simulator::run() {
@@ -40,15 +97,17 @@ void Simulator::run_until(SimTime t) {
 void Timer::schedule_after(SimDuration delay, std::function<void()> fn) {
   const std::uint64_t gen = ++state_->generation;
   state_->pending = true;
+  state_->fn = std::move(fn);
   deadline_ = sim_->now() + delay;
-  // The event captures the shared state, not the Timer: destroying the
-  // Timer while this shot is in the queue is safe (it reads `pending ==
-  // false` via the still-alive State and does nothing).
-  sim_->after(delay, [state = state_, gen, fn = std::move(fn)]() {
-    if (state->generation != gen || !state->pending) return;
-    state->pending = false;
-    fn();
-  });
+  sim_->at_timer(deadline_, state_, gen);
+}
+
+void Timer::rearm(SimDuration delay) {
+  assert(state_->fn && "rearm() requires a prior schedule_after()");
+  const std::uint64_t gen = ++state_->generation;
+  state_->pending = true;
+  deadline_ = sim_->now() + delay;
+  sim_->at_timer(deadline_, state_, gen);
 }
 
 void Timer::cancel() {
@@ -63,7 +122,8 @@ void PeriodicTimer::start(SimDuration initial_delay) {
 
 void PeriodicTimer::tick() {
   // Re-arm first: fn_ may call stop(), which must win over the re-arm.
-  timer_.schedule_after(period_, [this] { tick(); });
+  // The rearm reuses the stored [this]{tick();} closure — no allocation.
+  timer_.rearm(period_);
   fn_();
 }
 

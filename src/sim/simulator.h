@@ -4,23 +4,138 @@
 // Events scheduled for the same instant fire in insertion order, which —
 // together with seeded RNG — makes every run exactly reproducible.
 //
+// The queue is built for throughput: the binary heap orders slim 24-byte
+// {time, seq, slot} nodes, while the callback payloads live in a stable,
+// free-listed slot pool beside it — sift operations never move a closure.
+// Callbacks are stored in `SmallFn`, a move-only callable with inline
+// storage sized for the fabric's event lambdas, so scheduling an event
+// performs no heap allocation at steady state.
+//
 // `Timer` and `PeriodicTimer` are cancellable wrappers used throughout the
 // protocol implementations (LDP keepalives, ARP retries, TCP RTO, ...).
+// Timers store their callback once in shared `TimerCore` state; re-arming
+// an already-programmed timer (`Timer::rearm`, used by every periodic
+// tick) enqueues a plain {state, generation} record and performs no
+// closure allocation — at scale, LDP keepalives dominate the event count,
+// so the rearm path is the event queue's hot path.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <new>
 #include <queue>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/units.h"
 
 namespace portland::sim {
 
+/// Move-only type-erased callable with inline storage. Captures up to
+/// kInlineSize bytes live inside the object (no allocation); larger
+/// closures fall back to the heap transparently. This is what the event
+/// queue stores, so `sim.at(...)` with an ordinary forwarding-path lambda
+/// never allocates.
+class SmallFn {
+ public:
+  /// Sized to fit the largest per-frame lambda (link delivery: link,
+  /// side, epoch, receiver, port, and a shared frame pointer).
+  static constexpr std::size_t kInlineSize = 64;
+
+  SmallFn() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cv_t<std::remove_reference_t<F>>,
+                                SmallFn> &&
+                std::is_invocable_v<std::remove_reference_t<F>&>>>
+  SmallFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::remove_cv_t<std::remove_reference_t<F>>;
+    if constexpr (sizeof(Fn) <= kInlineSize &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      new (buf_) Fn(std::forward<F>(f));
+      vtable_ = &kInlineVTable<Fn>;
+    } else {
+      *reinterpret_cast<Fn**>(buf_) = new Fn(std::forward<F>(f));
+      vtable_ = &kHeapVTable<Fn>;
+    }
+  }
+
+  SmallFn(SmallFn&& other) noexcept { move_from(other); }
+  SmallFn& operator=(SmallFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+  ~SmallFn() { reset(); }
+
+  explicit operator bool() const { return vtable_ != nullptr; }
+  void operator()() { vtable_->call(buf_); }
+
+ private:
+  struct VTable {
+    void (*call)(void*);
+    void (*destroy)(void*);
+    /// Move-construct the payload at `dst` from `src`, then destroy `src`.
+    void (*relocate)(void* dst, void* src);
+  };
+
+  template <typename Fn>
+  static constexpr VTable kInlineVTable{
+      [](void* p) { (*static_cast<Fn*>(p))(); },
+      [](void* p) { static_cast<Fn*>(p)->~Fn(); },
+      [](void* dst, void* src) {
+        ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+        static_cast<Fn*>(src)->~Fn();
+      },
+  };
+  template <typename Fn>
+  static constexpr VTable kHeapVTable{
+      [](void* p) { (**static_cast<Fn**>(p))(); },
+      [](void* p) { delete *static_cast<Fn**>(p); },
+      [](void* dst, void* src) {
+        *static_cast<Fn**>(dst) = *static_cast<Fn**>(src);
+      },
+  };
+
+  void move_from(SmallFn& other) noexcept {
+    vtable_ = other.vtable_;
+    if (vtable_ != nullptr) {
+      vtable_->relocate(buf_, other.buf_);
+      other.vtable_ = nullptr;
+    }
+  }
+  void reset() {
+    if (vtable_ != nullptr) {
+      vtable_->destroy(buf_);
+      vtable_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineSize]{};
+  const VTable* vtable_ = nullptr;
+};
+
+/// Shared state behind a Timer. Events reference the core, never the
+/// Timer object, so destroying an armed Timer is safe. The callback lives
+/// here so a rearm does not rebuild it.
+struct TimerCore {
+  std::uint64_t generation = 0;
+  bool pending = false;
+  std::function<void()> fn;
+};
+
 class Simulator {
  public:
-  Simulator() = default;
+  Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
@@ -28,10 +143,18 @@ class Simulator {
   [[nodiscard]] SimTime now() const { return now_; }
 
   /// Schedules `fn` at absolute time `t` (>= now).
-  void at(SimTime t, std::function<void()> fn);
+  void at(SimTime t, SmallFn fn);
 
   /// Schedules `fn` after `delay` (>= 0).
-  void after(SimDuration delay, std::function<void()> fn);
+  void after(SimDuration delay, SmallFn fn);
+
+  /// Schedules a timer shot: at `t`, run `core->fn` if the core is still
+  /// pending at `generation`. Allocation-free except for queue growth.
+  void at_timer(SimTime t, std::shared_ptr<TimerCore> core,
+                std::uint64_t generation);
+
+  /// Pre-sizes the event queue (amortizes growth for large fabrics).
+  void reserve_events(std::size_t capacity);
 
   /// Runs until the queue is empty or `stop()` is called.
   void run();
@@ -46,40 +169,61 @@ class Simulator {
   [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
 
  private:
-  struct Event {
+  /// Heap node: everything the comparator needs, nothing it doesn't.
+  /// Payloads stay put in the slot pool while the heap sifts these.
+  struct QNode {
     SimTime time;
     std::uint64_t seq;
-    std::function<void()> fn;
+    std::uint32_t slot;
   };
   struct Later {
-    bool operator()(const Event& a, const Event& b) const {
+    bool operator()(const QNode& a, const QNode& b) const {
       if (a.time != b.time) return a.time > b.time;
       return a.seq > b.seq;
     }
   };
+  /// priority_queue with access to the backing vector for reserve().
+  struct EventQueue : std::priority_queue<QNode, std::vector<QNode>, Later> {
+    void reserve(std::size_t n) { c.reserve(n); }
+  };
 
+  /// One of the two is set: a plain callback, or a timer shot.
+  struct EventPayload {
+    SmallFn fn;
+    std::shared_ptr<TimerCore> timer;
+    std::uint64_t timer_gen = 0;
+  };
+
+  [[nodiscard]] std::uint32_t acquire_slot();
   void dispatch_one();
 
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
   bool stopped_ = false;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  EventQueue queue_;
+  std::vector<EventPayload> slots_;
+  std::vector<std::uint32_t> free_slots_;
 };
 
 /// One-shot cancellable timer. Re-scheduling cancels the previous shot.
 /// Destroying an armed Timer cancels it safely: the scheduled event holds
-/// the shared cancellation state, never the Timer itself.
+/// the shared TimerCore, never the Timer itself.
 class Timer {
  public:
   explicit Timer(Simulator& sim)
-      : sim_(&sim), state_(std::make_shared<State>()) {}
+      : sim_(&sim), state_(std::make_shared<TimerCore>()) {}
   ~Timer() { cancel(); }
   Timer(const Timer&) = delete;
   Timer& operator=(const Timer&) = delete;
 
   /// Schedules `fn` to run after `delay`, cancelling any pending shot.
+  /// The callback is retained after it fires, so a later `rearm` reuses it.
   void schedule_after(SimDuration delay, std::function<void()> fn);
+
+  /// Re-schedules the retained callback after `delay` without rebuilding
+  /// it (no allocation). Requires a prior schedule_after on this timer.
+  void rearm(SimDuration delay);
 
   /// Cancels the pending shot, if any.
   void cancel();
@@ -90,18 +234,14 @@ class Timer {
   [[nodiscard]] SimTime deadline() const { return deadline_; }
 
  private:
-  struct State {
-    std::uint64_t generation = 0;
-    bool pending = false;
-  };
-
   Simulator* sim_;
-  std::shared_ptr<State> state_;
+  std::shared_ptr<TimerCore> state_;
   SimTime deadline_ = 0;
 };
 
 /// Fixed-period repeating timer. The callback runs every `period` from
 /// `start()` until `stop()`; an optional initial delay offsets the phase.
+/// Steady-state ticks re-arm through the allocation-free timer path.
 class PeriodicTimer {
  public:
   PeriodicTimer(Simulator& sim, SimDuration period, std::function<void()> fn)
