@@ -64,7 +64,7 @@ Result run(core::PortlandConfig::EcmpMode mode) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   print_header(
       "E11 ECMP ablation: flow hashing (the paper's design) vs. per-packet\n"
       "     spraying — 100 MB TCP transfer across pods, k=4, one core group\n"
@@ -88,5 +88,17 @@ int main() {
       "\nFlow hashing keeps the stream strictly in order (0 out-of-order\n"
       "segments); spraying reorders constantly and burns spurious fast\n"
       "retransmissions — the reason §3.5 pins flows to paths.\n");
+
+  const std::string json = json_path_from_args(argc, argv);
+  if (!json.empty()) {
+    JsonReport report("e11_ecmp_ablation");
+    report.add("hash_completion_s", hash.seconds);
+    report.add("hash_ooo_segments", hash.ooo);
+    report.add("hash_retransmissions", hash.retransmissions);
+    report.add("spray_completion_s", spray.seconds);
+    report.add("spray_ooo_segments", spray.ooo);
+    report.add("spray_retransmissions", spray.retransmissions);
+    report.write(json);
+  }
   return 0;
 }

@@ -68,10 +68,10 @@ Sample run_trial(int k, std::size_t failures, std::uint64_t seed,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int k = argc > 1 ? std::atoi(argv[1]) : 6;
-  const int seeds = argc > 2 ? std::atoi(argv[2]) : 5;
-  const bool sequential =
-      argc > 3 && std::string_view(argv[3]) == "sequential";
+  const auto pos = positional_args(argc, argv);
+  const int k = !pos.empty() ? std::atoi(pos[0].c_str()) : 6;
+  const int seeds = pos.size() > 1 ? std::atoi(pos[1].c_str()) : 5;
+  const bool sequential = pos.size() > 2 && pos[2] == "sequential";
 
   print_header(
       "E1  Convergence time vs. number of failures (paper Fig. 9: ~65 ms at "
@@ -82,6 +82,8 @@ int main(int argc, char** argv) {
   std::printf("%9s %10s %12s %12s %12s %10s\n", "failures", "flows_hit",
               "mean_ms", "p95_ms", "max_ms", "paper_ms");
 
+  std::string json_rows = "[";
+  bool first_row = true;
   for (const std::size_t failures : {1, 2, 4, 6, 8, 12, 16}) {
     Accumulator acc;
     std::vector<double> all;
@@ -99,10 +101,30 @@ int main(int argc, char** argv) {
     std::printf("%9zu %10llu %12.1f %12.1f %12.1f %10.0f\n", failures,
                 static_cast<unsigned long long>(acc.count()), acc.mean(),
                 percentile(all, 95), acc.max(), paper);
+    char buf[192];
+    std::snprintf(buf, sizeof(buf),
+                  "%s\n    {\"failures\": %zu, \"flows_hit\": %llu, "
+                  "\"mean_ms\": %.2f, \"p95_ms\": %.2f, \"max_ms\": %.2f}",
+                  first_row ? "" : ",", failures,
+                  static_cast<unsigned long long>(acc.count()), acc.mean(),
+                  percentile(all, 95), acc.max());
+    json_rows += buf;
+    first_row = false;
   }
+  json_rows += "\n  ]";
   std::printf(
       "\nShape check: single-fault convergence is dominated by the 50 ms\n"
       "LDM timeout; additional non-overlapping faults add little because\n"
       "detection and reroute run per fault in parallel.\n");
+
+  const std::string json = json_path_from_args(argc, argv);
+  if (!json.empty()) {
+    JsonReport report("e1_convergence");
+    report.add("k", k);
+    report.add("seeds", seeds);
+    report.add("sequential", sequential ? "true" : "false");
+    report.add_raw("rows", json_rows);
+    report.write(json);
+  }
   return 0;
 }

@@ -12,7 +12,7 @@
 using namespace portland;
 using namespace portland::bench;
 
-int main() {
+int main(int argc, char** argv) {
   print_header(
       "E2  TCP convergence across a link failure (paper Fig. 10: stall ~= "
       "fabric\n     convergence + RTO_min(200 ms); sub-300 ms total)");
@@ -74,5 +74,15 @@ int main() {
   std::printf("Retransmission timeouts during episode: %llu, cwnd now %u B\n",
               static_cast<unsigned long long>(conn->timeouts()),
               conn->cwnd_bytes());
+
+  const std::string json = json_path_from_args(argc, argv);
+  if (!json.empty()) {
+    JsonReport report("e2_tcp_convergence");
+    report.add("stall_ms", stall_ms);
+    report.add("timeouts", conn->timeouts());
+    report.add("cwnd_bytes", static_cast<std::uint64_t>(conn->cwnd_bytes()));
+    report.add("bytes_acked", conn->bytes_acked());
+    report.write(json);
+  }
   return 0;
 }

@@ -12,7 +12,7 @@
 using namespace portland;
 using namespace portland::bench;
 
-int main() {
+int main(int argc, char** argv) {
   print_header(
       "E3  Multicast fault convergence (paper Fig. 11: ~110 ms — detection "
       "+ FM\n     tree recomputation + sequential flow installs)");
@@ -90,5 +90,16 @@ int main() {
               static_cast<unsigned long long>(tree->core));
   std::printf("Worst receiver outage: %.1f ms — above unicast (E1: ~65 ms), "
               "matching the paper's ordering.\n", worst);
+
+  const std::string json = json_path_from_args(argc, argv);
+  if (!json.empty()) {
+    JsonReport report("e3_multicast_convergence");
+    report.add("worst_gap_ms", worst);
+    report.add("receivers", receivers.size());
+    report.add("old_core", static_cast<std::uint64_t>(tree->core));
+    report.add("new_core", static_cast<std::uint64_t>(
+                               new_tree.has_value() ? new_tree->core : 0));
+    report.write(json);
+  }
   return 0;
 }

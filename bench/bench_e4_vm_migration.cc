@@ -14,7 +14,7 @@
 using namespace portland;
 using namespace portland::bench;
 
-int main() {
+int main(int argc, char** argv) {
   print_header(
       "E4  TCP flow across a live VM migration (paper Fig. 13: throughput "
       "dips\n     during the blackout, recovers in well under a second)");
@@ -85,5 +85,19 @@ int main() {
                   fabric->edge_at(0, 0).counters().get("migration_garps_sent")));
   std::printf("IP preserved: %s still reachable at %s (R1).\n",
               vm.name().c_str(), vm.ip().to_string().c_str());
+
+  const std::string json = json_path_from_args(argc, argv);
+  if (!json.empty()) {
+    JsonReport report("e4_vm_migration");
+    report.add("blackout_ms", to_millis(downtime));
+    report.add("disruption_ms",
+               blackout_end > 0 ? to_millis(blackout_end - blackout_start)
+                                : -1.0);
+    report.add("migration_redirects",
+               fabric->edge_at(0, 0).counters().get("migration_redirects"));
+    report.add("migration_garps_sent",
+               fabric->edge_at(0, 0).counters().get("migration_garps_sent"));
+    report.write(json);
+  }
   return 0;
 }

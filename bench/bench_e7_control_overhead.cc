@@ -12,7 +12,7 @@
 using namespace portland;
 using namespace portland::bench;
 
-int main() {
+int main(int argc, char** argv) {
   print_header(
       "E7  Control overhead: LDP wire cost, fabric-manager keepalives, and\n"
       "     per-fault reroute fan-out");
@@ -20,6 +20,8 @@ int main() {
   std::printf("\n%4s %10s %14s %16s %14s %18s %16s\n", "k", "switches",
               "ldm_B/s/link", "fm_msgs/s", "fm_B/s", "fault_msgs", "fault_fanout");
 
+  std::string json_rows = "[";
+  bool first_row = true;
   for (const int k : {4, 6, 8}) {
     auto fabric = make_fabric(k, 31);
     const SimTime t0 = fabric->sim().now();
@@ -62,7 +64,18 @@ int main() {
                 fm_bytes_per_s, static_cast<unsigned long long>(fault_msgs),
                 100.0 * static_cast<double>(fault_msgs) /
                     static_cast<double>(fabric->switches().size()));
+    char buf[224];
+    std::snprintf(buf, sizeof(buf),
+                  "%s\n    {\"k\": %d, \"switches\": %zu, "
+                  "\"ldm_bytes_per_link_s\": %.1f, \"fm_msgs_per_s\": %.2f, "
+                  "\"fm_bytes_per_s\": %.1f, \"fault_msgs\": %llu}",
+                  first_row ? "" : ",", k, fabric->switches().size(),
+                  ldm_bytes_per_link_s, fm_msgs_per_s, fm_bytes_per_s,
+                  static_cast<unsigned long long>(fault_msgs));
+    json_rows += buf;
+    first_row = false;
   }
+  json_rows += "\n  ]";
 
   std::printf(
       "\nNotes: LDM cost is constant per link (34 B frame / 10 ms / "
@@ -70,5 +83,12 @@ int main() {
       "key scaling property.\nFault fan-out counts one PruneUpdate per "
       "affected switch; an edge-agg\nfailure touches all edges (they pick "
       "uplinks per destination) but no cores.\n");
+
+  const std::string json = json_path_from_args(argc, argv);
+  if (!json.empty()) {
+    JsonReport report("e7_control_overhead");
+    report.add_raw("rows", json_rows);
+    report.write(json);
+  }
   return 0;
 }

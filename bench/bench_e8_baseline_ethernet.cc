@@ -86,10 +86,12 @@ double baseline_recovery_ms() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   print_header(
       "E8  PortLand vs. conventional Ethernet + 802.1D STP (same k=4 fat "
       "tree)");
+  std::uint64_t arp_queries = 0, arp_floods = 0;
+  std::size_t links_blocked = 0, links_total = 0;
 
   // --- 1. failure recovery ---
   const double pl_ms = portland_recovery_ms();
@@ -132,6 +134,8 @@ int main() {
     std::printf("   %-34s %4llu switch flood events (fabric-wide)\n",
                 "Ethernet broadcast:",
                 static_cast<unsigned long long>(floods));
+    arp_queries = queries;
+    arp_floods = floods;
   }
 
   // --- 3. usable links ---
@@ -157,6 +161,20 @@ int main() {
     std::printf("   %-34s %zu of %zu (spanning tree blocks %zu)\n",
                 "Ethernet + STP:", total_fabric_ports - blocked,
                 total_fabric_ports, blocked);
+    links_blocked = blocked;
+    links_total = total_fabric_ports;
+  }
+
+  const std::string json = json_path_from_args(argc, argv);
+  if (!json.empty()) {
+    JsonReport report("e8_baseline_ethernet");
+    report.add("portland_recovery_ms", pl_ms);
+    report.add("stp_recovery_ms", stp_ms);
+    report.add("arp_control_msgs", arp_queries);
+    report.add("arp_flood_events", arp_floods);
+    report.add("fabric_links", static_cast<std::uint64_t>(links_total));
+    report.add("stp_blocked_links", static_cast<std::uint64_t>(links_blocked));
+    report.write(json);
   }
   return 0;
 }

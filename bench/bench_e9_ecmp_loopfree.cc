@@ -111,7 +111,13 @@ double permutation_goodput_baseline() {
   return static_cast<double>(rx1 - rx0) / 0.5;
 }
 
-void loop_audit() {
+struct LoopAuditResult {
+  std::uint64_t transmissions = 0;
+  double bound = 0;
+  bool pass = false;
+};
+
+LoopAuditResult loop_audit() {
   auto fabric = make_fabric(4, 15);
   Rng rng(15);
   auto flows = random_interpod_flows(*fabric, 10, rng);
@@ -143,11 +149,16 @@ void loop_audit() {
   std::printf("   switch transmissions: %llu; strict no-loop bound: %.0f -> %s\n",
               static_cast<unsigned long long>(tx1 - tx0), bound,
               static_cast<double>(tx1 - tx0) < bound ? "PASS" : "FAIL");
+  LoopAuditResult result;
+  result.transmissions = tx1 - tx0;
+  result.bound = bound;
+  result.pass = static_cast<double>(tx1 - tx0) < bound;
+  return result;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   print_header(
       "E9  ECMP multipath + loop-freedom ablation (paper §3.5: flows hash\n"
       "     over all up-paths; packets never travel down then up)");
@@ -161,6 +172,18 @@ int main() {
   std::printf("   %-28s %10.0f pkt/s\n", "Ethernet+STP (single tree):", base);
   std::printf("   multipath advantage: %.1fx\n", pl / base);
 
-  loop_audit();
+  const LoopAuditResult audit = loop_audit();
+
+  const std::string json = json_path_from_args(argc, argv);
+  if (!json.empty()) {
+    JsonReport report("e9_ecmp_loopfree");
+    report.add("portland_pkts_per_s", pl);
+    report.add("baseline_pkts_per_s", base);
+    report.add("multipath_advantage", pl / base);
+    report.add("loop_audit_transmissions", audit.transmissions);
+    report.add("loop_audit_bound", audit.bound);
+    report.add("loop_audit_pass", audit.pass ? "true" : "false");
+    report.write(json);
+  }
   return 0;
 }

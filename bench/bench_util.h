@@ -3,9 +3,13 @@
 // figure of the paper (see DESIGN.md §4 and EXPERIMENTS.md).
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/fabric.h"
@@ -49,6 +53,9 @@ struct ProbeFlow {
     cfg.interval = interval;
     cfg.payload_bytes = payload_bytes;
     sender = std::make_unique<host::UdpFlowSender>(from, cfg);
+    // On a sharded simulator the first transmission must be scheduled on
+    // the sender's shard; with the classic engine the guard is a no-op.
+    sim::ShardGuard guard(from.sim(), from.shard());
     sender->start();
   }
 };
@@ -77,6 +84,108 @@ inline void print_header(const std::string& title) {
   std::printf("\n==================================================================\n");
   std::printf("%s\n", title.c_str());
   std::printf("==================================================================\n");
+}
+
+// ---------------------------------------------------------------------------
+// Repetition helpers: wall-clock numbers from a simulator bench are noisy,
+// so benches run each configuration N times and report the median.
+// ---------------------------------------------------------------------------
+
+[[nodiscard]] inline double median_of(std::vector<double> samples) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const std::size_t mid = samples.size() / 2;
+  if (samples.size() % 2 == 1) return samples[mid];
+  return (samples[mid - 1] + samples[mid]) / 2.0;
+}
+
+/// Runs `run_once` (returning one double sample) `repetitions` times and
+/// returns the median sample.
+template <typename Fn>
+[[nodiscard]] double repeat_median(std::size_t repetitions, Fn&& run_once) {
+  std::vector<double> samples;
+  samples.reserve(repetitions);
+  for (std::size_t i = 0; i < repetitions; ++i) {
+    samples.push_back(run_once());
+  }
+  return median_of(std::move(samples));
+}
+
+// ---------------------------------------------------------------------------
+// Machine-readable output: every bench emits one flat JSON object so
+// scripts/run_all_benches.sh can collect BENCH_<name>.json files.
+// ---------------------------------------------------------------------------
+
+class JsonReport {
+ public:
+  explicit JsonReport(const std::string& bench) { add("bench", bench); }
+
+  void add(const std::string& key, const std::string& value) {
+    entries_.push_back("\"" + key + "\": \"" + value + "\"");
+  }
+  void add(const std::string& key, const char* value) {
+    add(key, std::string(value));
+  }
+  void add(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    entries_.push_back("\"" + key + "\": " + buf);
+  }
+  void add(const std::string& key, std::uint64_t value) {
+    entries_.push_back("\"" + key + "\": " + std::to_string(value));
+  }
+  void add(const std::string& key, int value) {
+    entries_.push_back("\"" + key + "\": " + std::to_string(value));
+  }
+  /// Pre-rendered JSON (an array or nested object) under `key`.
+  void add_raw(const std::string& key, const std::string& json) {
+    entries_.push_back("\"" + key + "\": " + json);
+  }
+
+  /// Writes the object to `path` and reports on stdout. Exits on I/O
+  /// failure — a bench whose output vanished should not look green.
+  void write(const std::string& path) const {
+    FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", path.c_str());
+      std::exit(1);
+    }
+    std::fprintf(f, "{\n");
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      std::fprintf(f, "  %s%s\n", entries_[i].c_str(),
+                   i + 1 < entries_.size() ? "," : "");
+    }
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("json written          : %s\n", path.c_str());
+  }
+
+ private:
+  std::vector<std::string> entries_;
+};
+
+/// Standard `--json PATH` handling for the simple benches: returns the
+/// path following a `--json` flag anywhere in argv, or empty.
+[[nodiscard]] inline std::string json_path_from_args(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--json") return argv[i + 1];
+  }
+  return {};
+}
+
+/// The remaining (positional) arguments with any `--json <path>` pair
+/// removed, for benches that also take positional parameters.
+[[nodiscard]] inline std::vector<std::string> positional_args(int argc,
+                                                              char** argv) {
+  std::vector<std::string> out;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json") {
+      ++i;  // skip the path operand too
+      continue;
+    }
+    out.emplace_back(argv[i]);
+  }
+  return out;
 }
 
 }  // namespace portland::bench

@@ -1,35 +1,43 @@
 #!/usr/bin/env bash
 # Runs every experiment bench in order, as cited by EXPERIMENTS.md.
 #
-# Machine-readable outputs land next to the binaries:
-#   build/BENCH_e10.json  google-benchmark JSON for the E10 micro suite
-#   build/BENCH_e14.json  end-to-end fast-path numbers from bench_e14
+# Every bench emits machine-readable output next to the binaries:
+#   build/BENCH_e<N>.json   headline metrics of bench_e<N> (flat JSON)
+#   build/BENCH_e6.json     google-benchmark JSON for the E6 micro suite
+#   build/BENCH_e10.json    google-benchmark JSON for the E10 micro suite
 set -u
 cd "$(dirname "$0")/.."
-for b in build/bench/bench_e1_convergence \
-         build/bench/bench_e2_tcp_convergence \
-         build/bench/bench_e3_multicast_convergence \
-         build/bench/bench_e4_vm_migration \
-         build/bench/bench_e5_state_table \
-         build/bench/bench_e6_fm_arp_scaling \
-         build/bench/bench_e7_control_overhead \
-         build/bench/bench_e8_baseline_ethernet \
-         build/bench/bench_e9_ecmp_loopfree \
-         build/bench/bench_e11_ecmp_ablation \
-         build/bench/bench_e12_ldp_scale \
-         build/bench/bench_e13_path_audit; do
+
+# Simple benches: positional args keep their defaults; --json adds the
+# machine-readable report.
+for n in e1_convergence e2_tcp_convergence e3_multicast_convergence \
+         e4_vm_migration e5_state_table e7_control_overhead \
+         e8_baseline_ethernet e9_ecmp_loopfree e11_ecmp_ablation \
+         e12_ldp_scale e13_path_audit; do
+  b="build/bench/bench_$n"
+  short="${n%%_*}"   # e1_convergence -> e1
   echo
   echo "################  $(basename "$b")  ################"
-  "$b" || echo "BENCH FAILED: $b"
+  "$b" --json "build/BENCH_${short}.json" || echo "BENCH FAILED: $b"
 done
 
-echo
-echo "################  bench_e10_micro  ################"
-build/bench/bench_e10_micro \
-    --benchmark_out=build/BENCH_e10.json --benchmark_out_format=json \
-  || echo "BENCH FAILED: build/bench/bench_e10_micro"
+# google-benchmark suites use their native JSON output.
+for n in e6_fm_arp_scaling e10_micro; do
+  b="build/bench/bench_$n"
+  short="${n%%_*}"
+  echo
+  echo "################  $(basename "$b")  ################"
+  "$b" --benchmark_out="build/BENCH_${short}.json" \
+       --benchmark_out_format=json \
+    || echo "BENCH FAILED: $b"
+done
 
 echo
 echo "################  bench_e14_fastpath  ################"
 build/bench/bench_e14_fastpath --json build/BENCH_e14.json \
   || echo "BENCH FAILED: build/bench/bench_e14_fastpath"
+
+echo
+echo "################  bench_e15_parallel  ################"
+build/bench/bench_e15_parallel --json build/BENCH_e15.json \
+  || echo "BENCH FAILED: build/bench/bench_e15_parallel"

@@ -1,9 +1,9 @@
 // Minimal leveled logging.
 //
-// The simulator is deterministic and single-threaded, so the logger is a
-// plain global with a mutable level; benches silence it, debugging turns
-// on kDebug/kTrace. Messages go to stderr. Use the PLOG_* macros so
-// disabled levels pay only an integer compare.
+// A global with a mutable level; benches silence it, debugging turns on
+// kDebug/kTrace. Messages go to stderr. The level is atomic and emission
+// is serialized so parallel-engine shard workers may log freely. Use the
+// PLOG_* macros so disabled levels pay only an integer compare.
 #pragma once
 
 #include <string>

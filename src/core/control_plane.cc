@@ -6,21 +6,33 @@ namespace portland::core {
 
 void ControlPlane::send(SwitchId to, const ControlMessage& msg,
                         SimDuration extra_delay) {
-  const std::vector<std::uint8_t> bytes = serialize_control(msg);
-  ++messages_sent_;
-  bytes_sent_ += bytes.size();
-  const char* type = control_type_name(msg.body);
-  counters_.add(type);
-  counters_.add(std::string(type) + "_bytes", bytes.size());
+  std::vector<std::uint8_t> bytes = serialize_control(msg);
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    ++messages_sent_;
+    bytes_sent_ += bytes.size();
+    const char* type = control_type_name(msg.body);
+    counters_.add(type);
+    counters_.add(std::string(type) + "_bytes", bytes.size());
+  }
 
-  sim_->after(latency_ + extra_delay, [this, to, bytes = std::move(bytes)] {
+  // Deliver on the destination endpoint's shard: with the 500µs control
+  // latency far above the engine lookahead, the arrival always lands in a
+  // later window, so the handler runs race-free on its own shard.
+  const auto hint = shard_hints_.find(to);
+  const sim::ShardId dst =
+      hint == shard_hints_.end() ? sim::kNoShard : hint->second;
+  sim_->at_shard(dst, sim_->now() + latency_ + extra_delay,
+                 [this, to, bytes = std::move(bytes)] {
     const auto it = endpoints_.find(to);
     if (it == endpoints_.end()) {
+      std::lock_guard<std::mutex> lk(mutex_);
       counters_.add("undeliverable");
       return;
     }
     const auto parsed = parse_control(bytes);
     if (!parsed.has_value()) {
+      std::lock_guard<std::mutex> lk(mutex_);
       counters_.add("parse_error");
       return;
     }

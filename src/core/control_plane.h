@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <unordered_map>
 
 #include "common/stats.h"
@@ -33,6 +34,14 @@ class ControlPlane {
 
   void unregister_endpoint(SwitchId id) { endpoints_.erase(id); }
 
+  /// Tells the control plane which event shard `id`'s handler runs on, so
+  /// deliveries land on the owning shard in parallel runs. Unhinted
+  /// endpoints fall back to the (serialized) barrier queue. Call during
+  /// fabric wiring, never mid-run.
+  void set_endpoint_shard(SwitchId id, sim::ShardId shard) {
+    shard_hints_[id] = shard;
+  }
+
   /// Sends `msg` to endpoint `to`; delivered after the one-way latency
   /// plus `extra_delay` (used to model fabric-manager processing and
   /// per-switch flow-installation costs). Messages to unknown endpoints
@@ -40,8 +49,14 @@ class ControlPlane {
   void send(SwitchId to, const ControlMessage& msg,
             SimDuration extra_delay = 0);
 
-  [[nodiscard]] std::uint64_t messages_sent() const { return messages_sent_; }
-  [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_; }
+  [[nodiscard]] std::uint64_t messages_sent() const {
+    std::lock_guard<std::mutex> lk(mutex_);
+    return messages_sent_;
+  }
+  [[nodiscard]] std::uint64_t bytes_sent() const {
+    std::lock_guard<std::mutex> lk(mutex_);
+    return bytes_sent_;
+  }
 
   /// Message and byte counts per control type ("<type>" and "<type>_bytes").
   [[nodiscard]] const CounterSet& counters() const { return counters_; }
@@ -53,6 +68,10 @@ class ControlPlane {
   sim::Simulator* sim_;
   SimDuration latency_;
   std::unordered_map<SwitchId, Handler> endpoints_;
+  std::unordered_map<SwitchId, sim::ShardId> shard_hints_;
+  /// Guards the counters: switches on different shards send concurrently
+  /// during parallel windows. Uncontended in classic mode.
+  mutable std::mutex mutex_;
   std::uint64_t messages_sent_ = 0;
   std::uint64_t bytes_sent_ = 0;
   CounterSet counters_;

@@ -1,5 +1,6 @@
 #include "core/fabric.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "common/logging.h"
@@ -26,10 +27,26 @@ PortlandFabric::PortlandFabric(Options options)
       tree_(options_.k),
       net_(options_.seed),
       injector_(net_) {
+  if (options_.workers >= 1) {
+    // Conservative lookahead: no cross-shard effect (frame over an
+    // agg<->core or host access link, control-plane message) can land
+    // sooner than the smallest of these latencies, so windows this wide
+    // are race-free and the merge order is well-defined.
+    const SimDuration lookahead =
+        std::min({options_.host_link.propagation,
+                  options_.fabric_link.propagation,
+                  options_.config.control_latency});
+    net_.sim().configure_shards(tree_.shard_count(), lookahead,
+                                options_.seed);
+    net_.sim().set_workers(options_.workers);
+  }
+
   control_ = std::make_unique<ControlPlane>(net_.sim(),
                                             options_.config.control_latency);
   fm_ = std::make_unique<FabricManager>(net_.sim(), *control_,
                                         options_.config);
+  // The fabric manager handles its messages on the core shard.
+  control_->set_endpoint_shard(kFabricManagerId, tree_.core_shard());
 
   const std::size_t half = static_cast<std::size_t>(options_.k) / 2;
   const std::size_t cores_per_group =
@@ -39,25 +56,34 @@ PortlandFabric::PortlandFabric(Options options)
   Rng rng = net_.rng().fork();
   SwitchId next_id = kSwitchIdBase;
 
-  // Switches, in FatTree order: edge, agg, core.
-  auto make_switch = [&](const std::string& name) -> PortlandSwitch& {
-    return net_.add_device<PortlandSwitch>(
+  // Switches, in FatTree order: edge, agg, core. Each is pinned to its
+  // pod's event shard (cores to the shared core shard) and the control
+  // plane learns where to deliver its messages.
+  auto make_switch = [&](const std::string& name,
+                         sim::ShardId shard) -> PortlandSwitch& {
+    PortlandSwitch& sw = net_.add_device<PortlandSwitch>(
         name, next_id++, static_cast<std::size_t>(options_.k), *control_,
         options_.config, rng.fork());
+    sw.set_shard(shard);
+    control_->set_endpoint_shard(sw.id(), shard);
+    return sw;
   };
   for (std::size_t pod = 0; pod < tree_.pods(); ++pod) {
     for (std::size_t e = 0; e < half; ++e) {
-      edges_.push_back(&make_switch(str_format("edge-p%zu-%zu", pod, e)));
+      edges_.push_back(&make_switch(str_format("edge-p%zu-%zu", pod, e),
+                                    static_cast<sim::ShardId>(pod)));
     }
   }
   for (std::size_t pod = 0; pod < tree_.pods(); ++pod) {
     for (std::size_t a = 0; a < half; ++a) {
-      aggs_.push_back(&make_switch(str_format("agg-p%zu-%zu", pod, a)));
+      aggs_.push_back(&make_switch(str_format("agg-p%zu-%zu", pod, a),
+                                   static_cast<sim::ShardId>(pod)));
     }
   }
   for (std::size_t i = 0; i < half; ++i) {
     for (std::size_t j = 0; j < cores_per_group; ++j) {
-      cores_.push_back(&make_switch(str_format("core-%zu-%zu", i, j)));
+      cores_.push_back(&make_switch(str_format("core-%zu-%zu", i, j),
+                                    tree_.core_shard()));
     }
   }
   switches_ = edges_;
@@ -77,6 +103,7 @@ PortlandFabric::PortlandFabric(Options options)
         host::Host& h = net_.add_device<host::Host>(
             str_format("host-p%zu-e%zu-h%zu", pod, e, p),
             make_amac(host_counter), ip_at(pod, e, p), options_.host_config);
+        h.set_shard(static_cast<sim::ShardId>(pod));
         host_by_index_[index] = &h;
         hosts_.push_back(&h);
         sim::Link& link =
@@ -166,8 +193,12 @@ bool PortlandFabric::run_until_converged(SimDuration limit) {
   }
   // Location discovery is done; re-announce every host so each edge
   // assigns PMACs and the fabric manager's registry becomes complete
-  // (the boot-time gratuitous ARPs may have preceded discovery).
-  for (host::Host* h : hosts_) h->send_gratuitous_arp();
+  // (the boot-time gratuitous ARPs may have preceded discovery). Each
+  // announcement transmits from the host's own shard.
+  for (host::Host* h : hosts_) {
+    sim::ShardGuard guard(sim(), h->shard());
+    h->send_gratuitous_arp();
+  }
   sim().run_until(sim().now() + millis(20));
   return true;
 }

@@ -48,6 +48,12 @@ class PortlandFabric {
     /// paper targets general multi-rooted trees, not only pristine fat
     /// trees). With c cores/group the oversubscription ratio is (k/2)/c.
     std::size_t cores_per_group = 0;
+    /// 0 (default): classic single-threaded engine, byte-for-byte the
+    /// behavior every experiment has always had. >= 1: the sharded
+    /// parallel engine — one shard per pod plus one for cores + fabric
+    /// manager — driven by this many worker threads. Any worker count
+    /// schedules the identical event sequence (see Simulator).
+    unsigned workers = 0;
   };
 
   explicit PortlandFabric(Options options);

@@ -23,8 +23,13 @@ void MigrationController::schedule(const Plan& plan) {
     fabric_->network().connect(*vm, 0, new_edge, plan.to_port,
                                fabric_->options().host_link);
     // The migrated VM announces itself from the new location; the fabric
-    // handles the rest (registration, invalidation, redirects).
-    vm->send_gratuitous_arp();
+    // handles the rest (registration, invalidation, redirects). The VM
+    // keeps its original event shard — its new access link is simply a
+    // cross-shard link — so the announcement runs under its shard guard.
+    {
+      sim::ShardGuard guard(fabric_->sim(), vm->shard());
+      vm->send_gratuitous_arp();
+    }
     ++finished_;
     PLOG_INFO("migration: %s re-attached at %s port %zu", vm->name().c_str(),
               new_edge.name().c_str(), plan.to_port);

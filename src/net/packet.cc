@@ -1,14 +1,62 @@
 #include "net/packet.h"
 
+#include <algorithm>
 #include <cassert>
+#include <mutex>
+#include <new>
+#include <utility>
 
 #include "common/byte_io.h"
 
 namespace portland::net {
 
-ParseStats& parse_stats() {
-  static ParseStats stats;
-  return stats;
+namespace {
+// Parse counters are kept per thread (shard workers increment them with no
+// synchronization) and aggregated on demand. Each thread's block registers
+// itself; exited threads fold their totals into `retired`.
+struct StatsRegistry {
+  std::mutex mutex;
+  std::vector<const ParseStats*> live;
+  ParseStats retired;
+};
+StatsRegistry& stats_registry() {
+  static StatsRegistry reg;
+  return reg;
+}
+
+void add_into(ParseStats& into, const ParseStats& from) {
+  into.parse_calls += from.parse_calls;
+  into.meta_hits += from.meta_hits;
+  into.meta_attaches += from.meta_attaches;
+  into.rewrite_copies += from.rewrite_copies;
+}
+
+struct TlsStats {
+  ParseStats stats;
+  TlsStats() {
+    auto& reg = stats_registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    reg.live.push_back(&stats);
+  }
+  ~TlsStats() {
+    auto& reg = stats_registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    add_into(reg.retired, stats);
+    std::erase(reg.live, &stats);
+  }
+};
+ParseStats& tls_stats() {
+  thread_local TlsStats t;
+  return t.stats;
+}
+}  // namespace
+
+ParseStats parse_stats() {
+  auto& reg = stats_registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  ParseStats total = reg.retired;
+  for (const ParseStats* s : reg.live) add_into(total, *s);
+  return total;
 }
 
 namespace {
@@ -31,7 +79,7 @@ void finish_flow(ParsedFrame& p) {
 }  // namespace
 
 ParsedFrame parse_frame(std::span<const std::uint8_t> bytes) {
-  ++parse_stats().parse_calls;
+  ++tls_stats().parse_calls;
   ParsedFrame p;
   ByteReader r(bytes);
   p.eth = EthernetHeader::deserialize(r);
@@ -83,7 +131,7 @@ ParsedFrame parse_frame(std::span<const std::uint8_t> bytes) {
 std::vector<std::uint8_t> build_arp_frame(MacAddress eth_dst,
                                           MacAddress eth_src,
                                           const ArpMessage& arp) {
-  std::vector<std::uint8_t> out;
+  std::vector<std::uint8_t> out = sim::acquire_frame_bytes();
   out.reserve(EthernetHeader::kSize + ArpMessage::kSize);
   ByteWriter w(out);
   EthernetHeader eth{eth_dst, eth_src, to_u16(EtherType::kArp)};
@@ -102,7 +150,7 @@ std::vector<std::uint8_t> build_udp_frame(MacAddress eth_dst,
                                           std::uint8_t ttl) {
   assert(payload.size() + UdpHeader::kSize + Ipv4Header::kSize <=
          kEthernetMtu);
-  std::vector<std::uint8_t> out;
+  std::vector<std::uint8_t> out = sim::acquire_frame_bytes();
   out.reserve(EthernetHeader::kSize + Ipv4Header::kSize + UdpHeader::kSize +
               payload.size());
   ByteWriter w(out);
@@ -132,7 +180,7 @@ std::vector<std::uint8_t> build_ipv4_frame(MacAddress eth_dst,
                                            std::uint8_t protocol,
                                            std::span<const std::uint8_t> payload,
                                            std::uint8_t ttl) {
-  std::vector<std::uint8_t> out;
+  std::vector<std::uint8_t> out = sim::acquire_frame_bytes();
   out.reserve(EthernetHeader::kSize + Ipv4Header::kSize + payload.size());
   ByteWriter w(out);
   EthernetHeader eth{eth_dst, eth_src, to_u16(EtherType::kIpv4)};
@@ -158,7 +206,7 @@ std::vector<std::uint8_t> build_tcp_frame(MacAddress eth_dst,
                                           std::uint8_t ttl) {
   assert(payload.size() + TcpHeader::kSize + Ipv4Header::kSize <=
          kEthernetMtu);
-  std::vector<std::uint8_t> out;
+  std::vector<std::uint8_t> out = sim::acquire_frame_bytes();
   out.reserve(EthernetHeader::kSize + Ipv4Header::kSize + TcpHeader::kSize +
               payload.size());
   ByteWriter w(out);
@@ -208,7 +256,9 @@ std::uint64_t flow_hash(const FlowKey& key) {
 
 namespace {
 std::vector<std::uint8_t> copy_frame(std::span<const std::uint8_t> frame) {
-  return {frame.begin(), frame.end()};
+  std::vector<std::uint8_t> out = sim::acquire_frame_bytes();
+  out.assign(frame.begin(), frame.end());
+  return out;
 }
 
 void write_mac_at(std::vector<std::uint8_t>& bytes, std::size_t offset,
@@ -249,16 +299,35 @@ std::vector<std::uint8_t> rewrite_arp_mac(std::span<const std::uint8_t> frame,
 // Parse-once metadata and the single-copy rewrite fast path
 // ---------------------------------------------------------------------------
 
+namespace {
+// Parse summaries live in the frame's opaque meta slot as a raw pointer +
+// deleter; the storage cycles through the sim block pool so a summary
+// costs no heap allocation at steady state.
+void parsed_frame_deleter(const void* p) {
+  auto* pf = const_cast<ParsedFrame*>(static_cast<const ParsedFrame*>(p));
+  pf->~ParsedFrame();
+  sim::detail::RecycleAllocator<ParsedFrame>{}.deallocate(pf, 1);
+}
+
+[[nodiscard]] ParsedFrame* alloc_parsed(ParsedFrame&& src) {
+  ParsedFrame* storage =
+      sim::detail::RecycleAllocator<ParsedFrame>{}.allocate(1);
+  return new (storage) ParsedFrame(std::move(src));
+}
+}  // namespace
+
 const ParsedFrame& parsed_of(const sim::FramePtr& frame) {
-  if (frame->meta != nullptr) {
-    ++parse_stats().meta_hits;
-    return *static_cast<const ParsedFrame*>(frame->meta.get());
+  if (const void* cached = frame->meta()) {
+    ++tls_stats().meta_hits;
+    return *static_cast<const ParsedFrame*>(cached);
   }
-  auto meta = std::make_shared<ParsedFrame>(parse_frame(frame_span(frame)));
-  const ParsedFrame& ref = *meta;
-  frame->meta = std::move(meta);
-  ++parse_stats().meta_attaches;
-  return ref;
+  // Two shards may race to parse a multicast replica; attach_meta keeps
+  // exactly one winner and frees the loser's candidate. A lost race still
+  // counts as an attach here — the parse work was done.
+  ParsedFrame* candidate = alloc_parsed(parse_frame(frame_span(frame)));
+  const void* installed = frame->attach_meta(candidate, parsed_frame_deleter);
+  ++tls_stats().meta_attaches;
+  return *static_cast<const ParsedFrame*>(installed);
 }
 
 namespace {
@@ -273,9 +342,11 @@ void patch_mac(sim::FrameBytes& bytes, std::size_t offset, MacAddress mac) {
 }  // namespace
 
 sim::FramePtr rewrite_frame(const sim::FramePtr& in, const FrameRewrite& rw) {
-  ++parse_stats().rewrite_copies;
-  auto out = std::make_shared<sim::Frame>();
-  out->bytes = in->bytes;  // the single whole-frame copy
+  ++tls_stats().rewrite_copies;
+  auto out = sim::alloc_frame();
+  out->bytes = sim::acquire_frame_bytes();
+  out->bytes.assign(in->bytes.begin(),
+                    in->bytes.end());  // the single whole-frame copy
 
   if (rw.eth_dst.has_value()) patch_mac(out->bytes, 0, *rw.eth_dst);
   if (rw.eth_src.has_value()) {
@@ -295,10 +366,10 @@ sim::FramePtr rewrite_frame(const sim::FramePtr& in, const FrameRewrite& rw) {
   // buffer) so downstream hops skip the parse entirely. Without a cached
   // summary the patched buffer is parsed once here — still one parse per
   // frame, just paid at the rewrite instead of at ingress.
-  const auto* old = static_cast<const ParsedFrame*>(in->meta.get());
-  std::shared_ptr<ParsedFrame> meta;
+  const auto* old = static_cast<const ParsedFrame*>(in->meta());
+  ParsedFrame* meta = nullptr;
   if (old != nullptr) {
-    meta = std::make_shared<ParsedFrame>(*old);
+    meta = alloc_parsed(ParsedFrame(*old));
     if (rw.eth_dst.has_value()) meta->eth.dst = *rw.eth_dst;
     if (rw.eth_src.has_value()) meta->eth.src = *rw.eth_src;
     if (meta->arp.has_value()) {
@@ -316,10 +387,9 @@ sim::FramePtr rewrite_frame(const sim::FramePtr& in, const FrameRewrite& rw) {
                           .subspan(offset, meta->payload.size());
     }
   } else {
-    meta = std::make_shared<ParsedFrame>(
-        parse_frame({out->bytes.data(), out->bytes.size()}));
+    meta = alloc_parsed(parse_frame({out->bytes.data(), out->bytes.size()}));
   }
-  out->meta = std::move(meta);
+  out->attach_meta(meta, parsed_frame_deleter);  // fresh frame: no race
   return out;
 }
 

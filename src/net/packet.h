@@ -8,7 +8,9 @@
 // Parse-once fast path: `parsed_of(frame)` parses a sim frame at most once
 // per buffer and caches the result in the frame's metadata slot — every
 // later hop (and the path auditor, and the destination host) reads the
-// cached summary for free. `rewrite_frame` performs the PMAC<->AMAC header
+// cached summary for free. The attach is an atomic publish, so shard
+// workers may race on a multicast replica: one parse wins, the rest adopt
+// it. `rewrite_frame` performs the PMAC<->AMAC header
 // rewriting edge switches do (paper §3.2) as ONE buffer copy with in-place
 // patches, carrying the parse metadata across so downstream hops never
 // re-parse. `parse_stats()` counts parses vs. cache hits so benches and
@@ -71,16 +73,18 @@ struct ParsedFrame {
 /// hops, the frame tap, the destination) return the cached summary.
 [[nodiscard]] const ParsedFrame& parsed_of(const sim::FramePtr& frame);
 
-/// Counters behind the parse-once machinery (single-threaded sim, one
-/// global set). Benches and tests diff these across a run to verify the
-/// fast path: steady state must show ~1 parse per frame, not per hop.
+/// Counters behind the parse-once machinery. Benches and tests diff these
+/// across a run to verify the fast path: steady state must show ~1 parse
+/// per frame, not per hop. Each thread counts into its own set (shard
+/// workers never contend); parse_stats() aggregates a snapshot — call it
+/// while the simulation is quiescent for exact totals.
 struct ParseStats {
   std::uint64_t parse_calls = 0;    // full buffer walks (parse_frame)
   std::uint64_t meta_hits = 0;      // parsed_of served from cache
   std::uint64_t meta_attaches = 0;  // parsed_of had to parse + attach
   std::uint64_t rewrite_copies = 0; // rewrite_frame buffer copies
 };
-[[nodiscard]] ParseStats& parse_stats();
+[[nodiscard]] ParseStats parse_stats();
 
 /// Header patches applied by rewrite_frame. Unset fields are untouched.
 struct FrameRewrite {

@@ -62,6 +62,13 @@ class Device {
 
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] Simulator& sim() const { return *sim_; }
+
+  /// Event shard this device's handlers run on (parallel engine). Fabric
+  /// wiring assigns shards before start(); defaults to 0, which is also
+  /// what classic single-threaded mode uses throughout.
+  void set_shard(ShardId shard) { shard_ = shard; }
+  [[nodiscard]] ShardId shard() const { return shard_; }
+
   [[nodiscard]] CounterSet& counters() { return counters_; }
   [[nodiscard]] const CounterSet& counters() const { return counters_; }
 
@@ -85,6 +92,7 @@ class Device {
 
   Simulator* sim_;
   std::string name_;
+  ShardId shard_ = 0;
   std::vector<PortSlot> ports_;
   CounterSet counters_;
   std::uint64_t* tx_frames_ = counters_.handle("tx_frames");

@@ -10,35 +10,196 @@
 // parse a frame attaches its parse result, and every later hop reads the
 // summary instead of re-walking the bytes (net::parsed_of). The slot is
 // deliberately opaque here so the sim layer stays below net in the
-// layering; net/packet.h owns the only type ever stored in it. It is
-// `mutable` because attaching a cache entry does not change the frame's
-// observable value — the simulation is single-threaded, so the lazy fill
-// is race-free.
+// layering; net/packet.h owns the only type ever stored in it. With the
+// parallel engine a multicast replica can reach two shards at once, so
+// the lazy fill is an atomic compare-and-swap publish: the first parser
+// wins, racers free their candidate and adopt the winner's.
+//
+// Allocation recycling: frame byte buffers and the Frame+refcount blocks
+// themselves cycle through thread-local freelists (`acquire_frame_bytes`,
+// the pooling allocator behind `make_frame`), so steady-state forwarding
+// performs no heap allocation per frame. Thread-local pools need no locks
+// and keep the event schedule — and therefore determinism — untouched.
 #pragma once
 
+#include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <new>
 #include <span>
+#include <utility>
 #include <vector>
 
 namespace portland::sim {
 
 using FrameBytes = std::vector<std::uint8_t>;
 
+namespace detail {
+
+/// Retired frame buffers, capacity intact, waiting for reuse.
+struct BytePool {
+  std::vector<FrameBytes> buffers;
+};
+inline BytePool& byte_pool() {
+  thread_local BytePool pool;
+  return pool;
+}
+/// Bounds keep a pool from hoarding: at most this many buffers, and only
+/// sanely-sized ones (a stray jumbo allocation is returned to the heap).
+constexpr std::size_t kBytePoolMaxBuffers = 1024;
+constexpr std::size_t kBytePoolMaxCapacity = 16 * 1024;
+
+/// Minimal STL allocator over a thread-local freelist of fixed-size
+/// blocks. Used via std::allocate_shared so a Frame (or a parse summary)
+/// and its shared_ptr control block come from — and return to — the pool
+/// as one block. Blocks may retire on a different thread than they were
+/// taken from; each thread's pool simply absorbs what dies on it.
+template <typename T>
+struct RecycleAllocator {
+  using value_type = T;
+
+  RecycleAllocator() noexcept = default;
+  template <typename U>
+  RecycleAllocator(const RecycleAllocator<U>&) noexcept {}  // NOLINT
+
+  static constexpr std::size_t kMaxBlocks = 1024;
+
+  struct Pool {
+    std::vector<void*> blocks;
+    ~Pool() {
+      for (void* b : blocks) {
+        ::operator delete(b, std::align_val_t(alignof(T)));
+      }
+    }
+  };
+  static Pool& pool() {
+    thread_local Pool p;
+    return p;
+  }
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    if (n == 1) {
+      auto& blocks = pool().blocks;
+      if (!blocks.empty()) {
+        void* b = blocks.back();
+        blocks.pop_back();
+        return static_cast<T*>(b);
+      }
+    }
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(alignof(T))));
+  }
+  void deallocate(T* ptr, std::size_t n) noexcept {
+    if (n == 1) {
+      auto& blocks = pool().blocks;
+      if (blocks.size() < kMaxBlocks) {
+        blocks.push_back(ptr);
+        return;
+      }
+    }
+    ::operator delete(ptr, std::align_val_t(alignof(T)));
+  }
+
+  template <typename U>
+  friend bool operator==(const RecycleAllocator&,
+                         const RecycleAllocator<U>&) noexcept {
+    return true;
+  }
+};
+
+}  // namespace detail
+
+/// A cleared byte buffer, recycled from a retired frame when one is
+/// available. Frame builders start from this instead of a fresh vector so
+/// steady-state frame construction reuses capacity instead of allocating.
+[[nodiscard]] inline FrameBytes acquire_frame_bytes() {
+  auto& pool = detail::byte_pool().buffers;
+  if (pool.empty()) return {};
+  FrameBytes bytes = std::move(pool.back());
+  pool.pop_back();
+  bytes.clear();
+  return bytes;
+}
+
+/// Donates a buffer's capacity to the calling thread's pool (bounded; an
+/// empty or oversized buffer is simply dropped).
+inline void recycle_frame_bytes(FrameBytes&& bytes) {
+  if (bytes.capacity() == 0 ||
+      bytes.capacity() > detail::kBytePoolMaxCapacity) {
+    return;
+  }
+  auto& pool = detail::byte_pool().buffers;
+  if (pool.size() < detail::kBytePoolMaxBuffers) {
+    pool.push_back(std::move(bytes));
+  }
+}
+
 struct Frame {
   FrameBytes bytes;
-  /// Parse-once cache slot (see file comment). Owned by net::parsed_of /
-  /// net::rewrite_frame; everything else treats it as opaque.
-  mutable std::shared_ptr<const void> meta;
+
+  Frame() = default;
+  Frame(const Frame&) = delete;
+  Frame& operator=(const Frame&) = delete;
+  ~Frame() {
+    reset_meta();
+    recycle_frame_bytes(std::move(bytes));
+  }
 
   [[nodiscard]] std::size_t size() const { return bytes.size(); }
   [[nodiscard]] const std::uint8_t* data() const { return bytes.data(); }
+
+  // --- parse-once cache slot (see file comment) ------------------------
+  using MetaDeleter = void (*)(const void*);
+
+  /// The attached summary, or nullptr. Acquire pairs with the publishing
+  /// CAS so the summary's fields are fully visible.
+  [[nodiscard]] const void* meta() const {
+    return meta_.load(std::memory_order_acquire);
+  }
+
+  /// Publishes `candidate` if the slot is still empty and returns the
+  /// slot's final occupant. On a lost race the candidate is released via
+  /// `deleter` and the winner's pointer is returned instead. The deleter
+  /// is also how the frame frees the summary on destruction.
+  const void* attach_meta(const void* candidate, MetaDeleter deleter) const {
+    const void* expected = nullptr;
+    if (meta_.compare_exchange_strong(expected, candidate,
+                                      std::memory_order_release,
+                                      std::memory_order_acquire)) {
+      // Only the winner writes the deleter; the destructor reads it after
+      // the last reference drops, which the refcount already orders.
+      deleter_ = deleter;
+      return candidate;
+    }
+    deleter(candidate);
+    return expected;
+  }
+
+  /// Frees the attached summary, if any. Destructor-only in spirit: not
+  /// safe concurrently with attach_meta on other threads.
+  void reset_meta() const {
+    if (const void* p = meta_.load(std::memory_order_acquire)) {
+      deleter_(p);
+      meta_.store(nullptr, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  mutable std::atomic<const void*> meta_{nullptr};
+  mutable MetaDeleter deleter_ = nullptr;
 };
 
 using FramePtr = std::shared_ptr<const Frame>;
 
+/// A fresh mutable Frame whose storage (object + control block, one
+/// combined allocation) comes from the thread-local block pool.
+[[nodiscard]] inline std::shared_ptr<Frame> alloc_frame() {
+  return std::allocate_shared<Frame>(detail::RecycleAllocator<Frame>{});
+}
+
 [[nodiscard]] inline FramePtr make_frame(FrameBytes bytes) {
-  auto f = std::make_shared<Frame>();
+  auto f = alloc_frame();
   f->bytes = std::move(bytes);
   return f;
 }

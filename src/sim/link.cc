@@ -52,7 +52,12 @@ void Link::transmit(int from_side, const FramePtr& frame) {
   Device* receiver = end_[side_index(1 - from_side)].device;
   const PortId rx_port = end_[side_index(1 - from_side)].port;
 
-  sim_->at(arrival, [this, from_side, epoch, receiver, rx_port, frame] {
+  // Delivery runs on the receiver's shard. In the parallel engine a
+  // cross-shard arrival parks in the (src,dst) mailbox until the window
+  // barrier; the lambda's reads of the *sending* direction (up, epoch)
+  // are race-free because those fields only change in barrier tasks.
+  sim_->at_shard(receiver->shard(), arrival,
+                 [this, from_side, epoch, receiver, rx_port, frame] {
     Direction& d = dir_[side_index(from_side)];
     // Frames in flight when the direction failed are lost.
     if (!d.up || d.epoch != epoch) return;
@@ -68,8 +73,12 @@ void Link::set_up(bool up) {
   set_direction_up(0, up);
   set_direction_up(1, up);
   if (was_up != up) {
-    end_[0].device->handle_link_status(end_[0].port, up);
-    end_[1].device->handle_link_status(end_[1].port, up);
+    for (int side = 0; side < 2; ++side) {
+      // Run each notification "as" the endpoint's shard so any timers or
+      // frames it triggers land on the owning shard's queue.
+      ShardGuard guard(*sim_, end_[side].device->shard());
+      end_[side].device->handle_link_status(end_[side].port, up);
+    }
   }
 }
 

@@ -16,7 +16,12 @@ void Network::disconnect(Link& link) {
 }
 
 void Network::start_all() {
-  for (const auto& dev : devices_) dev->start();
+  for (const auto& dev : devices_) {
+    // Each device starts "on" its own shard so its initial timers land in
+    // the right event queue (no-op in classic mode).
+    ShardGuard guard(sim_, dev->shard());
+    dev->start();
+  }
 }
 
 Device* Network::find_device(const std::string& name) const {

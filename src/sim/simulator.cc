@@ -1,6 +1,8 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
 #include <cassert>
+#include <limits>
 
 namespace portland::sim {
 
@@ -8,91 +10,448 @@ namespace {
 /// Default queue capacity: covers a k=8 fabric's steady-state event
 /// population without reallocation; larger fabrics grow once, early.
 constexpr std::size_t kDefaultEventCapacity = 4096;
+
+constexpr SimTime kNever = std::numeric_limits<SimTime>::max();
+
+/// Which (simulator, shard) the calling thread is currently executing
+/// for. Set around every shard window and ShardGuard scope; everything
+/// else (the main thread between runs, barrier tasks) sees kNoShard.
+struct ExecCtx {
+  const Simulator* sim = nullptr;
+  ShardId shard = kNoShard;
+};
+thread_local ExecCtx g_ctx;
 }  // namespace
 
 Simulator::Simulator() {
-  queue_.reserve(kDefaultEventCapacity);
-  slots_.reserve(kDefaultEventCapacity);
-  free_slots_.reserve(kDefaultEventCapacity);
+  shards_.push_back(std::make_unique<Shard>());
+  Shard& sh = *shards_[0];
+  sh.queue.reserve(kDefaultEventCapacity);
+  sh.slots.reserve(kDefaultEventCapacity);
+  sh.free_slots.reserve(kDefaultEventCapacity);
 }
 
-std::uint32_t Simulator::acquire_slot() {
-  if (free_slots_.empty()) {
-    slots_.emplace_back();
-    return static_cast<std::uint32_t>(slots_.size() - 1);
+Simulator::~Simulator() { join_workers(); }
+
+ShardId Simulator::current_shard() { return g_ctx.shard; }
+
+ShardId Simulator::context_shard() const {
+  return g_ctx.sim == this ? g_ctx.shard : kNoShard;
+}
+
+SimTime Simulator::now() const {
+  if (!configured_) return shards_[0]->now;
+  const ShardId ctx = context_shard();
+  if (ctx != kNoShard) return shards_[ctx]->now;
+  return global_now_;
+}
+
+std::uint32_t Simulator::acquire_slot(Shard& sh) {
+  if (sh.free_slots.empty()) {
+    sh.slots.emplace_back();
+    return static_cast<std::uint32_t>(sh.slots.size() - 1);
   }
-  const std::uint32_t slot = free_slots_.back();
-  free_slots_.pop_back();
+  const std::uint32_t slot = sh.free_slots.back();
+  sh.free_slots.pop_back();
   return slot;
 }
 
+void Simulator::schedule_local(Shard& sh, SimTime t, SmallFn fn) {
+  assert(t >= sh.now);
+  const std::uint32_t slot = acquire_slot(sh);
+  sh.slots[slot].fn = std::move(fn);
+  sh.queue.push(QNode{t, sh.next_seq++, slot});
+}
+
+void Simulator::schedule_timer_local(Shard& sh, SimTime t,
+                                     std::shared_ptr<TimerCore> core,
+                                     std::uint64_t generation) {
+  assert(t >= sh.now);
+  const std::uint32_t slot = acquire_slot(sh);
+  sh.slots[slot].timer = std::move(core);
+  sh.slots[slot].timer_gen = generation;
+  sh.queue.push(QNode{t, sh.next_seq++, slot});
+}
+
 void Simulator::at(SimTime t, SmallFn fn) {
-  assert(t >= now_);
-  const std::uint32_t slot = acquire_slot();
-  slots_[slot].fn = std::move(fn);
-  queue_.push(QNode{t, next_seq_++, slot});
+  if (!configured_) {
+    schedule_local(*shards_[0], t, std::move(fn));
+    return;
+  }
+  const ShardId ctx = context_shard();
+  if (ctx == kNoShard) {
+    at_barrier(t, std::move(fn));
+    return;
+  }
+  schedule_local(*shards_[ctx], t, std::move(fn));
 }
 
 void Simulator::after(SimDuration delay, SmallFn fn) {
   assert(delay >= 0);
-  at(now_ + delay, std::move(fn));
+  at(now() + delay, std::move(fn));
 }
 
 void Simulator::at_timer(SimTime t, std::shared_ptr<TimerCore> core,
                          std::uint64_t generation) {
-  assert(t >= now_);
-  const std::uint32_t slot = acquire_slot();
-  slots_[slot].timer = std::move(core);
-  slots_[slot].timer_gen = generation;
-  queue_.push(QNode{t, next_seq_++, slot});
+  if (!configured_) {
+    schedule_timer_local(*shards_[0], t, std::move(core), generation);
+    return;
+  }
+  const ShardId ctx = context_shard();
+  if (ctx != kNoShard) {
+    schedule_timer_local(*shards_[ctx], t, std::move(core), generation);
+    return;
+  }
+  // No shard context: fire through the barrier queue. The wrapper
+  // re-checks generation/pending exactly like the slot-pool path.
+  at_barrier(t, [core = std::move(core), generation] {
+    fire_timer(*core, generation);
+  });
+}
+
+void Simulator::at_shard(ShardId dst, SimTime t, SmallFn fn) {
+  if (!configured_ || dst == kNoShard) {
+    at(t, std::move(fn));
+    return;
+  }
+  assert(dst < shards_.size());
+  const ShardId ctx = context_shard();
+  if (ctx == dst) {
+    schedule_local(*shards_[dst], t, std::move(fn));
+    return;
+  }
+  if (in_window_ && ctx != kNoShard) {
+    // Mid-window cross-shard send: park in the (src,dst) mailbox. The
+    // barrier merges mailboxes in (time, src, push-order) order, so the
+    // destination sequence is independent of thread interleaving.
+    auto& box = shards_[ctx]->outbox[dst];
+    box.emplace_back();
+    box.back().time = t;
+    box.back().payload.fn = std::move(fn);
+    return;
+  }
+  // Quiescent (between windows / barrier task): safe to push directly.
+  schedule_local(*shards_[dst], t, std::move(fn));
+}
+
+void Simulator::at_barrier(SimTime t, SmallFn fn) {
+  if (!configured_) {
+    at(t, std::move(fn));
+    return;
+  }
+  std::lock_guard<std::mutex> lk(barrier_mutex_);
+  barrier_heap_.push_back(BarrierTask{t, barrier_seq_++, std::move(fn)});
+  std::push_heap(barrier_heap_.begin(), barrier_heap_.end(), TaskLater{});
+}
+
+void Simulator::configure_shards(std::size_t count, SimDuration lookahead,
+                                 std::uint64_t seed) {
+  assert(!configured_ && "configure_shards may run once, before events flow");
+  assert(count >= 1);
+  lookahead_ = std::max<SimDuration>(SimDuration{1}, lookahead);
+  shards_.reserve(count);
+  while (shards_.size() < count) {
+    auto sh = std::make_unique<Shard>();
+    sh->queue.reserve(kDefaultEventCapacity);
+    sh->slots.reserve(kDefaultEventCapacity);
+    sh->free_slots.reserve(kDefaultEventCapacity);
+    sh->now = shards_[0]->now;
+    shards_.push_back(std::move(sh));
+  }
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    // Independent, deterministic per-shard stream: seed ⊕ stream index.
+    shards_[s]->rng = Rng(seed, static_cast<std::uint64_t>(s));
+    shards_[s]->outbox.resize(shards_.size());
+  }
+  global_now_ = shards_[0]->now;
+  configured_ = true;
+  if (workers_ > 1) spawn_workers();
+}
+
+void Simulator::set_workers(unsigned n) {
+  if (n == 0) n = 1;
+  if (n == workers_ && (n == 1 || !threads_.empty() || !configured_)) return;
+  join_workers();
+  workers_ = n;
+  if (configured_ && workers_ > 1) spawn_workers();
+}
+
+void Simulator::spawn_workers() {
+  assert(threads_.empty());
+  quit_ = false;
+  threads_.reserve(workers_ - 1);
+  for (unsigned w = 1; w < workers_; ++w) {
+    threads_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+void Simulator::join_workers() {
+  if (threads_.empty()) return;
+  {
+    std::lock_guard<std::mutex> lk(pool_mutex_);
+    quit_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& t : threads_) t.join();
+  threads_.clear();
+  quit_ = false;
+}
+
+Rng& Simulator::shard_rng(ShardId shard) {
+  assert(shard < shards_.size());
+  return shards_[shard]->rng;
 }
 
 void Simulator::reserve_events(std::size_t capacity) {
-  queue_.reserve(capacity);
-  slots_.reserve(capacity);
-  free_slots_.reserve(capacity);
+  for (auto& sh : shards_) {
+    sh->queue.reserve(capacity);
+    sh->slots.reserve(capacity);
+    sh->free_slots.reserve(capacity);
+  }
 }
 
-void Simulator::dispatch_one() {
-  const QNode node = queue_.top();
-  queue_.pop();
-  now_ = node.time;
-  ++executed_;
+void Simulator::fire_timer(TimerCore& core, std::uint64_t generation) {
+  if (core.generation != generation || !core.pending) return;
+  core.pending = false;
+  // Run the callback from a local so a schedule_after() inside it (which
+  // replaces core.fn) cannot destroy the closure mid-execution; restore
+  // it afterwards unless it was replaced, keeping rearm() working.
+  std::function<void()> fn = std::move(core.fn);
+  fn();
+  if (!core.fn && fn) core.fn = std::move(fn);
+}
+
+void Simulator::dispatch_one(Shard& sh) {
+  const QNode node = sh.queue.top();
+  sh.queue.pop();
+  sh.now = node.time;
+  ++sh.executed;
   // The payload must be moved out and its slot released before running:
   // the callback may schedule new events, reusing (or growing) the pool.
-  EventPayload& slot = slots_[node.slot];
+  EventPayload& slot = sh.slots[node.slot];
   if (slot.timer != nullptr) {
     const std::shared_ptr<TimerCore> timer = std::move(slot.timer);
     const std::uint64_t gen = slot.timer_gen;
-    free_slots_.push_back(node.slot);
-    TimerCore& core = *timer;
-    if (core.generation != gen || !core.pending) return;
-    core.pending = false;
-    // Run the callback from a local so a schedule_after() inside it (which
-    // replaces core.fn) cannot destroy the closure mid-execution; restore
-    // it afterwards unless it was replaced, keeping rearm() working.
-    std::function<void()> fn = std::move(core.fn);
-    fn();
-    if (!core.fn && fn) core.fn = std::move(fn);
+    sh.free_slots.push_back(node.slot);
+    fire_timer(*timer, gen);
     return;
   }
   SmallFn fn = std::move(slot.fn);
-  free_slots_.push_back(node.slot);
+  sh.free_slots.push_back(node.slot);
   fn();
 }
 
+void Simulator::classic_run(SimTime limit) {
+  stopped_.store(false, std::memory_order_relaxed);
+  Shard& sh = *shards_[0];
+  while (!sh.queue.empty() && !stopped_.load(std::memory_order_relaxed) &&
+         sh.queue.top().time <= limit) {
+    dispatch_one(sh);
+  }
+  if (limit != kNever && !stopped_.load(std::memory_order_relaxed) &&
+      sh.now < limit) {
+    sh.now = limit;
+  }
+}
+
+SimTime Simulator::earliest_shard_event() const {
+  SimTime t = kNever;
+  for (const auto& sh : shards_) {
+    if (!sh->queue.empty()) t = std::min(t, sh->queue.top().time);
+  }
+  return t;
+}
+
+SimTime Simulator::earliest_barrier_task() const {
+  std::lock_guard<std::mutex> lk(barrier_mutex_);
+  return barrier_heap_.empty() ? kNever : barrier_heap_.front().time;
+}
+
+void Simulator::run_due_barrier_tasks(SimTime bound) {
+  // Tasks run strictly in (time, seq) order, but never past a shard event
+  // an earlier task may have scheduled: re-check the shard horizon after
+  // every task. Ties (task time == event time) go to the task.
+  for (;;) {
+    if (stopped_.load(std::memory_order_relaxed)) return;
+    BarrierTask task;
+    {
+      std::lock_guard<std::mutex> lk(barrier_mutex_);
+      if (barrier_heap_.empty()) return;
+      const SimTime t = barrier_heap_.front().time;
+      if (t > bound || t > earliest_shard_event()) return;
+      std::pop_heap(barrier_heap_.begin(), barrier_heap_.end(), TaskLater{});
+      task = std::move(barrier_heap_.back());
+      barrier_heap_.pop_back();
+    }
+    global_now_ = std::max(global_now_, task.time);
+    for (auto& sh : shards_) sh->now = std::max(sh->now, global_now_);
+    ++barrier_executed_;
+    task.fn();
+  }
+}
+
+void Simulator::run_shard_window(Shard& sh, ShardId id, SimTime end) {
+  const ExecCtx saved = g_ctx;
+  g_ctx = ExecCtx{this, id};
+  while (!sh.queue.empty() && sh.queue.top().time < end) dispatch_one(sh);
+  g_ctx = saved;
+}
+
+void Simulator::worker_loop(unsigned worker_index) {
+  std::uint64_t seen_gen = 0;
+  for (;;) {
+    SimTime end;
+    {
+      std::unique_lock<std::mutex> lk(pool_mutex_);
+      cv_start_.wait(lk, [&] { return quit_ || window_gen_ != seen_gen; });
+      if (quit_) return;
+      seen_gen = window_gen_;
+      end = window_end_;
+    }
+    for (ShardId s = worker_index; s < shards_.size(); s += workers_) {
+      run_shard_window(*shards_[s], s, end);
+    }
+    {
+      std::lock_guard<std::mutex> lk(pool_mutex_);
+      if (--active_workers_ == 0) cv_done_.notify_one();
+    }
+  }
+}
+
+void Simulator::execute_window(SimTime end) {
+  if (threads_.empty()) {
+    // Single worker: still windowed, still mailboxed — the execution
+    // order must match the multi-worker schedule bit for bit.
+    in_window_ = true;
+    for (ShardId s = 0; s < shards_.size(); ++s) {
+      run_shard_window(*shards_[s], s, end);
+    }
+    in_window_ = false;
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(pool_mutex_);
+    in_window_ = true;
+    window_end_ = end;
+    active_workers_ = static_cast<unsigned>(threads_.size());
+    ++window_gen_;
+  }
+  cv_start_.notify_all();
+  for (ShardId s = 0; s < shards_.size(); s += workers_) {
+    run_shard_window(*shards_[s], s, end);
+  }
+  std::unique_lock<std::mutex> lk(pool_mutex_);
+  cv_done_.wait(lk, [&] { return active_workers_ == 0; });
+  in_window_ = false;
+}
+
+void Simulator::merge_mailboxes() {
+  const std::size_t count = shards_.size();
+  for (std::size_t dst = 0; dst < count; ++dst) {
+    merge_refs_.clear();
+    for (std::size_t src = 0; src < count; ++src) {
+      const auto& box = shards_[src]->outbox[dst];
+      for (std::size_t i = 0; i < box.size(); ++i) {
+        merge_refs_.push_back(MailRef{box[i].time,
+                                      static_cast<std::uint32_t>(src),
+                                      static_cast<std::uint32_t>(i)});
+      }
+    }
+    if (merge_refs_.empty()) continue;
+    // Canonical order: (time, source shard); stable keeps push order for
+    // same-source ties. This — not thread completion order — assigns the
+    // destination sequence numbers.
+    std::stable_sort(merge_refs_.begin(), merge_refs_.end(),
+                     [](const MailRef& a, const MailRef& b) {
+                       if (a.time != b.time) return a.time < b.time;
+                       return a.src < b.src;
+                     });
+    Shard& d = *shards_[dst];
+    for (const MailRef& r : merge_refs_) {
+      Mail& m = shards_[r.src]->outbox[dst][r.idx];
+      if (m.payload.timer != nullptr) {
+        schedule_timer_local(d, m.time, std::move(m.payload.timer),
+                             m.payload.timer_gen);
+      } else {
+        schedule_local(d, m.time, std::move(m.payload.fn));
+      }
+    }
+    for (std::size_t src = 0; src < count; ++src) {
+      shards_[src]->outbox[dst].clear();
+    }
+  }
+}
+
+void Simulator::parallel_run(SimTime limit) {
+  stopped_.store(false, std::memory_order_relaxed);
+  for (;;) {
+    if (stopped_.load(std::memory_order_relaxed)) break;
+    const SimTime t_ev = earliest_shard_event();
+    const SimTime t_task = earliest_barrier_task();
+    const SimTime t = std::min(t_ev, t_task);
+    if (t == kNever || t > limit) break;
+    if (t_task <= t_ev) {
+      run_due_barrier_tasks(std::min(t_ev, limit));
+      continue;
+    }
+    SimTime end = t_ev > kNever - lookahead_ ? kNever : t_ev + lookahead_;
+    if (t_task < end) end = t_task;
+    if (limit != kNever && end > limit) end = limit + 1;  // events at == limit
+    execute_window(end);
+    merge_mailboxes();
+    SimTime advanced = global_now_;
+    for (const auto& sh : shards_) advanced = std::max(advanced, sh->now);
+    global_now_ = advanced;
+    for (auto& sh : shards_) sh->now = advanced;
+  }
+  if (limit != kNever && !stopped_.load(std::memory_order_relaxed) &&
+      global_now_ < limit) {
+    global_now_ = limit;
+    for (auto& sh : shards_) sh->now = std::max(sh->now, limit);
+  }
+}
+
 void Simulator::run() {
-  stopped_ = false;
-  while (!queue_.empty() && !stopped_) dispatch_one();
+  if (configured_) {
+    parallel_run(kNever);
+  } else {
+    classic_run(kNever);
+  }
 }
 
 void Simulator::run_until(SimTime t) {
-  stopped_ = false;
-  while (!queue_.empty() && !stopped_ && queue_.top().time <= t) {
-    dispatch_one();
+  if (configured_) {
+    parallel_run(t);
+  } else {
+    classic_run(t);
   }
-  if (!stopped_ && now_ < t) now_ = t;
 }
+
+std::size_t Simulator::pending_events() const {
+  if (!configured_) return shards_[0]->queue.size();
+  std::size_t n = 0;
+  for (const auto& sh : shards_) {
+    n += sh->queue.size();
+    for (const auto& box : sh->outbox) n += box.size();
+  }
+  std::lock_guard<std::mutex> lk(barrier_mutex_);
+  return n + barrier_heap_.size();
+}
+
+std::uint64_t Simulator::executed_events() const {
+  std::uint64_t n = barrier_executed_;
+  for (const auto& sh : shards_) n += sh->executed;
+  return n;
+}
+
+ShardGuard::ShardGuard(Simulator& sim, ShardId shard)
+    : prev_sim_(const_cast<Simulator*>(g_ctx.sim)), prev_shard_(g_ctx.shard) {
+  if (sim.sharded() && shard != kNoShard && shard < sim.shard_count()) {
+    g_ctx = ExecCtx{&sim, shard};
+  }
+}
+
+ShardGuard::~ShardGuard() { g_ctx = ExecCtx{prev_sim_, prev_shard_}; }
 
 void Timer::schedule_after(SimDuration delay, std::function<void()> fn) {
   const std::uint64_t gen = ++state_->generation;

@@ -1,4 +1,4 @@
-// Deterministic discrete-event simulation engine.
+// Deterministic discrete-event simulation engine — classic and sharded.
 //
 // A `Simulator` owns the virtual clock and a time-ordered event queue.
 // Events scheduled for the same instant fire in insertion order, which —
@@ -11,6 +11,19 @@
 // storage sized for the fabric's event lambdas, so scheduling an event
 // performs no heap allocation at steady state.
 //
+// Sharded mode (`configure_shards` + `set_workers`) turns the engine into
+// a conservative parallel discrete-event simulator: every device belongs
+// to one shard (fat-tree pods; cores + fabric manager share a shard), each
+// shard owns its own event heap, slot pool, seq counter, and RNG stream,
+// and shards advance in lock-step windows no wider than the minimum
+// cross-shard link latency (the lookahead). Within a window shards run
+// independently on a worker pool; cross-shard deliveries buffer into
+// per-(src,dst) mailboxes that are merged at the window barrier in a
+// canonical (time, src-shard, push-order) order. Because mailbox merge
+// order — not thread completion order — assigns sequence numbers, an
+// N-worker run schedules exactly the same event sequence as a 1-worker
+// run. Classic (unsharded) mode remains the default and is untouched.
+//
 // `Timer` and `PeriodicTimer` are cancellable wrappers used throughout the
 // protocol implementations (LDP keepalives, ARP retries, TCP RTO, ...).
 // Timers store their callback once in shared `TimerCore` state; re-arming
@@ -20,19 +33,32 @@
 // so the rearm path is the event queue's hot path.
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <new>
 #include <queue>
+#include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
+#include "common/random.h"
 #include "common/units.h"
 
 namespace portland::sim {
+
+/// Identifies an event shard. Devices created before `configure_shards`
+/// (and everything in classic mode) live on shard 0.
+using ShardId = std::uint32_t;
+
+/// "Not executing on any shard" — scheduling from this context in sharded
+/// mode lands in the globally-serialized barrier task queue.
+constexpr ShardId kNoShard = 0xFFFFFFFFu;
 
 /// Move-only type-erased callable with inline storage. Captures up to
 /// kInlineSize bytes live inside the object (no allocation); larger
@@ -136,13 +162,19 @@ struct TimerCore {
 class Simulator {
  public:
   Simulator();
+  ~Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
-  /// Current virtual time.
-  [[nodiscard]] SimTime now() const { return now_; }
+  /// Current virtual time. In sharded mode, from inside an event this is
+  /// the executing shard's clock; between windows it is the global clock.
+  [[nodiscard]] SimTime now() const;
 
-  /// Schedules `fn` at absolute time `t` (>= now).
+  /// Schedules `fn` at absolute time `t` (>= now). In sharded mode the
+  /// event lands on the calling context's shard; calls from outside any
+  /// shard (the main thread between runs, cross-cutting controllers) land
+  /// in the barrier task queue, which runs globally serialized between
+  /// windows.
   void at(SimTime t, SmallFn fn);
 
   /// Schedules `fn` after `delay` (>= 0).
@@ -153,6 +185,41 @@ class Simulator {
   void at_timer(SimTime t, std::shared_ptr<TimerCore> core,
                 std::uint64_t generation);
 
+  /// Schedules `fn` at `t` on shard `dst`. During a parallel window a
+  /// cross-shard send buffers into the (src,dst) mailbox and is merged at
+  /// the barrier in canonical order; when quiescent it goes straight into
+  /// the destination shard's queue. Same-shard calls behave like at().
+  void at_shard(ShardId dst, SimTime t, SmallFn fn);
+
+  /// Schedules `fn` in the globally-serialized barrier task queue (runs
+  /// between windows, before shard events at the same instant). Used for
+  /// cross-cutting mutations: link up/down, migration rewiring. In classic
+  /// mode this is plain at().
+  void at_barrier(SimTime t, SmallFn fn);
+
+  /// Splits the engine into `count` shards with the given conservative
+  /// lookahead (must be >= 1 ns: the minimum cross-shard link latency) and
+  /// per-shard RNG streams derived from `seed`. Must be called while the
+  /// queue holds no cross-shard state; existing events stay on shard 0.
+  void configure_shards(std::size_t count, SimDuration lookahead,
+                        std::uint64_t seed);
+
+  /// Number of worker threads for sharded runs (>= 1). 1 executes all
+  /// shards on the calling thread — still windowed, still bit-identical
+  /// to any other worker count. No-op in classic mode.
+  void set_workers(unsigned n);
+
+  [[nodiscard]] bool sharded() const { return configured_; }
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+  [[nodiscard]] unsigned workers() const { return workers_; }
+  [[nodiscard]] SimDuration lookahead() const { return lookahead_; }
+
+  /// The shard the calling thread is currently executing on, or kNoShard.
+  [[nodiscard]] static ShardId current_shard();
+
+  /// Deterministic per-shard RNG stream (valid after configure_shards).
+  [[nodiscard]] Rng& shard_rng(ShardId shard);
+
   /// Pre-sizes the event queue (amortizes growth for large fabrics).
   void reserve_events(std::size_t capacity);
 
@@ -162,13 +229,16 @@ class Simulator {
   /// Runs all events with time <= `t`, then sets the clock to `t`.
   void run_until(SimTime t);
 
-  /// Makes run()/run_until() return after the current event.
-  void stop() { stopped_ = true; }
+  /// Makes run()/run_until() return after the current event (classic) or
+  /// at the next window boundary (sharded).
+  void stop() { stopped_.store(true, std::memory_order_relaxed); }
 
-  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
-  [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
+  [[nodiscard]] std::size_t pending_events() const;
+  [[nodiscard]] std::uint64_t executed_events() const;
 
  private:
+  friend class ShardGuard;
+
   /// Heap node: everything the comparator needs, nothing it doesn't.
   /// Payloads stay put in the slot pool while the heap sifts these.
   struct QNode {
@@ -194,16 +264,117 @@ class Simulator {
     std::uint64_t timer_gen = 0;
   };
 
-  [[nodiscard]] std::uint32_t acquire_slot();
-  void dispatch_one();
+  /// A cross-shard event parked until the next window barrier.
+  struct Mail {
+    SimTime time;
+    EventPayload payload;
+  };
 
-  SimTime now_ = 0;
-  std::uint64_t next_seq_ = 0;
-  std::uint64_t executed_ = 0;
-  bool stopped_ = false;
-  EventQueue queue_;
-  std::vector<EventPayload> slots_;
-  std::vector<std::uint32_t> free_slots_;
+  /// Everything one shard touches while executing a window, padded so
+  /// neighboring shards never share a cache line.
+  struct alignas(64) Shard {
+    EventQueue queue;
+    std::vector<EventPayload> slots;
+    std::vector<std::uint32_t> free_slots;
+    std::uint64_t next_seq = 0;
+    std::uint64_t executed = 0;
+    SimTime now = 0;
+    Rng rng{0};
+    /// outbox[dst]: mail pushed during the current window, merged at the
+    /// barrier in (time, src, push-order) order.
+    std::vector<std::vector<Mail>> outbox;
+  };
+
+  /// Globally-serialized task run between windows (link failures,
+  /// migration rewiring, test harness pokes).
+  struct BarrierTask {
+    SimTime time;
+    std::uint64_t seq;
+    SmallFn fn;
+  };
+  /// Heap comparator: std::push_heap builds a max-heap, so "later first"
+  /// puts the earliest (time, seq) task at the front.
+  struct TaskLater {
+    bool operator()(const BarrierTask& a, const BarrierTask& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Scratch record for the barrier merge sort: identifies one Mail by
+  /// (source shard, push index) so the sort never moves payloads.
+  struct MailRef {
+    SimTime time;
+    std::uint32_t src;
+    std::uint32_t idx;
+  };
+
+  [[nodiscard]] static std::uint32_t acquire_slot(Shard& sh);
+  void schedule_local(Shard& sh, SimTime t, SmallFn fn);
+  void schedule_timer_local(Shard& sh, SimTime t,
+                            std::shared_ptr<TimerCore> core,
+                            std::uint64_t generation);
+  /// The shard the calling thread is executing for *this* simulator.
+  [[nodiscard]] ShardId context_shard() const;
+  static void fire_timer(TimerCore& core, std::uint64_t generation);
+  void dispatch_one(Shard& sh);
+
+  void classic_run(SimTime limit);
+  void parallel_run(SimTime limit);
+  void run_shard_window(Shard& sh, ShardId id, SimTime end);
+  void execute_window(SimTime end);
+  void merge_mailboxes();
+  void run_due_barrier_tasks(SimTime bound);
+  void worker_loop(unsigned worker_index);
+  void spawn_workers();
+  void join_workers();
+
+  [[nodiscard]] SimTime earliest_shard_event() const;
+  [[nodiscard]] SimTime earliest_barrier_task() const;
+
+  // --- Shards. Classic mode is exactly shards_[0]. -----------------------
+  std::vector<std::unique_ptr<Shard>> shards_;
+  bool configured_ = false;
+  SimDuration lookahead_ = 1;
+  /// Global clock, meaningful when no shard context is active.
+  SimTime global_now_ = 0;
+  std::uint64_t barrier_executed_ = 0;
+  std::atomic<bool> stopped_{false};
+
+  // --- Barrier task queue (mutex-protected: any thread may schedule). ----
+  mutable std::mutex barrier_mutex_;
+  std::vector<BarrierTask> barrier_heap_;
+  std::uint64_t barrier_seq_ = 0;
+  std::vector<MailRef> merge_refs_;  // scratch, reused every barrier
+
+  // --- Worker pool. ------------------------------------------------------
+  unsigned workers_ = 1;
+  std::vector<std::thread> threads_;
+  std::mutex pool_mutex_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  std::uint64_t window_gen_ = 0;
+  SimTime window_end_ = 0;
+  unsigned active_workers_ = 0;
+  bool in_window_ = false;
+  bool quit_ = false;
+};
+
+/// RAII: runs the enclosed scope "as shard `shard` of `sim`" so that
+/// device-scoped scheduling (timer arms in start(), gratuitous ARPs fired
+/// from test code) lands on the owning shard instead of the barrier queue.
+/// Nests; restores the previous context on destruction. Cheap no-op wrapper
+/// in classic mode.
+class ShardGuard {
+ public:
+  ShardGuard(Simulator& sim, ShardId shard);
+  ~ShardGuard();
+  ShardGuard(const ShardGuard&) = delete;
+  ShardGuard& operator=(const ShardGuard&) = delete;
+
+ private:
+  Simulator* prev_sim_;
+  ShardId prev_shard_;
 };
 
 /// One-shot cancellable timer. Re-scheduling cancels the previous shot.

@@ -90,6 +90,18 @@ class FatTree {
   [[nodiscard]] const std::vector<NodeSpec>& nodes() const { return nodes_; }
   [[nodiscard]] const std::vector<LinkSpec>& links() const { return links_; }
 
+  /// Pod-aware shard plan for the parallel engine: pod p is shard p; core
+  /// switches (and the fabric manager, by fabric-wiring convention) share
+  /// the extra shard `core_shard()`.
+  [[nodiscard]] std::size_t shard_count() const { return pods() + 1; }
+  [[nodiscard]] sim::ShardId core_shard() const {
+    return static_cast<sim::ShardId>(pods());
+  }
+  [[nodiscard]] sim::ShardId shard_of(const NodeSpec& spec) const {
+    return spec.pod == kNoPod ? core_shard()
+                              : static_cast<sim::ShardId>(spec.pod);
+  }
+
   /// Index helpers into nodes(). Hosts first, then edge, agg, core.
   [[nodiscard]] std::size_t host_index(std::size_t pod, std::size_t edge_pos,
                                        std::size_t host_port) const;

@@ -330,5 +330,178 @@ TEST(Device, SendOnUnconnectedPortCountsDrop) {
   EXPECT_EQ(a.counters().get("tx_drop_unconnected"), 1u);
 }
 
+// --- sharded parallel engine --------------------------------------------
+
+/// Bounces every received frame back out the same port until `bounces`
+/// frames have been seen, recording each receive time. All state is
+/// touched only from the device's own shard.
+class EchoDevice : public Device {
+ public:
+  EchoDevice(Simulator& sim, std::string name, int bounces)
+      : Device(sim, std::move(name)), bounces_(bounces) {
+    add_port();
+  }
+  void handle_frame(PortId port, const FramePtr& frame) override {
+    times.push_back(sim().now());
+    if (static_cast<int>(times.size()) < bounces_) send(port, frame);
+  }
+  std::vector<SimTime> times;
+
+ private:
+  int bounces_;
+};
+
+struct PingPongResult {
+  std::vector<SimTime> times_a;
+  std::vector<SimTime> times_b;
+  std::uint64_t executed = 0;
+  SimTime final_now = 0;
+};
+
+PingPongResult run_pingpong(unsigned workers) {
+  Network net;
+  net.sim().configure_shards(2, micros(1), 99);
+  net.sim().set_workers(workers);
+  auto& a = net.add_device<EchoDevice>("a", 200);
+  auto& b = net.add_device<EchoDevice>("b", 200);
+  a.set_shard(0);
+  b.set_shard(1);
+  Link::Config cfg;
+  cfg.propagation = micros(5);  // cross-shard: always beyond the window
+  net.connect(a, 0, b, 0, cfg);
+  {
+    ShardGuard guard(net.sim(), 0);
+    net.sim().at(0, [&] { a.send(0, frame_of_size(200)); });
+  }
+  net.sim().run();
+  return PingPongResult{a.times, b.times, net.sim().executed_events(),
+                        net.sim().now()};
+}
+
+TEST(Sharded, CrossShardPingPongIsWorkerCountInvariant) {
+  const PingPongResult one = run_pingpong(1);
+  ASSERT_EQ(one.times_b.size(), 200u);
+  ASSERT_EQ(one.times_a.size(), 199u);  // the 200th bounce stops the rally
+  for (const unsigned workers : {2u, 4u}) {
+    const PingPongResult many = run_pingpong(workers);
+    EXPECT_EQ(many.times_a, one.times_a) << workers << " workers";
+    EXPECT_EQ(many.times_b, one.times_b) << workers << " workers";
+    EXPECT_EQ(many.executed, one.executed) << workers << " workers";
+    EXPECT_EQ(many.final_now, one.final_now) << workers << " workers";
+  }
+}
+
+TEST(Sharded, BarrierTasksRunBeforeShardEventsAtTheSameInstant) {
+  Simulator sim;
+  sim.configure_shards(2, micros(1), 1);
+  std::vector<std::string> order;
+  {
+    ShardGuard guard(sim, 0);
+    sim.at(millis(1), [&] { order.push_back("shard"); });
+  }
+  // No guard: the main thread schedules into the barrier queue.
+  sim.at(millis(1), [&] { order.push_back("barrier"); });
+  sim.run();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], "barrier");
+  EXPECT_EQ(order[1], "shard");
+  EXPECT_EQ(sim.executed_events(), 2u);
+}
+
+TEST(Sharded, RunUntilAdvancesClockWithoutEvents) {
+  Simulator sim;
+  sim.configure_shards(3, micros(1), 1);
+  sim.set_workers(2);
+  sim.run_until(millis(7));
+  EXPECT_EQ(sim.now(), millis(7));
+  sim.run_until(millis(9));
+  EXPECT_EQ(sim.now(), millis(9));
+}
+
+TEST(Sharded, TimersTickOnTheGuardedShard) {
+  Simulator sim;
+  sim.configure_shards(2, micros(1), 1);
+  sim.set_workers(2);
+  int ticks = 0;
+  PeriodicTimer timer(sim, millis(1), [&] { ++ticks; });
+  {
+    ShardGuard guard(sim, 1);
+    timer.start();
+  }
+  sim.run_until(millis(10));
+  EXPECT_EQ(ticks, 10);
+  timer.stop();
+}
+
+struct FailRecoverResult {
+  std::size_t delivered_a = 0;
+  std::size_t delivered_b = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t executed = 0;
+};
+
+FailRecoverResult run_fail_recover(unsigned workers) {
+  Network net;
+  net.sim().configure_shards(2, micros(1), 5);
+  net.sim().set_workers(workers);
+  auto& a = net.add_device<SinkDevice>("a");
+  auto& b = net.add_device<SinkDevice>("b");
+  a.set_shard(0);
+  b.set_shard(1);
+  Link::Config cfg;
+  cfg.propagation = micros(3);
+  Link& link = net.connect(a, 0, b, 0, cfg);
+
+  // A periodic stream from shard 0, re-armed from inside the shard.
+  struct Stream {
+    Simulator* sim;
+    SinkDevice* dev;
+    int remaining;
+    void fire() {
+      dev->send(0, frame_of_size(300));
+      if (--remaining > 0) sim->after(micros(50), [this] { fire(); });
+    }
+  };
+  Stream stream{&net.sim(), &a, 400};
+  {
+    ShardGuard guard(net.sim(), 0);
+    net.sim().at(0, [&stream] { stream.fire(); });
+  }
+
+  FailureInjector inj(net);
+  inj.fail_link_at(link, micros(3000));
+  inj.repair_link_at(link, micros(9000));
+  net.sim().run();
+  return FailRecoverResult{a.frames.size(), b.frames.size(),
+                           link.dropped_frames(0),
+                           net.sim().executed_events()};
+}
+
+TEST(Sharded, FailRecoverIsWorkerCountInvariant) {
+  const FailRecoverResult one = run_fail_recover(1);
+  EXPECT_GT(one.delivered_b, 0u);
+  EXPECT_GT(one.dropped, 0u);  // the outage really dropped frames
+  for (const unsigned workers : {2u, 4u}) {
+    const FailRecoverResult many = run_fail_recover(workers);
+    EXPECT_EQ(many.delivered_b, one.delivered_b) << workers << " workers";
+    EXPECT_EQ(many.dropped, one.dropped) << workers << " workers";
+    EXPECT_EQ(many.executed, one.executed) << workers << " workers";
+  }
+}
+
+TEST(Sharded, ShardRngStreamsAreIndependentAndStable) {
+  Simulator sim1;
+  sim1.configure_shards(3, micros(1), 42);
+  Simulator sim2;
+  sim2.configure_shards(3, micros(1), 42);
+  for (ShardId s = 0; s < 3; ++s) {
+    EXPECT_EQ(sim1.shard_rng(s).next(), sim2.shard_rng(s).next());
+  }
+  // Distinct shards draw from distinct streams.
+  Simulator sim3;
+  sim3.configure_shards(2, micros(1), 42);
+  EXPECT_NE(sim3.shard_rng(0).next(), sim3.shard_rng(1).next());
+}
+
 }  // namespace
 }  // namespace portland::sim

@@ -6,6 +6,10 @@
 // fully reconstructed fabric-manager view.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <mutex>
+#include <tuple>
+
 #include "core/fabric.h"
 #include "core/migration.h"
 #include "core/path_audit.h"
@@ -150,6 +154,179 @@ TEST(Soak, EverythingAtOnce) {
   ASSERT_TRUE(record.has_value());
   EXPECT_EQ(Pmac::from_mac(record->pmac).pod,
             fabric.edge_at(3, 1).locator().pod);
+}
+
+// ---------------------------------------------------------------------------
+// Parallel-engine determinism: the same chaos scenario on the sharded
+// engine must produce the exact same simulation regardless of worker
+// count — same event totals, same per-flow delivery, same drop counts,
+// and the same network-wide frame trace down to every (time, receiver,
+// size) triple.
+// ---------------------------------------------------------------------------
+
+struct ParallelRunResult {
+  std::uint64_t executed = 0;
+  SimTime final_now = 0;
+  std::vector<std::uint64_t> probe_sent;
+  std::vector<std::uint64_t> probe_received;
+  std::uint64_t tcp_delivered = 0;
+  bool tcp_corrupt = true;
+  std::map<std::string, int> mcast_rx;
+  std::uint64_t link_tx_frames = 0;
+  std::uint64_t link_dropped = 0;
+  /// Every frame delivery network-wide: (time, receiving device, size).
+  std::vector<std::tuple<SimTime, std::string, std::size_t>> trace;
+};
+
+ParallelRunResult run_parallel_soak(unsigned workers) {
+  topo::FatTree tree(4);
+  PortlandFabric::Options options;
+  options.k = 4;
+  options.seed = 20260806;
+  options.workers = workers;  // >= 1 selects the sharded engine
+  options.skip_host_indices = {tree.host_index(3, 1, 1)};  // migration slot
+  PortlandFabric fabric(options);
+
+  ParallelRunResult result;
+  std::mutex trace_mutex;
+  // The tap runs on shard threads; it serializes itself and the trace is
+  // canonically sorted afterwards, so thread arrival order is irrelevant.
+  fabric.network().set_frame_tap(
+      [&](const sim::Link& link, int rx_side, const sim::FramePtr& frame) {
+        std::lock_guard<std::mutex> lock(trace_mutex);
+        result.trace.emplace_back(fabric.sim().now(),
+                                  link.device(rx_side).name(),
+                                  frame->bytes.size());
+      });
+
+  EXPECT_TRUE(fabric.run_until_converged());
+  const SimTime t0 = fabric.sim().now();
+  Rng rng(options.seed);
+
+  // Cross-pod probe flows.
+  struct Probe {
+    std::unique_ptr<host::UdpFlowReceiver> rx;
+    std::unique_ptr<host::UdpFlowSender> tx;
+  };
+  std::vector<Probe> probes;
+  const std::pair<std::array<std::size_t, 3>, std::array<std::size_t, 3>>
+      pairs[3] = {
+          {{0, 0, 1}, {1, 0, 0}},
+          {{1, 1, 0}, {2, 0, 1}},
+          {{2, 1, 1}, {0, 1, 0}},
+      };
+  std::uint16_t port = 7400;
+  for (const auto& [src, dst] : pairs) {
+    Probe p;
+    host::Host& a = fabric.host_at(src[0], src[1], src[2]);
+    host::Host& b = fabric.host_at(dst[0], dst[1], dst[2]);
+    p.rx = std::make_unique<host::UdpFlowReceiver>(b, port);
+    host::UdpFlowSender::Config cfg;
+    cfg.dst = b.ip();
+    cfg.src_port = cfg.dst_port = port;
+    cfg.interval = millis(2);
+    p.tx = std::make_unique<host::UdpFlowSender>(a, cfg);
+    {
+      sim::ShardGuard guard(fabric.sim(), a.shard());
+      p.tx->start();
+    }
+    probes.push_back(std::move(p));
+    ++port;
+  }
+
+  // A TCP transfer to the future migrant.
+  host::Host& vm = fabric.host_at(0, 0, 0);
+  host::Host& tcp_sender = fabric.host_at(2, 0, 0);
+  host::TcpConnection* accepted = nullptr;
+  vm.tcp_listen(5001, [&](host::TcpConnection& c) { accepted = &c; });
+  const std::uint64_t kTcpBytes = 2'000'000;
+  fabric.sim().after(millis(5), [&] {
+    tcp_sender.tcp_connect(vm.ip(), 5001)->send(kTcpBytes);
+  });
+
+  // Multicast: replicas of one frame fan out to several shards at once,
+  // exercising the concurrent parse-once publish.
+  const Ipv4Address group(224, 9, 9, 9);
+  for (host::Host* r : {&fabric.host_at(1, 1, 1), &fabric.host_at(3, 0, 1)}) {
+    r->join_group(group, [&result, r](Ipv4Address, std::uint16_t,
+                                      std::uint16_t,
+                                      std::span<const std::uint8_t>) {
+      ++result.mcast_rx[r->name()];
+    });
+  }
+  host::Host& mcast_sender = fabric.host_at(0, 1, 1);
+  sim::PeriodicTimer mcast_stream(fabric.sim(), millis(5), [&] {
+    mcast_sender.send_udp_multicast(group, 8000, 8001, {0});
+  });
+  mcast_stream.start(millis(50));
+
+  // Chaos: two random link failures, repairs, then a VM migration.
+  const auto victims = fabric.failures().fail_random_links_at(
+      fabric.fabric_links(), 2, t0 + millis(200), rng);
+  for (sim::Link* l : victims) {
+    fabric.failures().repair_link_at(*l, t0 + millis(500));
+  }
+  MigrationController migration(fabric);
+  MigrationController::Plan plan;
+  plan.vm_host_index = tree.host_index(0, 0, 0);
+  plan.to_pod = 3;
+  plan.to_edge = 1;
+  plan.to_port = 1;
+  plan.start = t0 + millis(600);
+  plan.downtime = millis(100);
+  migration.schedule(plan);
+
+  fabric.sim().run_until(t0 + millis(1500));
+  for (auto& p : probes) p.tx->stop();
+  mcast_stream.stop();
+  fabric.sim().run_until(fabric.sim().now() + millis(50));
+
+  result.executed = fabric.sim().executed_events();
+  result.final_now = fabric.sim().now();
+  for (const auto& p : probes) {
+    result.probe_sent.push_back(p.tx->packets_sent());
+    result.probe_received.push_back(p.rx->packets_received());
+  }
+  if (accepted != nullptr) {
+    result.tcp_delivered = accepted->bytes_delivered();
+    result.tcp_corrupt = accepted->payload_corruption_seen();
+  }
+  for (const auto& link : fabric.network().links()) {
+    for (int side = 0; side < 2; ++side) {
+      result.link_tx_frames += link->tx_frames(side);
+      result.link_dropped += link->dropped_frames(side);
+    }
+  }
+  std::sort(result.trace.begin(), result.trace.end());
+  return result;
+}
+
+TEST(Soak, ParallelEngineIsWorkerCountInvariant) {
+  const ParallelRunResult serial = run_parallel_soak(1);
+  const ParallelRunResult parallel = run_parallel_soak(4);
+
+  // The scenario actually did something.
+  EXPECT_EQ(serial.tcp_delivered, 2'000'000u);
+  EXPECT_FALSE(serial.tcp_corrupt);
+  EXPECT_EQ(serial.mcast_rx.size(), 2u);
+  for (std::size_t i = 0; i < serial.probe_sent.size(); ++i) {
+    EXPECT_GT(serial.probe_received[i], serial.probe_sent[i] * 8 / 10);
+  }
+  EXPECT_GT(serial.trace.size(), 10'000u);
+
+  // Bit-identical replay across worker counts.
+  EXPECT_EQ(serial.executed, parallel.executed);
+  EXPECT_EQ(serial.final_now, parallel.final_now);
+  EXPECT_EQ(serial.probe_sent, parallel.probe_sent);
+  EXPECT_EQ(serial.probe_received, parallel.probe_received);
+  EXPECT_EQ(serial.tcp_delivered, parallel.tcp_delivered);
+  EXPECT_EQ(serial.tcp_corrupt, parallel.tcp_corrupt);
+  EXPECT_EQ(serial.mcast_rx, parallel.mcast_rx);
+  EXPECT_EQ(serial.link_tx_frames, parallel.link_tx_frames);
+  EXPECT_EQ(serial.link_dropped, parallel.link_dropped);
+  ASSERT_EQ(serial.trace.size(), parallel.trace.size());
+  EXPECT_TRUE(serial.trace == parallel.trace)
+      << "frame delivery traces diverged";
 }
 
 }  // namespace
