@@ -2,12 +2,16 @@
 //
 // The nanosecond-scale costs behind every forwarded frame: PMAC
 // encode/decode, flow hashing, whole-frame parse, LDM parse, and the
-// PMAC<->AMAC rewrite an edge switch performs per frame.
+// PMAC<->AMAC rewrite an edge switch performs per frame — plus the event
+// queue's own hot ops (schedule, timer rearm), measured under both the
+// binary-heap and timing-wheel schedulers (Arg: 0 = heap, 1 = wheel).
 #include <benchmark/benchmark.h>
 
+#include "common/random.h"
 #include "core/messages.h"
 #include "core/pmac.h"
 #include "net/packet.h"
+#include "sim/simulator.h"
 
 using namespace portland;
 
@@ -91,6 +95,46 @@ void BM_ControlRoundTrip(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ControlRoundTrip);
+
+sim::Simulator::Options scheduler_arg(const benchmark::State& state) {
+  return sim::Simulator::Options{state.range(0) == 0
+                                     ? sim::SchedulerKind::kHeap
+                                     : sim::SchedulerKind::kWheel};
+}
+
+void BM_ScheduleAt(benchmark::State& state) {
+  sim::Simulator sim(scheduler_arg(state));
+  Rng rng(10);
+  std::size_t queued = 0;
+  for (auto _ : state) {
+    sim.at(sim.now() + 1 + static_cast<SimTime>(rng.next_below(millis(20))),
+           [] {});
+    // Drain in chunks so the pending population stays bounded (and
+    // realistic) instead of growing with the iteration count.
+    if (++queued == 4096) {
+      state.PauseTiming();
+      sim.run();
+      queued = 0;
+      state.ResumeTiming();
+    }
+  }
+}
+BENCHMARK(BM_ScheduleAt)->Arg(0)->Arg(1);
+
+void BM_TimerRearm(benchmark::State& state) {
+  // The LDP-keepalive hot path: erase the pending shot, re-insert at a
+  // new deadline, no closure rebuild. Erratic deadlines keep the wheel
+  // cascading and the heap sifting.
+  sim::Simulator sim(scheduler_arg(state));
+  Rng rng(11);
+  sim::Timer timer(sim);
+  timer.schedule_after(millis(1), [] {});
+  for (auto _ : state) {
+    timer.rearm(millis(1) +
+                static_cast<SimDuration>(rng.next_below(millis(50))));
+  }
+}
+BENCHMARK(BM_TimerRearm)->Arg(0)->Arg(1);
 
 }  // namespace
 

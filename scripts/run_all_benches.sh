@@ -5,8 +5,33 @@
 #   build/BENCH_e<N>.json   headline metrics of bench_e<N> (flat JSON)
 #   build/BENCH_e6.json     google-benchmark JSON for the E6 micro suite
 #   build/BENCH_e10.json    google-benchmark JSON for the E10 micro suite
+#
+# --smoke: CI mode — 1 repetition, small fabrics, short measurement
+# windows. The numbers are meaningless; the point is that every bench
+# still runs end to end and emits its JSON. Exits nonzero if any expected
+# BENCH_e*.json is missing afterwards.
 set -u
 cd "$(dirname "$0")/.."
+
+SMOKE=0
+for arg in "$@"; do
+  case "$arg" in
+    --smoke) SMOKE=1 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+rm -f build/BENCH_e*.json
+
+# Positional/flag arguments per bench in smoke mode (keep fabrics tiny and
+# repetitions minimal); empty = the bench's defaults.
+smoke_args() {
+  case "$1" in
+    e1_convergence)      echo "4 2" ;;         # max k, seeds per k
+    e12_ldp_scale)       echo "8" ;;           # max k
+    *)                   echo "" ;;
+  esac
+}
 
 # Simple benches: positional args keep their defaults; --json adds the
 # machine-readable report.
@@ -16,28 +41,62 @@ for n in e1_convergence e2_tcp_convergence e3_multicast_convergence \
          e12_ldp_scale e13_path_audit; do
   b="build/bench/bench_$n"
   short="${n%%_*}"   # e1_convergence -> e1
+  extra=""
+  [ "$SMOKE" = 1 ] && extra="$(smoke_args "$n")"
   echo
   echo "################  $(basename "$b")  ################"
-  "$b" --json "build/BENCH_${short}.json" || echo "BENCH FAILED: $b"
+  # shellcheck disable=SC2086  # intentional word splitting of $extra
+  "$b" $extra --json "build/BENCH_${short}.json" || echo "BENCH FAILED: $b"
 done
 
 # google-benchmark suites use their native JSON output.
+GBENCH_EXTRA=""
+[ "$SMOKE" = 1 ] && GBENCH_EXTRA="--benchmark_min_time=0.01"
 for n in e6_fm_arp_scaling e10_micro; do
   b="build/bench/bench_$n"
   short="${n%%_*}"
   echo
   echo "################  $(basename "$b")  ################"
   "$b" --benchmark_out="build/BENCH_${short}.json" \
-       --benchmark_out_format=json \
+       --benchmark_out_format=json $GBENCH_EXTRA \
     || echo "BENCH FAILED: $b"
 done
 
-echo
-echo "################  bench_e14_fastpath  ################"
-build/bench/bench_e14_fastpath --json build/BENCH_e14.json \
-  || echo "BENCH FAILED: build/bench/bench_e14_fastpath"
+E14_ARGS=""
+E15_ARGS=""
+E16_ARGS=""
+if [ "$SMOKE" = 1 ]; then
+  E14_ARGS="--k 4 --flows-per-host 1"
+  E15_ARGS="--k 4 --threads 2 --reps 1 --measure-ms 50"
+  E16_ARGS="--k 4 --reps 1 --measure-ms 50 --micro-ops 20000"
+fi
 
+# shellcheck disable=SC2086
+for spec in "e14_fastpath:$E14_ARGS" "e15_parallel:$E15_ARGS" \
+            "e16_event_queue:$E16_ARGS"; do
+  n="${spec%%:*}"
+  extra="${spec#*:}"
+  b="build/bench/bench_$n"
+  short="${n%%_*}"
+  echo
+  echo "################  $(basename "$b")  ################"
+  # shellcheck disable=SC2086
+  "$b" $extra --json "build/BENCH_${short}.json" || echo "BENCH FAILED: $b"
+done
+
+# Every bench above must have left its JSON behind; a missing file means a
+# bench crashed or silently stopped emitting — fail loudly (bit-rot guard).
 echo
-echo "################  bench_e15_parallel  ################"
-build/bench/bench_e15_parallel --json build/BENCH_e15.json \
-  || echo "BENCH FAILED: build/bench/bench_e15_parallel"
+MISSING=0
+for short in e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 e14 e15 e16; do
+  f="build/BENCH_${short}.json"
+  if [ ! -s "$f" ]; then
+    echo "MISSING: $f"
+    MISSING=1
+  fi
+done
+if [ "$MISSING" = 1 ]; then
+  echo "FAIL: some benches did not emit their JSON report"
+  exit 1
+fi
+echo "all $(ls build/BENCH_e*.json | wc -l) bench reports present."

@@ -25,7 +25,7 @@ Ipv4Address PortlandFabric::ip_at(std::size_t pod, std::size_t edge,
 PortlandFabric::PortlandFabric(Options options)
     : options_(std::move(options)),
       tree_(options_.k),
-      net_(options_.seed),
+      net_(options_.seed, {options_.scheduler}),
       injector_(net_) {
   if (options_.workers >= 1) {
     // Conservative lookahead: no cross-shard effect (frame over an

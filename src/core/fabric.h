@@ -54,6 +54,10 @@ class PortlandFabric {
     /// manager — driven by this many worker threads. Any worker count
     /// schedules the identical event sequence (see Simulator).
     unsigned workers = 0;
+    /// Event-queue implementation (see Simulator::Options): the default
+    /// hierarchical timing wheel, or the classic binary heap for A/B
+    /// determinism diffing. Both schedule the identical event sequence.
+    sim::SchedulerKind scheduler = sim::SchedulerKind::kWheel;
   };
 
   explicit PortlandFabric(Options options);

@@ -17,7 +17,8 @@ namespace portland::sim {
 
 class Network {
  public:
-  explicit Network(std::uint64_t seed = 1) : rng_(seed) {}
+  explicit Network(std::uint64_t seed = 1, Simulator::Options sim_options = {})
+      : sim_(sim_options), rng_(seed) {}
 
   [[nodiscard]] Simulator& sim() { return sim_; }
   [[nodiscard]] Rng& rng() { return rng_; }

@@ -23,10 +23,16 @@ struct ExecCtx {
 thread_local ExecCtx g_ctx;
 }  // namespace
 
-Simulator::Simulator() {
+Simulator::Simulator() : Simulator(Options{}) {}
+
+Simulator::Simulator(Options options) : scheduler_(options.scheduler) {
   shards_.push_back(std::make_unique<Shard>());
   Shard& sh = *shards_[0];
-  sh.queue.reserve(kDefaultEventCapacity);
+  if (scheduler_ == SchedulerKind::kWheel) {
+    sh.wheel.reserve(kDefaultEventCapacity);
+  } else {
+    sh.queue.reserve(kDefaultEventCapacity);
+  }
   sh.slots.reserve(kDefaultEventCapacity);
   sh.free_slots.reserve(kDefaultEventCapacity);
 }
@@ -56,21 +62,44 @@ std::uint32_t Simulator::acquire_slot(Shard& sh) {
   return slot;
 }
 
+void Simulator::release_slot(Shard& sh, std::uint32_t slot) {
+  sh.free_slots.push_back(slot);
+}
+
+std::uint32_t Simulator::push_node(Shard& sh, SimTime t, std::uint32_t slot) {
+  if (scheduler_ == SchedulerKind::kWheel) {
+    return sh.wheel.insert(t, sh.next_seq++, slot);
+  }
+  sh.queue.push(QNode{t, sh.next_seq++, slot});
+  return slot;
+}
+
 void Simulator::schedule_local(Shard& sh, SimTime t, SmallFn fn) {
   assert(t >= sh.now);
   const std::uint32_t slot = acquire_slot(sh);
   sh.slots[slot].fn = std::move(fn);
-  sh.queue.push(QNode{t, sh.next_seq++, slot});
+  push_node(sh, t, slot);
+  ++sh.live;
 }
 
-void Simulator::schedule_timer_local(Shard& sh, SimTime t,
+void Simulator::schedule_timer_local(Shard& sh, ShardId id, SimTime t,
                                      std::shared_ptr<TimerCore> core,
                                      std::uint64_t generation) {
   assert(t >= sh.now);
+  TimerCore* raw = core.get();
   const std::uint32_t slot = acquire_slot(sh);
   sh.slots[slot].timer = std::move(core);
   sh.slots[slot].timer_gen = generation;
-  sh.queue.push(QNode{t, sh.next_seq++, slot});
+  const std::uint32_t handle = push_node(sh, t, slot);
+  ++sh.live;
+  // Record where the live shot sits so cancel/rearm can erase it in O(1).
+  // A stale generation (the core was re-armed or cancelled since this
+  // record was built, e.g. through a mailbox) must not clobber the
+  // current shot's handle; the stale shot decays at its deadline.
+  if (raw->generation == generation && raw->pending) {
+    raw->shard = id;
+    raw->handle = handle;
+  }
 }
 
 void Simulator::at(SimTime t, SmallFn fn) {
@@ -94,12 +123,12 @@ void Simulator::after(SimDuration delay, SmallFn fn) {
 void Simulator::at_timer(SimTime t, std::shared_ptr<TimerCore> core,
                          std::uint64_t generation) {
   if (!configured_) {
-    schedule_timer_local(*shards_[0], t, std::move(core), generation);
+    schedule_timer_local(*shards_[0], 0, t, std::move(core), generation);
     return;
   }
   const ShardId ctx = context_shard();
   if (ctx != kNoShard) {
-    schedule_timer_local(*shards_[ctx], t, std::move(core), generation);
+    schedule_timer_local(*shards_[ctx], ctx, t, std::move(core), generation);
     return;
   }
   // No shard context: fire through the barrier queue. The wrapper
@@ -107,6 +136,38 @@ void Simulator::at_timer(SimTime t, std::shared_ptr<TimerCore> core,
   at_barrier(t, [core = std::move(core), generation] {
     fire_timer(*core, generation);
   });
+}
+
+void Simulator::cancel_timer(TimerCore& core) {
+  ++core.generation;
+  core.pending = false;
+  if (core.handle == TimerCore::kNilHandle) return;
+  const ShardId owner = core.shard;
+  const ShardId ctx = context_shard();
+  // Erasing requires exclusive access to the owning shard's queue: always
+  // true in classic mode, from the owner shard itself, and from the main
+  // thread while no window is executing. The only unsafe case — a
+  // cross-shard cancel from inside a foreign worker's window, which no
+  // device performs — falls back to the generation tombstone: the stale
+  // shot decays as a silent, uncounted no-op at its deadline.
+  const bool safe =
+      !configured_ || ctx == owner || (ctx == kNoShard && !in_window_);
+  if (!safe) return;
+  Shard& sh = *shards_[owner];
+  if (scheduler_ == SchedulerKind::kWheel) {
+    const std::uint32_t slot = sh.wheel.erase(core.handle);
+    sh.slots[slot].timer.reset();
+    release_slot(sh, slot);
+  } else {
+    // The heap node keeps sifting, but the payload — and with it the
+    // TimerCore reference — is released now. The husk is purged the next
+    // time it surfaces at the top (peek_time), so it never delays a
+    // window boundary past what the wheel engine would compute.
+    sh.slots[core.handle].timer.reset();
+  }
+  --sh.live;
+  core.handle = TimerCore::kNilHandle;
+  core.shard = kNoShard;
 }
 
 void Simulator::at_shard(ShardId dst, SimTime t, SmallFn fn) {
@@ -152,7 +213,11 @@ void Simulator::configure_shards(std::size_t count, SimDuration lookahead,
   shards_.reserve(count);
   while (shards_.size() < count) {
     auto sh = std::make_unique<Shard>();
-    sh->queue.reserve(kDefaultEventCapacity);
+    if (scheduler_ == SchedulerKind::kWheel) {
+      sh->wheel.reserve(kDefaultEventCapacity);
+    } else {
+      sh->queue.reserve(kDefaultEventCapacity);
+    }
     sh->slots.reserve(kDefaultEventCapacity);
     sh->free_slots.reserve(kDefaultEventCapacity);
     sh->now = shards_[0]->now;
@@ -204,7 +269,11 @@ Rng& Simulator::shard_rng(ShardId shard) {
 
 void Simulator::reserve_events(std::size_t capacity) {
   for (auto& sh : shards_) {
-    sh->queue.reserve(capacity);
+    if (scheduler_ == SchedulerKind::kWheel) {
+      sh->wheel.reserve(capacity);
+    } else {
+      sh->queue.reserve(capacity);
+    }
     sh->slots.reserve(capacity);
     sh->free_slots.reserve(capacity);
   }
@@ -221,31 +290,86 @@ void Simulator::fire_timer(TimerCore& core, std::uint64_t generation) {
   if (!core.fn && fn) core.fn = std::move(fn);
 }
 
+SimTime Simulator::peek_time(Shard& sh) {
+  if (scheduler_ == SchedulerKind::kWheel) {
+    return sh.wheel.peek();  // TimingWheel::kNoEvent == kNever
+  }
+  // Purge cancelled husks here — not lazily at pop — so the earliest
+  // *live* time drives run_until and window boundaries, matching the
+  // wheel engine's true-erase semantics exactly.
+  while (!sh.queue.empty()) {
+    const QNode& top = sh.queue.top();
+    EventPayload& slot = sh.slots[top.slot];
+    if (slot.fn || slot.timer != nullptr) return top.time;
+    release_slot(sh, top.slot);
+    sh.queue.pop();
+  }
+  return kNever;
+}
+
 void Simulator::dispatch_one(Shard& sh) {
-  const QNode node = sh.queue.top();
-  sh.queue.pop();
-  sh.now = node.time;
-  ++sh.executed;
+  SimTime time;
+  std::uint32_t payload;
+  std::uint32_t handle;
+  if (scheduler_ == SchedulerKind::kWheel) {
+    const TimingWheel::PopResult r = sh.wheel.pop();
+    if (!r.live) return;  // cancelled while staged; slot already released
+    time = r.time;
+    payload = r.payload;
+    handle = TimerCore::kNilHandle;  // wheel node already freed by pop()
+  } else {
+    const QNode node = sh.queue.top();
+    sh.queue.pop();
+    time = node.time;
+    payload = node.slot;
+    handle = node.slot;
+  }
   // The payload must be moved out and its slot released before running:
   // the callback may schedule new events, reusing (or growing) the pool.
-  EventPayload& slot = sh.slots[node.slot];
+  EventPayload& slot = sh.slots[payload];
   if (slot.timer != nullptr) {
     const std::shared_ptr<TimerCore> timer = std::move(slot.timer);
     const std::uint64_t gen = slot.timer_gen;
-    sh.free_slots.push_back(node.slot);
+    release_slot(sh, payload);
+    --sh.live;
+    if (timer->generation != gen) {
+      // Tombstone from an unsafe (cross-shard) cancel: decays silently —
+      // no clock advance, no executed count — identically in both
+      // schedulers, so A/B traces stay aligned.
+      return;
+    }
+    // This is the core's current shot: its handle dies with this pop.
+    // Clear it before firing so a rearm inside the callback installs a
+    // fresh handle we do not clobber.
+    if (handle == TimerCore::kNilHandle || timer->handle == handle) {
+      timer->handle = TimerCore::kNilHandle;
+      timer->shard = kNoShard;
+    }
+    sh.now = time;
+    ++sh.executed;
     fire_timer(*timer, gen);
     return;
   }
+  if (!slot.fn) {
+    // Heap husk (cancelled shot) that dispatch reached before a peek
+    // purged it. live was already decremented at cancel.
+    release_slot(sh, payload);
+    return;
+  }
   SmallFn fn = std::move(slot.fn);
-  sh.free_slots.push_back(node.slot);
+  release_slot(sh, payload);
+  --sh.live;
+  sh.now = time;
+  ++sh.executed;
   fn();
 }
 
 void Simulator::classic_run(SimTime limit) {
   stopped_.store(false, std::memory_order_relaxed);
   Shard& sh = *shards_[0];
-  while (!sh.queue.empty() && !stopped_.load(std::memory_order_relaxed) &&
-         sh.queue.top().time <= limit) {
+  while (!stopped_.load(std::memory_order_relaxed)) {
+    const SimTime t = peek_time(sh);
+    if (t == kNever || t > limit) break;
     dispatch_one(sh);
   }
   if (limit != kNever && !stopped_.load(std::memory_order_relaxed) &&
@@ -254,11 +378,9 @@ void Simulator::classic_run(SimTime limit) {
   }
 }
 
-SimTime Simulator::earliest_shard_event() const {
+SimTime Simulator::earliest_shard_event() {
   SimTime t = kNever;
-  for (const auto& sh : shards_) {
-    if (!sh->queue.empty()) t = std::min(t, sh->queue.top().time);
-  }
+  for (auto& sh : shards_) t = std::min(t, peek_time(*sh));
   return t;
 }
 
@@ -293,7 +415,7 @@ void Simulator::run_due_barrier_tasks(SimTime bound) {
 void Simulator::run_shard_window(Shard& sh, ShardId id, SimTime end) {
   const ExecCtx saved = g_ctx;
   g_ctx = ExecCtx{this, id};
-  while (!sh.queue.empty() && sh.queue.top().time < end) dispatch_one(sh);
+  while (peek_time(sh) < end) dispatch_one(sh);
   g_ctx = saved;
 }
 
@@ -370,8 +492,8 @@ void Simulator::merge_mailboxes() {
     for (const MailRef& r : merge_refs_) {
       Mail& m = shards_[r.src]->outbox[dst][r.idx];
       if (m.payload.timer != nullptr) {
-        schedule_timer_local(d, m.time, std::move(m.payload.timer),
-                             m.payload.timer_gen);
+        schedule_timer_local(d, static_cast<ShardId>(dst), m.time,
+                             std::move(m.payload.timer), m.payload.timer_gen);
       } else {
         schedule_local(d, m.time, std::move(m.payload.fn));
       }
@@ -428,10 +550,10 @@ void Simulator::run_until(SimTime t) {
 }
 
 std::size_t Simulator::pending_events() const {
-  if (!configured_) return shards_[0]->queue.size();
+  if (!configured_) return shards_[0]->live;
   std::size_t n = 0;
   for (const auto& sh : shards_) {
-    n += sh->queue.size();
+    n += sh->live;
     for (const auto& box : sh->outbox) n += box.size();
   }
   std::lock_guard<std::mutex> lk(barrier_mutex_);
@@ -454,6 +576,7 @@ ShardGuard::ShardGuard(Simulator& sim, ShardId shard)
 ShardGuard::~ShardGuard() { g_ctx = ExecCtx{prev_sim_, prev_shard_}; }
 
 void Timer::schedule_after(SimDuration delay, std::function<void()> fn) {
+  sim_->cancel_timer(*state_);
   const std::uint64_t gen = ++state_->generation;
   state_->pending = true;
   state_->fn = std::move(fn);
@@ -463,16 +586,14 @@ void Timer::schedule_after(SimDuration delay, std::function<void()> fn) {
 
 void Timer::rearm(SimDuration delay) {
   assert(state_->fn && "rearm() requires a prior schedule_after()");
+  sim_->cancel_timer(*state_);
   const std::uint64_t gen = ++state_->generation;
   state_->pending = true;
   deadline_ = sim_->now() + delay;
   sim_->at_timer(deadline_, state_, gen);
 }
 
-void Timer::cancel() {
-  ++state_->generation;
-  state_->pending = false;
-}
+void Timer::cancel() { sim_->cancel_timer(*state_); }
 
 void PeriodicTimer::start(SimDuration initial_delay) {
   timer_.schedule_after(initial_delay >= 0 ? initial_delay : period_,

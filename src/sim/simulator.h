@@ -4,17 +4,32 @@
 // Events scheduled for the same instant fire in insertion order, which —
 // together with seeded RNG — makes every run exactly reproducible.
 //
-// The queue is built for throughput: the binary heap orders slim 24-byte
-// {time, seq, slot} nodes, while the callback payloads live in a stable,
-// free-listed slot pool beside it — sift operations never move a closure.
-// Callbacks are stored in `SmallFn`, a move-only callable with inline
-// storage sized for the fabric's event lambdas, so scheduling an event
-// performs no heap allocation at steady state.
+// Two interchangeable schedulers sit behind `Simulator::Options::scheduler`:
+//
+//  - `kWheel` (default): a hierarchical timing wheel (see timing_wheel.h).
+//    Four cascading 256-bucket levels index times by successive 8-bit
+//    digits (ns pages of 256 ns / ~65 us / ~16.8 ms / ~4.29 s spans);
+//    far-future events park in a sorted-on-demand overflow. Schedule,
+//    timer re-arm, and true cancellation are all O(1) intrusive-list
+//    splices. Determinism rules: same-instant events still fire in exact
+//    (time, seq) order — the due bucket is staged and sorted by seq
+//    before dispatch — and cascading relocates nodes without touching
+//    times or seqs, so `run_until` boundaries and the full dispatch
+//    sequence are bit-identical to the heap scheduler's.
+//  - `kHeap`: the classic binary heap of slim 24-byte {time, seq, slot}
+//    nodes (O(log n) per operation), kept selectable so tests and benches
+//    can diff the two engines event-for-event.
+//
+// Under both schedulers the callback payloads live in a stable,
+// free-listed slot pool beside the queue — reordering never moves a
+// closure. Callbacks are stored in `SmallFn`, a move-only callable with
+// inline storage sized for the fabric's event lambdas, so scheduling an
+// event performs no heap allocation at steady state.
 //
 // Sharded mode (`configure_shards` + `set_workers`) turns the engine into
 // a conservative parallel discrete-event simulator: every device belongs
 // to one shard (fat-tree pods; cores + fabric manager share a shard), each
-// shard owns its own event heap, slot pool, seq counter, and RNG stream,
+// shard owns its own event queue, slot pool, seq counter, and RNG stream,
 // and shards advance in lock-step windows no wider than the minimum
 // cross-shard link latency (the lookahead). Within a window shards run
 // independently on a worker pool; cross-shard deliveries buffer into
@@ -22,7 +37,7 @@
 // canonical (time, src-shard, push-order) order. Because mailbox merge
 // order — not thread completion order — assigns sequence numbers, an
 // N-worker run schedules exactly the same event sequence as a 1-worker
-// run. Classic (unsharded) mode remains the default and is untouched.
+// run, under either scheduler. Classic (unsharded) mode is the default.
 //
 // `Timer` and `PeriodicTimer` are cancellable wrappers used throughout the
 // protocol implementations (LDP keepalives, ARP retries, TCP RTO, ...).
@@ -30,7 +45,13 @@
 // an already-programmed timer (`Timer::rearm`, used by every periodic
 // tick) enqueues a plain {state, generation} record and performs no
 // closure allocation — at scale, LDP keepalives dominate the event count,
-// so the rearm path is the event queue's hot path.
+// so the rearm path is the event queue's hot path. Cancelling (or
+// re-arming) a pending shot erases it from the queue immediately and
+// releases its payload slot and `TimerCore` reference, so a cancelled
+// long-deadline timer pins no memory until its dead deadline. (Only a
+// cross-shard cancel from inside a foreign worker's window — which no
+// device does — falls back to generation tombstoning, and such a stale
+// shot decays as a silent, uncounted no-op at its deadline.)
 #pragma once
 
 #include <atomic>
@@ -49,6 +70,7 @@
 
 #include "common/random.h"
 #include "common/units.h"
+#include "sim/timing_wheel.h"
 
 namespace portland::sim {
 
@@ -59,6 +81,12 @@ using ShardId = std::uint32_t;
 /// "Not executing on any shard" — scheduling from this context in sharded
 /// mode lands in the globally-serialized barrier task queue.
 constexpr ShardId kNoShard = 0xFFFFFFFFu;
+
+/// Which event-queue implementation a Simulator runs on.
+enum class SchedulerKind : std::uint8_t {
+  kHeap,   // binary heap: O(log n) schedule/pop, cancelled shots tombstone
+  kWheel,  // hierarchical timing wheel: O(1) schedule/cancel/rearm
+};
 
 /// Move-only type-erased callable with inline storage. Captures up to
 /// kInlineSize bytes live inside the object (no allocation); larger
@@ -152,19 +180,33 @@ class SmallFn {
 
 /// Shared state behind a Timer. Events reference the core, never the
 /// Timer object, so destroying an armed Timer is safe. The callback lives
-/// here so a rearm does not rebuild it.
+/// here so a rearm does not rebuild it. `shard`/`handle` locate the
+/// pending shot inside the scheduler (wheel node or heap payload slot) so
+/// cancel/rearm can erase it in O(1); handle != kNilHandle if and only if
+/// that exact shot is still queued.
 struct TimerCore {
+  static constexpr std::uint32_t kNilHandle = 0xFFFFFFFFu;
+
   std::uint64_t generation = 0;
   bool pending = false;
+  ShardId shard = kNoShard;
+  std::uint32_t handle = kNilHandle;
   std::function<void()> fn;
 };
 
 class Simulator {
  public:
+  struct Options {
+    SchedulerKind scheduler = SchedulerKind::kWheel;
+  };
+
   Simulator();
+  explicit Simulator(Options options);
   ~Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] SchedulerKind scheduler() const { return scheduler_; }
 
   /// Current virtual time. In sharded mode, from inside an event this is
   /// the executing shard's clock; between windows it is the global clock.
@@ -184,6 +226,12 @@ class Simulator {
   /// pending at `generation`. Allocation-free except for queue growth.
   void at_timer(SimTime t, std::shared_ptr<TimerCore> core,
                 std::uint64_t generation);
+
+  /// Erases `core`'s pending shot from the queue (O(1)), releasing its
+  /// payload slot and TimerCore reference immediately, and bumps the
+  /// generation so any unreachable stale shot decays as a no-op. Safe to
+  /// call with nothing pending. Used by Timer::cancel/rearm/schedule_after.
+  void cancel_timer(TimerCore& core);
 
   /// Schedules `fn` at `t` on shard `dst`. During a parallel window a
   /// cross-shard send buffers into the (src,dst) mailbox and is merged at
@@ -233,6 +281,8 @@ class Simulator {
   /// at the next window boundary (sharded).
   void stop() { stopped_.store(true, std::memory_order_relaxed); }
 
+  /// Live (non-cancelled) scheduled events. A cancelled timer's shot
+  /// leaves this count the moment it is cancelled, not at its deadline.
   [[nodiscard]] std::size_t pending_events() const;
   [[nodiscard]] std::uint64_t executed_events() const;
 
@@ -257,7 +307,9 @@ class Simulator {
     void reserve(std::size_t n) { c.reserve(n); }
   };
 
-  /// One of the two is set: a plain callback, or a timer shot.
+  /// One of the two is set: a plain callback, or a timer shot. A slot
+  /// with neither (a cancelled heap shot whose QNode is still sifting)
+  /// is a husk: purged at the next peek, never executed.
   struct EventPayload {
     SmallFn fn;
     std::shared_ptr<TimerCore> timer;
@@ -271,13 +323,17 @@ class Simulator {
   };
 
   /// Everything one shard touches while executing a window, padded so
-  /// neighboring shards never share a cache line.
+  /// neighboring shards never share a cache line. Exactly one of
+  /// queue/wheel is in use, per Options::scheduler.
   struct alignas(64) Shard {
     EventQueue queue;
+    TimingWheel wheel;
     std::vector<EventPayload> slots;
     std::vector<std::uint32_t> free_slots;
     std::uint64_t next_seq = 0;
     std::uint64_t executed = 0;
+    /// Live (non-cancelled) events currently queued here.
+    std::size_t live = 0;
     SimTime now = 0;
     Rng rng{0};
     /// outbox[dst]: mail pushed during the current window, merged at the
@@ -310,13 +366,21 @@ class Simulator {
   };
 
   [[nodiscard]] static std::uint32_t acquire_slot(Shard& sh);
+  void release_slot(Shard& sh, std::uint32_t slot);
+  /// Pushes payload slot `slot` at (t, next seq) into the shard's active
+  /// scheduler; returns the cancellation handle (wheel node index, or the
+  /// payload slot itself for the heap).
+  std::uint32_t push_node(Shard& sh, SimTime t, std::uint32_t slot);
   void schedule_local(Shard& sh, SimTime t, SmallFn fn);
-  void schedule_timer_local(Shard& sh, SimTime t,
+  void schedule_timer_local(Shard& sh, ShardId id, SimTime t,
                             std::shared_ptr<TimerCore> core,
                             std::uint64_t generation);
   /// The shard the calling thread is executing for *this* simulator.
   [[nodiscard]] ShardId context_shard() const;
   static void fire_timer(TimerCore& core, std::uint64_t generation);
+  /// Earliest live event time in this shard, or kNoEvent. Purges any
+  /// cancelled heap husks sitting on top, so both schedulers agree.
+  [[nodiscard]] SimTime peek_time(Shard& sh);
   void dispatch_one(Shard& sh);
 
   void classic_run(SimTime limit);
@@ -329,11 +393,12 @@ class Simulator {
   void spawn_workers();
   void join_workers();
 
-  [[nodiscard]] SimTime earliest_shard_event() const;
+  [[nodiscard]] SimTime earliest_shard_event();
   [[nodiscard]] SimTime earliest_barrier_task() const;
 
   // --- Shards. Classic mode is exactly shards_[0]. -----------------------
   std::vector<std::unique_ptr<Shard>> shards_;
+  SchedulerKind scheduler_ = SchedulerKind::kWheel;
   bool configured_ = false;
   SimDuration lookahead_ = 1;
   /// Global clock, meaningful when no shard context is active.
@@ -378,8 +443,9 @@ class ShardGuard {
 };
 
 /// One-shot cancellable timer. Re-scheduling cancels the previous shot.
-/// Destroying an armed Timer cancels it safely: the scheduled event holds
-/// the shared TimerCore, never the Timer itself.
+/// Destroying an armed Timer cancels it safely and releases its queued
+/// state immediately: the scheduled event holds the shared TimerCore,
+/// never the Timer itself.
 class Timer {
  public:
   explicit Timer(Simulator& sim)
@@ -393,10 +459,11 @@ class Timer {
   void schedule_after(SimDuration delay, std::function<void()> fn);
 
   /// Re-schedules the retained callback after `delay` without rebuilding
-  /// it (no allocation). Requires a prior schedule_after on this timer.
+  /// it (no allocation). Any pending shot is erased in O(1) first.
+  /// Requires a prior schedule_after on this timer.
   void rearm(SimDuration delay);
 
-  /// Cancels the pending shot, if any.
+  /// Cancels the pending shot, if any, erasing it from the queue.
   void cancel();
 
   [[nodiscard]] bool pending() const { return state_->pending; }

@@ -1,6 +1,9 @@
 // Unit tests for the discrete-event engine: ordering, timers, links.
 #include <gtest/gtest.h>
 
+#include <memory>
+
+#include "common/random.h"
 #include "sim/device.h"
 #include "sim/failure.h"
 #include "sim/link.h"
@@ -487,6 +490,242 @@ TEST(Sharded, FailRecoverIsWorkerCountInvariant) {
     EXPECT_EQ(many.dropped, one.dropped) << workers << " workers";
     EXPECT_EQ(many.executed, one.executed) << workers << " workers";
   }
+}
+
+// --- scheduler A/B: binary heap vs hierarchical timing wheel -------------
+
+/// Every test in this fixture runs twice, once per event-queue
+/// implementation, and must pass identically under both.
+class EngineTest : public ::testing::TestWithParam<SchedulerKind> {
+ protected:
+  [[nodiscard]] Simulator::Options opts() const {
+    return Simulator::Options{GetParam()};
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    BothSchedulers, EngineTest,
+    ::testing::Values(SchedulerKind::kHeap, SchedulerKind::kWheel),
+    [](const ::testing::TestParamInfo<SchedulerKind>& info) {
+      return info.param == SchedulerKind::kHeap ? "Heap" : "Wheel";
+    });
+
+TEST_P(EngineTest, OrderingAcrossCascadeDistances) {
+  // Times chosen to land on every wheel level: same-page ns (level 0),
+  // ~hundreds of ns (level 1), tens of us (level 2), tens of ms and
+  // seconds (level 3), and past the ~4.29 s horizon (overflow) — plus
+  // duplicates, which must preserve schedule order.
+  const SimTime times[] = {nanos(5),   nanos(300),  micros(70), millis(20),
+                           seconds(1), seconds(5),  nanos(5),   millis(20),
+                           seconds(6), nanos(6),    micros(70), seconds(5)};
+  struct Fire {
+    SimTime time;
+    int id;
+  };
+  Simulator sim(opts());
+  std::vector<Fire> fired;
+  for (int i = 0; i < static_cast<int>(std::size(times)); ++i) {
+    sim.at(times[i], [&fired, &sim, i] {
+      fired.push_back(Fire{sim.now(), i});
+    });
+  }
+  sim.run();
+  // Golden order: stable sort by time (schedule order breaks ties).
+  std::vector<int> ids(std::size(times));
+  for (int i = 0; i < static_cast<int>(ids.size()); ++i) ids[i] = i;
+  std::stable_sort(ids.begin(), ids.end(), [&](int a, int b) {
+    return times[a] < times[b];
+  });
+  ASSERT_EQ(fired.size(), ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(fired[i].id, ids[i]) << "position " << i;
+    EXPECT_EQ(fired[i].time, times[static_cast<std::size_t>(ids[i])]);
+  }
+}
+
+TEST_P(EngineTest, RunUntilBoundaryIsInclusive) {
+  Simulator sim(opts());
+  int at_limit = 0;
+  int past_limit = 0;
+  sim.at(millis(5), [&] { ++at_limit; });
+  sim.at(millis(5) + 1, [&] { ++past_limit; });
+  sim.run_until(millis(5));
+  EXPECT_EQ(at_limit, 1);
+  EXPECT_EQ(past_limit, 0);
+  EXPECT_EQ(sim.now(), millis(5));
+  sim.run();
+  EXPECT_EQ(past_limit, 1);
+}
+
+TEST_P(EngineTest, CancelledTimersLeavePendingCount) {
+  Simulator sim(opts());
+  Timer a(sim);
+  Timer b(sim);
+  Timer c(sim);
+  a.schedule_after(millis(1), [] {});
+  b.schedule_after(seconds(10), [] {});
+  c.schedule_after(seconds(100), [] {});  // overflow horizon on the wheel
+  EXPECT_EQ(sim.pending_events(), 3u);
+  b.cancel();
+  c.cancel();
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run();
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_EQ(sim.executed_events(), 1u);
+  EXPECT_EQ(sim.now(), millis(1));  // dead deadlines never drive the clock
+}
+
+TEST_P(EngineTest, CancelledLongDeadlineTimerReleasesItsCore) {
+  // Regression: cancel used to leave the queued shot holding its
+  // shared_ptr<TimerCore> (and with it the callback closure) until the
+  // dead event's far-future deadline finally popped.
+  Simulator sim(opts());
+  auto marker = std::make_shared<int>(7);
+  std::weak_ptr<int> weak = marker;
+  {
+    Timer t(sim);
+    t.schedule_after(seconds(3600), [marker] { (void)*marker; });
+    marker.reset();
+    EXPECT_FALSE(weak.expired());  // queue + core keep the closure alive
+    t.cancel();
+  }
+  EXPECT_TRUE(weak.expired());
+  EXPECT_EQ(sim.pending_events(), 0u);
+  sim.run();
+  EXPECT_EQ(sim.executed_events(), 0u);
+  EXPECT_EQ(sim.now(), 0);
+}
+
+TEST_P(EngineTest, TwoTimersAtSameInstantFireInArmOrder) {
+  Simulator sim(opts());
+  Timer first(sim);
+  Timer second(sim);
+  std::vector<int> order;
+  first.schedule_after(millis(2), [&] { order.push_back(1); });
+  second.schedule_after(millis(2), [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST_P(EngineTest, CancelFromOwnCallback) {
+  Simulator sim(opts());
+  Timer t(sim);
+  int fired = 0;
+  t.schedule_after(millis(1), [&] {
+    ++fired;
+    t.cancel();  // no pending shot: must be a harmless no-op
+  });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(t.pending());
+  t.rearm(millis(1));
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST_P(EngineTest, CancelSiblingTimerAtSameInstant) {
+  // First timer's callback cancels the second, which is already staged
+  // for dispatch at the same instant — it must not fire.
+  Simulator sim(opts());
+  Timer killer(sim);
+  Timer victim(sim);
+  int victim_fired = 0;
+  killer.schedule_after(millis(3), [&] { victim.cancel(); });
+  victim.schedule_after(millis(3), [&] { ++victim_fired; });
+  sim.run();
+  EXPECT_EQ(victim_fired, 0);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST_P(EngineTest, RearmAfterCallbackReplacedItself) {
+  // The callback replaces itself via schedule_after() from inside
+  // fire_timer; a later rearm() must re-run the *replacement*.
+  Simulator sim(opts());
+  Timer t(sim);
+  std::vector<int> hits;
+  t.schedule_after(millis(1), [&] {
+    hits.push_back(1);
+    t.schedule_after(millis(1), [&] { hits.push_back(2); });
+  });
+  sim.run();
+  EXPECT_EQ(hits, (std::vector<int>{1, 2}));
+  t.rearm(millis(5));
+  EXPECT_TRUE(t.pending());
+  sim.run();
+  EXPECT_EQ(hits, (std::vector<int>{1, 2, 2}));
+}
+
+TEST_P(EngineTest, DeadlineTracksRearm) {
+  Simulator sim(opts());
+  Timer t(sim);
+  t.schedule_after(millis(10), [] {});
+  EXPECT_EQ(t.deadline(), millis(10));
+  t.rearm(millis(4));
+  EXPECT_EQ(t.deadline(), millis(4));
+  sim.run_until(millis(1));
+  t.rearm(seconds(30));  // push past the wheel's cascade horizon
+  EXPECT_EQ(t.deadline(), millis(1) + seconds(30));
+  t.rearm(millis(2));
+  EXPECT_EQ(t.deadline(), millis(3));
+  sim.run();
+  EXPECT_EQ(sim.now(), millis(3));
+  EXPECT_EQ(sim.executed_events(), 1u);  // every earlier shot was erased
+}
+
+TEST_P(EngineTest, FarFutureCancelThenNearReschedule) {
+  Simulator sim(opts());
+  Timer t(sim);
+  int fired = 0;
+  t.schedule_after(seconds(20), [&] { ++fired; });  // overflow on the wheel
+  t.cancel();
+  t.schedule_after(micros(5), [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), micros(5));
+}
+
+/// Drives one simulator through a pseudorandom schedule/cancel/rearm
+/// storm and returns the (time, id) dispatch trace.
+std::vector<std::pair<SimTime, int>> run_random_trace(SchedulerKind kind) {
+  Simulator sim(Simulator::Options{kind});
+  std::vector<std::pair<SimTime, int>> trace;
+  Rng rng(0xC0FFEE);
+  std::vector<std::unique_ptr<Timer>> timers;
+  for (int i = 0; i < 16; ++i) timers.push_back(std::make_unique<Timer>(sim));
+  int next_id = 1000;
+  for (int round = 0; round < 40; ++round) {
+    // A burst of plain events at erratic distances (ns .. multi-second).
+    for (int i = 0; i < 64; ++i) {
+      const SimTime t =
+          sim.now() + static_cast<SimTime>(rng.next_below(seconds(6)));
+      const int id = next_id++;
+      sim.at(t, [&trace, &sim, id] { trace.emplace_back(sim.now(), id); });
+    }
+    // Timer churn: schedule, rearm, or cancel at random.
+    for (auto& timer : timers) {
+      const std::uint64_t action = rng.next_below(4);
+      const int id = next_id++;
+      if (action == 0) {
+        timer->schedule_after(
+            static_cast<SimDuration>(rng.next_below(seconds(2))),
+            [&trace, &sim, id] { trace.emplace_back(sim.now(), id); });
+      } else if (action == 1 && timer->pending()) {
+        timer->rearm(static_cast<SimDuration>(rng.next_below(millis(50))));
+      } else if (action == 2) {
+        timer->cancel();
+      }
+    }
+    sim.run_until(sim.now() + static_cast<SimTime>(rng.next_below(seconds(1))));
+  }
+  sim.run();
+  return trace;
+}
+
+TEST(Scheduler, HeapAndWheelDispatchIdenticalTraces) {
+  const auto heap = run_random_trace(SchedulerKind::kHeap);
+  const auto wheel = run_random_trace(SchedulerKind::kWheel);
+  ASSERT_GT(heap.size(), 2000u);
+  EXPECT_EQ(heap, wheel);
 }
 
 TEST(Sharded, ShardRngStreamsAreIndependentAndStable) {

@@ -178,12 +178,15 @@ struct ParallelRunResult {
   std::vector<std::tuple<SimTime, std::string, std::size_t>> trace;
 };
 
-ParallelRunResult run_parallel_soak(unsigned workers) {
+ParallelRunResult run_parallel_soak(
+    unsigned workers,
+    sim::SchedulerKind scheduler = sim::SchedulerKind::kWheel) {
   topo::FatTree tree(4);
   PortlandFabric::Options options;
   options.k = 4;
   options.seed = 20260806;
   options.workers = workers;  // >= 1 selects the sharded engine
+  options.scheduler = scheduler;
   options.skip_host_indices = {tree.host_index(3, 1, 1)};  // migration slot
   PortlandFabric fabric(options);
 
@@ -327,6 +330,44 @@ TEST(Soak, ParallelEngineIsWorkerCountInvariant) {
   ASSERT_EQ(serial.trace.size(), parallel.trace.size());
   EXPECT_TRUE(serial.trace == parallel.trace)
       << "frame delivery traces diverged";
+}
+
+// With identical seeds, the binary-heap and timing-wheel schedulers must
+// execute the same simulation — same executed-event counts and the same
+// full frame-delivery trace — at 1 and at 4 workers. This pins the
+// wheel's (time, seq) dispatch order and its run_until/window boundary
+// behavior to the heap reference implementation under full chaos:
+// failures, repairs, migration, TCP, multicast.
+TEST(Soak, SchedulerChoiceIsInvisibleToExecution) {
+  const ParallelRunResult heap1 =
+      run_parallel_soak(1, sim::SchedulerKind::kHeap);
+  const ParallelRunResult wheel1 =
+      run_parallel_soak(1, sim::SchedulerKind::kWheel);
+  const ParallelRunResult heap4 =
+      run_parallel_soak(4, sim::SchedulerKind::kHeap);
+  const ParallelRunResult wheel4 =
+      run_parallel_soak(4, sim::SchedulerKind::kWheel);
+
+  EXPECT_GT(heap1.trace.size(), 10'000u);  // the scenario really ran
+
+  const auto expect_same = [](const ParallelRunResult& a,
+                              const ParallelRunResult& b,
+                              const char* label) {
+    EXPECT_EQ(a.executed, b.executed) << label;
+    EXPECT_EQ(a.final_now, b.final_now) << label;
+    EXPECT_EQ(a.probe_sent, b.probe_sent) << label;
+    EXPECT_EQ(a.probe_received, b.probe_received) << label;
+    EXPECT_EQ(a.tcp_delivered, b.tcp_delivered) << label;
+    EXPECT_EQ(a.mcast_rx, b.mcast_rx) << label;
+    EXPECT_EQ(a.link_tx_frames, b.link_tx_frames) << label;
+    EXPECT_EQ(a.link_dropped, b.link_dropped) << label;
+    ASSERT_EQ(a.trace.size(), b.trace.size()) << label;
+    EXPECT_TRUE(a.trace == b.trace) << label << ": traces diverged";
+  };
+  expect_same(heap1, wheel1, "heap vs wheel, 1 worker");
+  expect_same(heap4, wheel4, "heap vs wheel, 4 workers");
+  expect_same(heap1, heap4, "heap, 1 vs 4 workers");
+  expect_same(wheel1, wheel4, "wheel, 1 vs 4 workers");
 }
 
 }  // namespace
