@@ -3,24 +3,18 @@
 // a delivery/convergence report. Useful for exploring parameters without
 // writing C++.
 //
-//   $ ./scenario_cli --k 6 --flows 10 --fail 3 --fail-at-ms 500 \
-//                    --repair-at-ms 900 --duration-ms 2000 --ecmp spray
-//
-// Flags (all optional):
-//   --k N              fat-tree arity (even, >= 2; default 4)
-//   --seed N           RNG seed (default 1)
-//   --flows N          inter-pod UDP probe flows at 1000 pkt/s (default 8)
-//   --fail N           random fabric links to fail (default 1)
-//   --fail-at-ms T     failure instant (default 500)
-//   --repair-at-ms T   repair instant (0 = never; default 0)
-//   --duration-ms T    total run (default 2000)
-//   --ecmp hash|spray  ECMP mode (default hash)
-//   --fm-failover-ms T wipe the fabric manager's soft state at T (0 = off)
+//   $ ./scenario_cli --k 6 --flows 10 --fail 3 --fail-at-ms 500 --ecmp spray
+//   $ ./scenario_cli --fail 2 --metrics-out m.jsonl --trace-out t.json
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <string>
 
 #include "core/fabric.h"
 #include "host/apps.h"
+#include "obs/metrics.h"
+#include "obs/trace_export.h"
 
 using namespace portland;
 
@@ -37,60 +31,148 @@ struct Args {
   SimDuration fm_failover_at = 0;
   core::PortlandConfig::EcmpMode ecmp =
       core::PortlandConfig::EcmpMode::kFlowHash;
+  unsigned workers = 0;
+  // Observability outputs; empty = off.
+  std::string metrics_out;
+  std::string prom_out;
+  std::string trace_out;
+  long long metrics_interval_ms = 100;
+  long long trace_frames = 0;
 };
 
-bool parse_args(int argc, char** argv, Args* out) {
+void print_usage(std::FILE* to) {
+  std::fprintf(
+      to,
+      "usage: scenario_cli [flags]\n"
+      "  --k N                  fat-tree arity (even, >= 4; default 4)\n"
+      "  --seed N               RNG seed (default 1)\n"
+      "  --flows N              inter-pod UDP probe flows at 1000 pkt/s "
+      "(default 8)\n"
+      "  --fail N               random fabric links to fail (default 1)\n"
+      "  --fail-at-ms T         failure instant (default 500)\n"
+      "  --repair-at-ms T       repair instant (0 = never; default 0)\n"
+      "  --duration-ms T        total run (default 2000)\n"
+      "  --ecmp hash|spray      ECMP mode (default hash)\n"
+      "  --fm-failover-ms T     wipe the fabric manager's soft state at T "
+      "(0 = off)\n"
+      "  --workers N            parallel engine worker threads (0 = classic "
+      "engine)\n"
+      "  --metrics-out PATH     write per-interval metrics snapshots as "
+      "JSONL\n"
+      "  --metrics-interval-ms T  snapshot period (default 100)\n"
+      "  --prom-out PATH        write the final snapshot in Prometheus text "
+      "format\n"
+      "  --trace-out PATH       write a Chrome trace-event / Perfetto JSON "
+      "trace\n"
+      "                         (enables the flight recorder and engine "
+      "tracer)\n"
+      "  --trace-frames N       per-shard cap on traced frames (0 = "
+      "unlimited)\n"
+      "  --help                 this text\n");
+}
+
+[[noreturn]] void die_usage(const char* fmt, const char* a) {
+  std::fprintf(stderr, "scenario_cli: ");
+  std::fprintf(stderr, fmt, a);
+  std::fprintf(stderr, "\n");
+  print_usage(stderr);
+  std::exit(2);
+}
+
+/// Strict integer parsing: the whole token must be a number in
+/// [min, max]. Anything else (empty, trailing junk, overflow) is a
+/// usage error — `--flows 1x0` must not silently run with 1 flow.
+long long parse_int(const char* flag, const char* text, long long min,
+                    long long max) {
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE) {
+    die_usage("flag %s needs an integer value", flag);
+  }
+  if (v < min || v > max) {
+    std::fprintf(stderr, "scenario_cli: %s out of range [%lld, %lld]\n", flag,
+                 min, max);
+    std::exit(2);
+  }
+  return v;
+}
+
+Args parse_args(int argc, char** argv) {
+  Args out;
   for (int i = 1; i < argc; ++i) {
-    auto next_int = [&](long long* value) {
-      if (i + 1 >= argc) return false;
-      *value = std::atoll(argv[++i]);
-      return true;
+    const char* flag = argv[i];
+    if (!std::strcmp(flag, "--help") || !std::strcmp(flag, "-h")) {
+      print_usage(stdout);
+      std::exit(0);
+    }
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) die_usage("flag %s needs a value", flag);
+      return argv[++i];
     };
-    long long v = 0;
-    if (!std::strcmp(argv[i], "--k") && next_int(&v)) {
-      out->k = static_cast<int>(v);
-    } else if (!std::strcmp(argv[i], "--seed") && next_int(&v)) {
-      out->seed = static_cast<std::uint64_t>(v);
-    } else if (!std::strcmp(argv[i], "--flows") && next_int(&v)) {
-      out->flows = static_cast<int>(v);
-    } else if (!std::strcmp(argv[i], "--fail") && next_int(&v)) {
-      out->fail = static_cast<int>(v);
-    } else if (!std::strcmp(argv[i], "--fail-at-ms") && next_int(&v)) {
-      out->fail_at = millis(v);
-    } else if (!std::strcmp(argv[i], "--repair-at-ms") && next_int(&v)) {
-      out->repair_at = millis(v);
-    } else if (!std::strcmp(argv[i], "--duration-ms") && next_int(&v)) {
-      out->duration = millis(v);
-    } else if (!std::strcmp(argv[i], "--fm-failover-ms") && next_int(&v)) {
-      out->fm_failover_at = millis(v);
-    } else if (!std::strcmp(argv[i], "--ecmp") && i + 1 < argc) {
-      const char* mode = argv[++i];
+    auto int_value = [&](long long min, long long max) {
+      return parse_int(flag, value(), min, max);
+    };
+    if (!std::strcmp(flag, "--k")) {
+      out.k = static_cast<int>(int_value(4, 64));
+      if (out.k % 2 != 0) die_usage("%s must be even", flag);
+    } else if (!std::strcmp(flag, "--seed")) {
+      out.seed = static_cast<std::uint64_t>(int_value(0, INT64_MAX));
+    } else if (!std::strcmp(flag, "--flows")) {
+      out.flows = static_cast<int>(int_value(0, 100000));
+    } else if (!std::strcmp(flag, "--fail")) {
+      out.fail = static_cast<int>(int_value(0, 100000));
+    } else if (!std::strcmp(flag, "--fail-at-ms")) {
+      out.fail_at = millis(int_value(0, INT64_MAX / 2000000));
+    } else if (!std::strcmp(flag, "--repair-at-ms")) {
+      out.repair_at = millis(int_value(0, INT64_MAX / 2000000));
+    } else if (!std::strcmp(flag, "--duration-ms")) {
+      out.duration = millis(int_value(1, INT64_MAX / 2000000));
+    } else if (!std::strcmp(flag, "--fm-failover-ms")) {
+      out.fm_failover_at = millis(int_value(0, INT64_MAX / 2000000));
+    } else if (!std::strcmp(flag, "--workers")) {
+      out.workers = static_cast<unsigned>(int_value(0, 256));
+    } else if (!std::strcmp(flag, "--metrics-out")) {
+      out.metrics_out = value();
+    } else if (!std::strcmp(flag, "--metrics-interval-ms")) {
+      out.metrics_interval_ms = int_value(1, 1000000);
+    } else if (!std::strcmp(flag, "--prom-out")) {
+      out.prom_out = value();
+    } else if (!std::strcmp(flag, "--trace-out")) {
+      out.trace_out = value();
+    } else if (!std::strcmp(flag, "--trace-frames")) {
+      out.trace_frames = int_value(0, INT64_MAX);
+    } else if (!std::strcmp(flag, "--ecmp")) {
+      const char* mode = value();
       if (!std::strcmp(mode, "spray")) {
-        out->ecmp = core::PortlandConfig::EcmpMode::kPacketSpray;
+        out.ecmp = core::PortlandConfig::EcmpMode::kPacketSpray;
       } else if (!std::strcmp(mode, "hash")) {
-        out->ecmp = core::PortlandConfig::EcmpMode::kFlowHash;
+        out.ecmp = core::PortlandConfig::EcmpMode::kFlowHash;
       } else {
-        std::fprintf(stderr, "unknown --ecmp mode '%s'\n", mode);
-        return false;
+        die_usage("unknown --ecmp mode '%s' (hash|spray)", mode);
       }
     } else {
-      std::fprintf(stderr, "unknown or incomplete flag '%s'\n", argv[i]);
-      return false;
+      die_usage("unknown flag '%s'", flag);
     }
   }
-  return true;
+  return out;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  Args args;
-  if (!parse_args(argc, argv, &args)) return 2;
+  const Args args = parse_args(argc, argv);
+  const bool want_metrics = !args.metrics_out.empty() || !args.prom_out.empty();
+  const bool want_trace = !args.trace_out.empty();
 
   core::PortlandFabric::Options options;
   options.k = args.k;
   options.seed = args.seed;
+  options.workers = args.workers;
   options.config.ecmp_mode = args.ecmp;
+  options.obs.flight_recorder = want_trace;
+  options.obs.engine_trace = want_trace;
+  options.obs.trace_frames = static_cast<std::uint64_t>(args.trace_frames);
   core::PortlandFabric fabric(options);
   std::printf("fabric: k=%d, %zu switches, %zu hosts, seed=%llu, ecmp=%s\n",
               args.k, fabric.switches().size(), fabric.hosts().size(),
@@ -155,7 +237,21 @@ int main(int argc, char** argv) {
     });
   }
 
-  fabric.sim().run_until(t0 + args.duration);
+  // Run — chunked when sampling metrics so snapshots land every
+  // interval, a single run_until otherwise. Snapshotting between chunks
+  // is purely observational; the event schedule is identical either way.
+  obs::MetricsRegistry metrics;
+  if (want_metrics) {
+    const SimDuration step = millis(args.metrics_interval_ms);
+    const SimTime end = t0 + args.duration;
+    for (SimTime t = t0; t < end;) {
+      t = std::min(end, t + step);
+      fabric.sim().run_until(t);
+      fabric.snapshot_metrics(metrics);
+    }
+  } else {
+    fabric.sim().run_until(t0 + args.duration);
+  }
   for (auto& f : flows) f.tx->stop();
 
   // Report.
@@ -179,5 +275,48 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(
                   fabric.control().messages_sent()),
               static_cast<unsigned long long>(fabric.control().bytes_sent()));
+
+  // Observability outputs.
+  if (const obs::FlightRecorder* rec = fabric.flight_recorder()) {
+    std::printf("flight recorder: %llu traced frames, %llu hop records "
+                "(%llu evicted), %llu drops\n",
+                static_cast<unsigned long long>(rec->traced_frames()),
+                static_cast<unsigned long long>(rec->records_captured()),
+                static_cast<unsigned long long>(rec->records_evicted()),
+                static_cast<unsigned long long>(rec->drops_recorded()));
+    const auto by_reason = rec->drops_by_reason();
+    for (std::size_t i = 1; i < obs::kDropReasonCount; ++i) {
+      if (by_reason[i] == 0) continue;
+      std::printf("  drop %-18s %llu\n",
+                  obs::drop_reason_name(static_cast<obs::DropReason>(i)),
+                  static_cast<unsigned long long>(by_reason[i]));
+    }
+  }
+  if (!args.metrics_out.empty()) {
+    if (!metrics.write_jsonl(args.metrics_out)) {
+      std::fprintf(stderr, "scenario_cli: cannot write %s\n",
+                   args.metrics_out.c_str());
+      return 1;
+    }
+    std::printf("metrics: %zu snapshots -> %s\n", metrics.snapshots().size(),
+                args.metrics_out.c_str());
+  }
+  if (!args.prom_out.empty()) {
+    if (!metrics.write_prometheus(args.prom_out)) {
+      std::fprintf(stderr, "scenario_cli: cannot write %s\n",
+                   args.prom_out.c_str());
+      return 1;
+    }
+    std::printf("metrics: prometheus text -> %s\n", args.prom_out.c_str());
+  }
+  if (!args.trace_out.empty()) {
+    if (!obs::write_perfetto_trace(args.trace_out, fabric.engine_tracer(),
+                                   fabric.flight_recorder())) {
+      std::fprintf(stderr, "scenario_cli: cannot write %s\n",
+                   args.trace_out.c_str());
+      return 1;
+    }
+    std::printf("trace: %s\n", args.trace_out.c_str());
+  }
   return 0;
 }

@@ -65,15 +65,17 @@ done
 E14_ARGS=""
 E15_ARGS=""
 E16_ARGS=""
+E17_ARGS=""
 if [ "$SMOKE" = 1 ]; then
   E14_ARGS="--k 4 --flows-per-host 1"
   E15_ARGS="--k 4 --threads 2 --reps 1 --measure-ms 50"
   E16_ARGS="--k 4 --reps 1 --measure-ms 50 --micro-ops 20000"
+  E17_ARGS="--k 4 --reps 1 --measure-ms 50"
 fi
 
 # shellcheck disable=SC2086
 for spec in "e14_fastpath:$E14_ARGS" "e15_parallel:$E15_ARGS" \
-            "e16_event_queue:$E16_ARGS"; do
+            "e16_event_queue:$E16_ARGS" "e17_observability:$E17_ARGS"; do
   n="${spec%%:*}"
   extra="${spec#*:}"
   b="build/bench/bench_$n"
@@ -88,7 +90,7 @@ done
 # bench crashed or silently stopped emitting — fail loudly (bit-rot guard).
 echo
 MISSING=0
-for short in e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 e14 e15 e16; do
+for short in e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 e14 e15 e16 e17; do
   f="build/BENCH_${short}.json"
   if [ ! -s "$f" ]; then
     echo "MISSING: $f"

@@ -41,6 +41,24 @@ PortlandFabric::PortlandFabric(Options options)
     net_.sim().set_workers(options_.workers);
   }
 
+  if (options_.obs.flight_recorder) {
+    obs::FlightRecorder::Options ro;
+    ro.ring_capacity = options_.obs.ring_capacity;
+    ro.max_traced_frames = options_.obs.trace_frames;
+    // LDP keepalives dominate frame counts but carry no tenant traffic;
+    // keep them out of traces so rings hold the interesting hops.
+    ro.skip_ethertype = net::to_u16(net::EtherType::kLdp);
+    // Sized for every shard even in classic mode: devices carry their
+    // shard assignment either way, so records always land in range.
+    recorder_ =
+        std::make_unique<obs::FlightRecorder>(tree_.shard_count(), ro);
+    net_.set_flight_recorder(recorder_.get());
+  }
+  if (options_.obs.engine_trace) {
+    tracer_ = std::make_unique<obs::EngineTracer>(tree_.shard_count());
+    net_.sim().set_tracer(tracer_.get());
+  }
+
   control_ = std::make_unique<ControlPlane>(net_.sim(),
                                             options_.config.control_latency);
   fm_ = std::make_unique<FabricManager>(net_.sim(), *control_,
@@ -207,6 +225,54 @@ std::size_t PortlandFabric::total_switch_state() const {
   std::size_t n = 0;
   for (const PortlandSwitch* sw : switches_) n += sw->forwarding_state_size();
   return n;
+}
+
+void PortlandFabric::snapshot_metrics(obs::MetricsRegistry& registry) {
+  sim::Simulator& s = sim();
+  obs::MetricsSnapshot& snap = registry.begin_snapshot(s.now());
+
+  snap.engine.executed = s.executed_events();
+  snap.engine.windows = s.windows_executed();
+  snap.engine.mail_merged = s.mail_merged();
+  snap.engine.barrier_tasks = s.barrier_tasks_executed();
+  snap.engine.pending = s.pending_events();
+  snap.engine.per_shard_executed.reserve(s.shard_count());
+  for (sim::ShardId sh = 0; sh < s.shard_count(); ++sh) {
+    snap.engine.per_shard_executed.push_back(s.shard_executed(sh));
+  }
+  const sim::TimingWheel::Stats wheel = s.wheel_stats();
+  snap.engine.wheel_inserts = wheel.inserts;
+  snap.engine.wheel_erases = wheel.erases;
+  snap.engine.wheel_cascaded = wheel.cascaded_nodes;
+  snap.engine.wheel_overflow_rehomed = wheel.overflow_rehomed;
+
+  const net::ParseStats parse = net::parse_stats();
+  snap.parse.parse_calls = parse.parse_calls;
+  snap.parse.meta_hits = parse.meta_hits;
+  snap.parse.meta_attaches = parse.meta_attaches;
+  snap.parse.rewrite_copies = parse.rewrite_copies;
+
+  snap.devices.reserve(net_.devices().size());
+  for (const auto& dev : net_.devices()) {
+    obs::DeviceSample& d = snap.devices.emplace_back();
+    d.name = dev->name();
+    const auto& counters = dev->counters().all();
+    d.counters.assign(counters.begin(), counters.end());
+  }
+
+  snap.links.reserve(net_.links().size() * 2);
+  for (const auto& link : net_.links()) {
+    for (int side = 0; side < 2; ++side) {
+      obs::LinkSample& l = snap.links.emplace_back();
+      l.name = link->device(side).name() + "->" +
+               link->device(1 - side).name();
+      l.up = link->direction_up(side);
+      l.tx_frames = link->tx_frames(side);
+      l.tx_bytes = link->tx_bytes(side);
+      l.dropped = link->dropped_frames(side);
+      l.queue_bytes = link->queued_bytes_now(side);
+    }
+  }
 }
 
 }  // namespace portland::core

@@ -24,6 +24,9 @@
 #include "core/fabric_manager.h"
 #include "core/portland_switch.h"
 #include "host/host.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "obs/trace_export.h"
 #include "sim/failure.h"
 #include "sim/network.h"
 #include "topo/fat_tree.h"
@@ -58,6 +61,18 @@ class PortlandFabric {
     /// hierarchical timing wheel, or the classic binary heap for A/B
     /// determinism diffing. Both schedule the identical event sequence.
     sim::SchedulerKind scheduler = sim::SchedulerKind::kWheel;
+    /// Observability. Everything here is passive: enabling any of it
+    /// cannot change the event schedule (Soak pins this).
+    struct ObsOptions {
+      /// Attach a FlightRecorder to every device (per-hop frame tracing).
+      bool flight_recorder = false;
+      /// Per-shard cap on distinct traced frames; 0 = unlimited.
+      std::uint64_t trace_frames = 0;
+      /// Per-shard hop-ring capacity.
+      std::size_t ring_capacity = 4096;
+      /// Attach an EngineTracer (wall-clock window/dispatch profiling).
+      bool engine_trace = false;
+    } obs;
   };
 
   explicit PortlandFabric(Options options);
@@ -111,6 +126,22 @@ class PortlandFabric {
   /// Sum of forwarding-state entries across all switches (E5).
   [[nodiscard]] std::size_t total_switch_state() const;
 
+  // --- observability -------------------------------------------------------
+  /// The attached flight recorder, or nullptr when Options::obs left it off.
+  [[nodiscard]] obs::FlightRecorder* flight_recorder() const {
+    return recorder_.get();
+  }
+  /// The attached engine tracer, or nullptr.
+  [[nodiscard]] obs::EngineTracer* engine_tracer() const {
+    return tracer_.get();
+  }
+
+  /// Captures one metrics snapshot (engine, parser, every device's
+  /// counters, every link direction) into `registry` at the current sim
+  /// time. Quiescent-only: call between run_until chunks, never from an
+  /// event. Purely observational — drives no events, consumes no RNG.
+  void snapshot_metrics(obs::MetricsRegistry& registry);
+
  private:
   Options options_;
   topo::FatTree tree_;
@@ -127,6 +158,8 @@ class PortlandFabric {
   std::vector<PortlandSwitch*> switches_;
   std::vector<sim::Link*> fabric_links_;
   sim::FailureInjector injector_;
+  std::unique_ptr<obs::FlightRecorder> recorder_;
+  std::unique_ptr<obs::EngineTracer> tracer_;
 };
 
 }  // namespace portland::core

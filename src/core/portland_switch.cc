@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "net/igmp.h"
+#include "obs/flight_recorder.h"
 
 namespace portland::core {
 
@@ -38,6 +39,18 @@ PortlandSwitch::PortlandSwitch(sim::Simulator& sim, std::string name,
       refresh_periodic_(sim, config.host_reregister_interval,
                         [this] { send_soft_state_refresh(); }) {
   add_ports(num_ports);
+  // kNone stays nullptr: it is never dropped, and a stray use faults
+  // loudly instead of silently counting nonsense.
+  for (std::size_t i = 1; i < obs::kDropReasonCount; ++i) {
+    drop_cells_[i] = counters().handle(
+        obs::drop_reason_counter(static_cast<obs::DropReason>(i)));
+  }
+}
+
+void PortlandSwitch::drop(obs::DropReason reason, const sim::FramePtr& frame,
+                          sim::PortId port) {
+  ++*drop_cells_[static_cast<std::size_t>(reason)];
+  if (flight_recorder() != nullptr) record_drop(reason, frame, port);
 }
 
 // Note: the destructor intentionally does not touch the control plane —
@@ -112,14 +125,18 @@ void PortlandSwitch::handle_frame(sim::PortId in_port,
   const bool host_port = !ldp_.has_neighbor(in_port);
   if (host_port) ldp_.note_host_traffic(in_port);
 
+  if (flight_recorder() != nullptr) {
+    record_hop(obs::HopEvent::kIngress, frame, in_port, frame->size());
+  }
+
   if (!parsed.valid) {
-    counters().add("rx_malformed");
+    drop(obs::DropReason::kMalformed, frame, in_port);
     return;
   }
   if (!ldp_.self().located()) {
     // Cannot assign PMACs or route before discovery completes. Hosts
     // retry (ARP), so early frames are safely dropped.
-    counters().add("drop_before_located");
+    drop(obs::DropReason::kBeforeLocated, frame, in_port);
     return;
   }
 
@@ -127,7 +144,7 @@ void PortlandSwitch::handle_frame(sim::PortId in_port,
     // Data on a neighbor-less port of a non-edge switch can only be
     // transient misdelivery during convergence; never treat it as a host.
     if (ldp_.self().level != Level::kEdge) {
-      counters().add("drop_data_on_fabric_port");
+      drop(obs::DropReason::kDataOnFabricPort, frame, in_port);
       return;
     }
     handle_host_ingress(in_port, parsed, frame);
@@ -147,7 +164,7 @@ void PortlandSwitch::handle_host_ingress(sim::PortId port,
   }
   HostEntry* host = ensure_host(port, parsed.eth.src, ip_hint);
   if (host == nullptr) {
-    counters().add("drop_bad_host_src");
+    drop(obs::DropReason::kBadHostSrc, frame, port);
     return;
   }
 
@@ -160,7 +177,7 @@ void PortlandSwitch::handle_host_ingress(sim::PortId port,
       parsed.ipv4->protocol == net::kProtocolIgmp) {
     const auto igmp = net::IgmpMessage::deserialize(parsed.payload);
     if (!igmp.has_value()) {
-      counters().add("rx_malformed");
+      drop(obs::DropReason::kMalformed, frame, port);
       return;
     }
     if (igmp->type == net::IgmpType::kMembershipReport) {
@@ -181,6 +198,10 @@ void PortlandSwitch::handle_host_ingress(sim::PortId port,
   net::FrameRewrite rw;
   rw.eth_src = host->pmac.to_mac();
   const auto rewritten = net::rewrite_frame(frame, rw);
+  if (flight_recorder() != nullptr) {
+    record_hop(obs::HopEvent::kIngressRewrite, rewritten, port,
+               host->pmac.to_mac().to_u64());
+  }
 
   if (parsed.eth.dst.is_broadcast()) {
     counters().add("host_broadcasts");
@@ -280,8 +301,8 @@ void PortlandSwitch::rebuild_fib() const {
 }
 
 std::optional<sim::PortId> PortlandSwitch::pick_up_port(
-    const ParsedFrame& parsed, MacAddress dst, std::uint16_t dst_pod,
-    std::uint8_t dst_position) const {
+    const ParsedFrame& parsed, const sim::FramePtr& frame, MacAddress dst,
+    std::uint16_t dst_pod, std::uint8_t dst_position) const {
   const Fib& fib = this->fib();
   const bool spray =
       config_.ecmp_mode == PortlandConfig::EcmpMode::kPacketSpray;
@@ -294,6 +315,10 @@ std::optional<sim::PortId> PortlandSwitch::pick_up_port(
     const auto it = flow_cache_.find(key);
     if (it != flow_cache_.end() && it->second.generation == fib.generation) {
       ++flow_cache_hits_;
+      if (flight_recorder() != nullptr) {
+        record_hop(obs::HopEvent::kFlowCacheHit, frame, it->second.port,
+                   fib.generation);
+      }
       return it->second.port;
     }
     ++flow_cache_misses_;
@@ -315,7 +340,13 @@ std::optional<sim::PortId> PortlandSwitch::pick_up_port(
   if (spray) {
     // Ablation: per-packet round robin. Best instantaneous balance, but
     // reorders flows — E11 measures what that does to TCP.
-    return (*candidates)[spray_counter_++ % candidates->size()];
+    const sim::PortId port =
+        (*candidates)[spray_counter_++ % candidates->size()];
+    if (flight_recorder() != nullptr) {
+      record_hop(obs::HopEvent::kEcmpChoice, frame, port,
+                 candidates->size());
+    }
+    return port;
   }
   // Flow-level ECMP: all packets of a flow hash to one uplink (§3.5). The
   // hash was precomputed at parse time.
@@ -323,6 +354,9 @@ std::optional<sim::PortId> PortlandSwitch::pick_up_port(
       (*candidates)[parsed.flow_hash % candidates->size()];
   if (flow_cache_.size() >= kFlowCacheCap) flow_cache_.clear();
   flow_cache_.emplace(key, FlowCacheEntry{port, fib.generation});
+  if (flight_recorder() != nullptr) {
+    record_hop(obs::HopEvent::kEcmpChoice, frame, port, candidates->size());
+  }
   return port;
 }
 
@@ -354,12 +388,13 @@ void PortlandSwitch::forward_unicast(sim::PortId in_port, MacAddress dst,
                           rewritten, redirect_depth + 1);
           return;
         }
-        counters().add("drop_unknown_local_dst");
+        drop(obs::DropReason::kUnknownLocalDst, frame, in_port);
         return;
       }
-      const auto up = pick_up_port(parsed, dst, pmac.pod, pmac.position);
+      const auto up = pick_up_port(parsed, frame, dst, pmac.pod,
+                                   pmac.position);
       if (!up.has_value()) {
-        counters().add("drop_no_uplink");
+        drop(obs::DropReason::kNoUplink, frame, in_port);
         return;
       }
       send(*up, frame);
@@ -375,15 +410,20 @@ void PortlandSwitch::forward_unicast(sim::PortId in_port, MacAddress dst,
                 ? fib.down_by_position[pmac.position]
                 : -1;
         if (p >= 0) {
+          if (flight_recorder() != nullptr) {
+            record_hop(obs::HopEvent::kFibLookup, frame,
+                       static_cast<sim::PortId>(p), pmac.position);
+          }
           send(static_cast<sim::PortId>(p), frame);
           return;
         }
-        counters().add("drop_no_downlink");
+        drop(obs::DropReason::kNoDownlink, frame, in_port);
         return;
       }
-      const auto up = pick_up_port(parsed, dst, pmac.pod, pmac.position);
+      const auto up = pick_up_port(parsed, frame, dst, pmac.pod,
+                                   pmac.position);
       if (!up.has_value()) {
-        counters().add("drop_no_uplink");
+        drop(obs::DropReason::kNoUplink, frame, in_port);
         return;
       }
       send(*up, frame);
@@ -394,14 +434,18 @@ void PortlandSwitch::forward_unicast(sim::PortId in_port, MacAddress dst,
       const std::int32_t p =
           pmac.pod < fib.down_by_pod.size() ? fib.down_by_pod[pmac.pod] : -1;
       if (p >= 0) {
+        if (flight_recorder() != nullptr) {
+          record_hop(obs::HopEvent::kFibLookup, frame,
+                     static_cast<sim::PortId>(p), pmac.pod);
+        }
         send(static_cast<sim::PortId>(p), frame);
         return;
       }
-      counters().add("drop_no_pod_port");
+      drop(obs::DropReason::kNoPodPort, frame, in_port);
       return;
     }
     case Level::kUnknown:
-      counters().add("drop_unlocated");
+      drop(obs::DropReason::kUnlocated, frame, in_port);
       return;
   }
 }
@@ -414,7 +458,12 @@ void PortlandSwitch::deliver_to_local_host(const HostEntry& entry,
   net::FrameRewrite rw;
   rw.eth_dst = entry.amac;
   if (parsed.arp.has_value()) rw.arp_target_mac = entry.amac;
-  send(entry.port, net::rewrite_frame(frame, rw));
+  const auto rewritten = net::rewrite_frame(frame, rw);
+  if (flight_recorder() != nullptr) {
+    record_hop(obs::HopEvent::kEgressRewrite, rewritten, entry.port,
+               entry.amac.to_u64());
+  }
+  send(entry.port, rewritten);
 }
 
 // ---------------------------------------------------------------------------
@@ -463,7 +512,7 @@ void PortlandSwitch::forward_broadcast(sim::PortId in_port, bool from_host,
       }
       return;
     case Level::kUnknown:
-      counters().add("drop_unlocated");
+      drop(obs::DropReason::kUnlocated, frame, in_port);
       return;
   }
 }
@@ -476,7 +525,7 @@ void PortlandSwitch::forward_multicast(sim::PortId in_port, bool from_host,
                                        const ParsedFrame& parsed,
                                        const sim::FramePtr& frame) {
   if (!parsed.ipv4.has_value()) {
-    counters().add("drop_mcast_no_ip");
+    drop(obs::DropReason::kMcastNoIp, frame, in_port);
     return;
   }
   const Ipv4Address group = parsed.ipv4->dst;
@@ -489,7 +538,7 @@ void PortlandSwitch::forward_multicast(sim::PortId in_port, bool from_host,
         send_to_fm(McastSenderSeen{group});
       }
     }
-    counters().add("drop_mcast_no_entry");
+    drop(obs::DropReason::kMcastNoEntry, frame, in_port);
     return;
   }
   for (const sim::PortId p : it->second) {

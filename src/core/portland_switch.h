@@ -21,6 +21,7 @@
 //   * FaultNotify on LDM timeout; PruneUpdate application on reroutes.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -30,6 +31,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "obs/drop_reason.h"
 #include "core/config.h"
 #include "core/control_plane.h"
 #include "core/fabric_graph.h"
@@ -175,9 +177,14 @@ class PortlandSwitch : public sim::Device {
                              const net::ParsedFrame& parsed,
                              const sim::FramePtr& frame);
   [[nodiscard]] std::optional<sim::PortId> pick_up_port(
-      const net::ParsedFrame& parsed, MacAddress dst, std::uint16_t dst_pod,
-      std::uint8_t dst_position) const;
+      const net::ParsedFrame& parsed, const sim::FramePtr& frame,
+      MacAddress dst, std::uint16_t dst_pod, std::uint8_t dst_position) const;
   [[nodiscard]] std::optional<sim::PortId> designated_up_port() const;
+
+  /// Counts a typed drop through its cached counter cell (no string
+  /// lookup) and hands it to the flight recorder when one is attached.
+  void drop(obs::DropReason reason, const sim::FramePtr& frame,
+            sim::PortId port = 0);
 
   /// Returns the precomputed FIB, rebuilding first if an input changed.
   [[nodiscard]] const Fib& fib() const;
@@ -245,6 +252,10 @@ class PortlandSwitch : public sim::Device {
   // periodically so a failed-over fabric manager relearns the fault
   // matrix).
   std::map<sim::PortId, SwitchId> ports_reported_down_;
+
+  /// Cached CounterSet cells, one per DropReason (kNone unused), so a
+  /// per-frame drop bumps a pointer instead of a string-keyed map lookup.
+  std::array<std::uint64_t*, obs::kDropReasonCount> drop_cells_{};
 
   sim::Timer hello_timer_;
   sim::PeriodicTimer hello_periodic_;

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "net/igmp.h"
+#include "obs/flight_recorder.h"
 
 namespace portland::host {
 
@@ -60,7 +61,6 @@ void Host::send_gratuitous_arp() {
 // --------------------------------------------------------------------------
 
 void Host::handle_frame(sim::PortId in_port, const sim::FramePtr& frame) {
-  (void)in_port;
   // Edge switches emit LDMs on host-facing ports every period; drop them
   // on a raw EtherType peek so hosts never parse (or attach metadata to)
   // fabric control traffic.
@@ -75,6 +75,9 @@ void Host::handle_frame(sim::PortId in_port, const sim::FramePtr& frame) {
   if (!parsed.valid) {
     counters().add("rx_malformed");
     return;
+  }
+  if (flight_recorder() != nullptr) {
+    record_hop(obs::HopEvent::kDeliver, frame, in_port, frame->size());
   }
   // A broadcast can loop back to its sender through the fabric's
   // down-phase; hosts ignore their own frames.

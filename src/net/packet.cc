@@ -347,6 +347,11 @@ sim::FramePtr rewrite_frame(const sim::FramePtr& in, const FrameRewrite& rw) {
   out->bytes = sim::acquire_frame_bytes();
   out->bytes.assign(in->bytes.begin(),
                     in->bytes.end());  // the single whole-frame copy
+  // A rewrite is the same frame to the flight recorder: carry the trace
+  // id so PMAC<->AMAC translation doesn't break the per-hop story.
+  if (const std::uint64_t id = in->trace_id(); id != 0) {
+    out->adopt_trace_id(id);
+  }
 
   if (rw.eth_dst.has_value()) patch_mac(out->bytes, 0, *rw.eth_dst);
   if (rw.eth_src.has_value()) {

@@ -1,0 +1,72 @@
+// Typed drop reasons: one enum unifying every way the fabric discards a
+// frame, replacing the ad-hoc per-site `counters().add("drop_...")`
+// string keys on the data plane. Each reason maps back to the legacy
+// counter name (drop_reason_counter) so existing tests, benches, and
+// dashboards keep reading the same counters, while the flight recorder
+// and CounterSet::handle caching key off the enum.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace portland::obs {
+
+enum class DropReason : std::uint8_t {
+  kNone = 0,
+  kMalformed,         // frame failed to parse
+  kBeforeLocated,     // switch not yet located by LDP
+  kDataOnFabricPort,  // data on a neighbor-less port of a non-edge switch
+  kBadHostSrc,        // host source MAC multicast/zero
+  kUnknownLocalDst,   // PMAC says "here" but no host entry and no redirect
+  kNoUplink,          // no surviving (unpruned) uplink candidate
+  kNoDownlink,        // aggregation: no down port at the PMAC's position
+  kNoPodPort,         // core: no down port toward the PMAC's pod
+  kUnlocated,         // forwarding attempted before location discovery
+  kMcastNoIp,         // multicast MAC without an IPv4 header
+  kMcastNoEntry,      // no FM-installed replication entry for the group
+  kLinkDown,          // transmit into a failed link direction
+  kQueueFull,         // drop-tail output queue overflow
+  kUnconnectedPort,   // transmit out of an unwired port
+  kCount
+};
+
+constexpr std::size_t kDropReasonCount =
+    static_cast<std::size_t>(DropReason::kCount);
+
+/// Short symbolic name ("no_uplink") for trace output.
+[[nodiscard]] constexpr const char* drop_reason_name(DropReason r) {
+  constexpr std::array<const char*, kDropReasonCount> kNames{
+      "none",           "malformed",          "before_located",
+      "data_on_fabric_port", "bad_host_src",  "unknown_local_dst",
+      "no_uplink",      "no_downlink",        "no_pod_port",
+      "unlocated",      "mcast_no_ip",        "mcast_no_entry",
+      "link_down",      "queue_full",         "unconnected_port",
+  };
+  return kNames[static_cast<std::size_t>(r)];
+}
+
+/// Legacy CounterSet key each reason increments, preserving the counter
+/// names every existing test and report greps for.
+[[nodiscard]] constexpr const char* drop_reason_counter(DropReason r) {
+  constexpr std::array<const char*, kDropReasonCount> kCounters{
+      "drop_none",  // unused; kNone never counts
+      "rx_malformed",
+      "drop_before_located",
+      "drop_data_on_fabric_port",
+      "drop_bad_host_src",
+      "drop_unknown_local_dst",
+      "drop_no_uplink",
+      "drop_no_downlink",
+      "drop_no_pod_port",
+      "drop_unlocated",
+      "drop_mcast_no_ip",
+      "drop_mcast_no_entry",
+      "drop_link_down",
+      "drop_queue_full",
+      "tx_drop_unconnected",
+  };
+  return kCounters[static_cast<std::size_t>(r)];
+}
+
+}  // namespace portland::obs

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "obs/flight_recorder.h"
 #include "sim/link.h"
 
 namespace portland::sim {
@@ -34,12 +35,59 @@ void Device::send(PortId port, const FramePtr& frame) {
   assert(port < ports_.size());
   ++*tx_frames_;
   *tx_bytes_ += frame->size();
+  if (recorder_ != nullptr) trace_on_send(frame);
   Link* link = ports_[port].link;
   if (link == nullptr) {
     counters_.add("tx_drop_unconnected");
+    if (recorder_ != nullptr) {
+      record_drop(obs::DropReason::kUnconnectedPort, frame, port);
+    }
     return;
   }
   link->transmit(ports_[port].side, frame);
+}
+
+void Device::trace_on_send(const FramePtr& frame) {
+  if (frame->trace_id() != 0) return;  // already traced upstream
+  // Raw EtherType peek (no parse) so the recorder can filter LDP
+  // keepalives without the sim layer knowing the net layer's types.
+  std::uint16_t ethertype = 0;
+  if (frame->size() >= 14) {
+    ethertype = static_cast<std::uint16_t>(frame->data()[12] << 8 |
+                                           frame->data()[13]);
+  }
+  const std::uint64_t id = recorder_->begin_trace(
+      static_cast<std::uint32_t>(shard_), ethertype);
+  if (id != 0) frame->adopt_trace_id(id);
+}
+
+void Device::record_hop(obs::HopEvent event, const FramePtr& frame,
+                        PortId port, std::uint64_t detail) const {
+  if (recorder_ == nullptr) return;
+  const std::uint64_t id = frame->trace_id();
+  if (id == 0) return;
+  obs::HopRecord r;
+  r.time = sim_->now();
+  r.trace_id = id;
+  r.device = name_.c_str();
+  r.port = static_cast<std::uint32_t>(port);
+  r.event = event;
+  r.detail = detail;
+  recorder_->record(static_cast<std::uint32_t>(shard_), r);
+}
+
+void Device::record_drop(obs::DropReason reason, const FramePtr& frame,
+                         PortId port) const {
+  if (recorder_ == nullptr) return;
+  obs::HopRecord r;
+  r.time = sim_->now();
+  r.trace_id = frame != nullptr ? frame->trace_id() : 0;
+  r.device = name_.c_str();
+  r.port = static_cast<std::uint32_t>(port);
+  r.event = obs::HopEvent::kDrop;
+  r.reason = reason;
+  r.detail = frame != nullptr ? frame->size() : 0;
+  recorder_->record_drop(static_cast<std::uint32_t>(shard_), r);
 }
 
 void Device::attach_link(PortId port, Link* link, int side) {

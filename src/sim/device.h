@@ -17,6 +17,12 @@
 #include "sim/frame.h"
 #include "sim/simulator.h"
 
+namespace portland::obs {
+class FlightRecorder;
+enum class HopEvent : std::uint8_t;
+enum class DropReason : std::uint8_t;
+}  // namespace portland::obs
+
 namespace portland::sim {
 
 class Link;
@@ -84,7 +90,29 @@ class Device {
   [[nodiscard]] std::uint64_t* rx_frames_cell() { return rx_frames_; }
   [[nodiscard]] std::uint64_t* rx_bytes_cell() { return rx_bytes_; }
 
+  // --- flight recorder (nullptr = tracing off, the only hot-path cost) ---
+  void set_flight_recorder(obs::FlightRecorder* recorder) {
+    recorder_ = recorder;
+  }
+  [[nodiscard]] obs::FlightRecorder* flight_recorder() const {
+    return recorder_;
+  }
+
+  /// Appends a hop record for `frame` on this device's shard; no-op when
+  /// tracing is off or the frame carries no trace id.
+  void record_hop(obs::HopEvent event, const FramePtr& frame, PortId port,
+                  std::uint64_t detail = 0) const;
+
+  /// Counts a drop by reason (drops are recorded even for untraced
+  /// frames); no-op when tracing is off.
+  void record_drop(obs::DropReason reason, const FramePtr& frame,
+                   PortId port = 0) const;
+
  private:
+  /// Assigns `frame` a trace id on first transmit (send() calls this only
+  /// when a recorder is attached).
+  void trace_on_send(const FramePtr& frame);
+
   struct PortSlot {
     Link* link = nullptr;
     int side = 0;
@@ -93,6 +121,7 @@ class Device {
   Simulator* sim_;
   std::string name_;
   ShardId shard_ = 0;
+  obs::FlightRecorder* recorder_ = nullptr;
   std::vector<PortSlot> ports_;
   CounterSet counters_;
   std::uint64_t* tx_frames_ = counters_.handle("tx_frames");

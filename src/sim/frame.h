@@ -185,9 +185,28 @@ struct Frame {
     }
   }
 
+  // --- flight-recorder trace id ----------------------------------------
+  /// The frame's trace id, or 0 when untraced. Purely observational —
+  /// nothing on the data plane branches on it.
+  [[nodiscard]] std::uint64_t trace_id() const {
+    return trace_id_.load(std::memory_order_relaxed);
+  }
+
+  /// First writer wins (a multicast replica can be claimed from two
+  /// shards at once); returns the id actually installed.
+  std::uint64_t adopt_trace_id(std::uint64_t candidate) const {
+    std::uint64_t expected = 0;
+    if (trace_id_.compare_exchange_strong(expected, candidate,
+                                          std::memory_order_relaxed)) {
+      return candidate;
+    }
+    return expected;
+  }
+
  private:
   mutable std::atomic<const void*> meta_{nullptr};
   mutable MetaDeleter deleter_ = nullptr;
+  mutable std::atomic<std::uint64_t> trace_id_{0};
 };
 
 using FramePtr = std::shared_ptr<const Frame>;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/flight_recorder.h"
+
 namespace portland::sim {
 
 Link::Link(Simulator& sim, Device& a, PortId port_a, Device& b, PortId port_b,
@@ -27,14 +29,25 @@ SimDuration Link::serialization_time(std::size_t bytes) const {
 
 void Link::transmit(int from_side, const FramePtr& frame) {
   Direction& dir = dir_[side_index(from_side)];
+  // transmit() always runs on the sender's shard, so the sender's
+  // recorder log is safe to write here.
+  Device* sender = end_[side_index(from_side)].device;
   if (!dir.up) {
     ++dir.dropped;
+    if (sender->flight_recorder() != nullptr) {
+      sender->record_drop(obs::DropReason::kLinkDown, frame,
+                          end_[side_index(from_side)].port);
+    }
     return;
   }
   const SimTime now = sim_->now();
   dir.settle(now);  // lazily credit frames whose serialization finished
   if (dir.queued_bytes + frame->size() > config_.queue_capacity_bytes) {
     ++dir.dropped;  // drop-tail
+    if (sender->flight_recorder() != nullptr) {
+      sender->record_drop(obs::DropReason::kQueueFull, frame,
+                          end_[side_index(from_side)].port);
+    }
     return;
   }
 
@@ -47,6 +60,10 @@ void Link::transmit(int from_side, const FramePtr& frame) {
       tx_done, static_cast<std::uint32_t>(frame->size())});
   ++dir.tx_frames;
   dir.tx_bytes += frame->size();
+  if (sender->flight_recorder() != nullptr) {
+    sender->record_hop(obs::HopEvent::kLinkTx, frame,
+                       end_[side_index(from_side)].port, dir.queued_bytes);
+  }
 
   const std::uint64_t epoch = dir.epoch;
   Device* receiver = end_[side_index(1 - from_side)].device;

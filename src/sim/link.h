@@ -85,6 +85,15 @@ class Link {
     return dir_[side_index(from_side)].dropped;
   }
 
+  /// Queue occupancy of one direction settled to the current sim time
+  /// (metrics snapshots; quiescent use only — settling mutates the lazy
+  /// drain bookkeeping).
+  [[nodiscard]] std::size_t queued_bytes_now(int from_side) {
+    Direction& dir = dir_[side_index(from_side)];
+    dir.settle(sim_->now());
+    return dir.queued_bytes;
+  }
+
  private:
   struct Endpoint {
     Device* device;

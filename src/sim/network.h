@@ -29,9 +29,21 @@ class Network {
   T& add_device(Args&&... args) {
     auto dev = std::make_unique<T>(sim_, std::forward<Args>(args)...);
     T& ref = *dev;
+    ref.set_flight_recorder(flight_recorder_);
     by_name_[ref.name()] = dev.get();
     devices_.push_back(std::move(dev));
     return ref;
+  }
+
+  /// Attaches (or detaches, with nullptr) a flight recorder to every
+  /// current and future device. The recorder outlives the network in
+  /// every fabric (the fabric owns both).
+  void set_flight_recorder(obs::FlightRecorder* recorder) {
+    flight_recorder_ = recorder;
+    for (auto& dev : devices_) dev->set_flight_recorder(recorder);
+  }
+  [[nodiscard]] obs::FlightRecorder* flight_recorder() const {
+    return flight_recorder_;
   }
 
   /// Wires port `pa` of `a` to port `pb` of `b`.
@@ -68,6 +80,7 @@ class Network {
   Simulator sim_;
   Rng rng_;
   FrameTap frame_tap_;
+  obs::FlightRecorder* flight_recorder_ = nullptr;
   std::vector<std::unique_ptr<Device>> devices_;
   std::vector<std::unique_ptr<Link>> links_;
   std::unordered_map<std::string, Device*> by_name_;

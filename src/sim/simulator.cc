@@ -4,6 +4,8 @@
 #include <cassert>
 #include <limits>
 
+#include "obs/trace_export.h"
+
 namespace portland::sim {
 
 namespace {
@@ -365,12 +367,48 @@ void Simulator::dispatch_one(Shard& sh) {
 }
 
 void Simulator::classic_run(SimTime limit) {
+  if (tracer_ != nullptr) {
+    classic_run_traced(limit);
+    return;
+  }
   stopped_.store(false, std::memory_order_relaxed);
   Shard& sh = *shards_[0];
   while (!stopped_.load(std::memory_order_relaxed)) {
     const SimTime t = peek_time(sh);
     if (t == kNever || t > limit) break;
     dispatch_one(sh);
+  }
+  if (limit != kNever && !stopped_.load(std::memory_order_relaxed) &&
+      sh.now < limit) {
+    sh.now = limit;
+  }
+}
+
+void Simulator::classic_run_traced(SimTime limit) {
+  // Same loop as classic_run, cut into chunks so the tracer sees
+  // bounded dispatch spans. The event order is identical — the chunk
+  // boundary only decides when the wall clock is read.
+  constexpr std::uint64_t kDispatchChunk = 4096;
+  stopped_.store(false, std::memory_order_relaxed);
+  Shard& sh = *shards_[0];
+  bool done = false;
+  while (!done && !stopped_.load(std::memory_order_relaxed)) {
+    const SimTime span_start = sh.now;
+    const double wall0 = tracer_->now_us();
+    std::uint64_t n = 0;
+    while (n < kDispatchChunk) {
+      const SimTime t = peek_time(sh);
+      if (t == kNever || t > limit) {
+        done = true;
+        break;
+      }
+      dispatch_one(sh);
+      ++n;
+      if (stopped_.load(std::memory_order_relaxed)) break;
+    }
+    if (n != 0) {
+      tracer_->dispatch_span(span_start, sh.now, n, wall0, tracer_->now_us());
+    }
   }
   if (limit != kNever && !stopped_.load(std::memory_order_relaxed) &&
       sh.now < limit) {
@@ -415,7 +453,19 @@ void Simulator::run_due_barrier_tasks(SimTime bound) {
 void Simulator::run_shard_window(Shard& sh, ShardId id, SimTime end) {
   const ExecCtx saved = g_ctx;
   g_ctx = ExecCtx{this, id};
-  while (peek_time(sh) < end) dispatch_one(sh);
+  if (tracer_ == nullptr) {
+    while (peek_time(sh) < end) dispatch_one(sh);
+  } else {
+    // Lane 1+id belongs to this thread until the window barrier, so the
+    // span push below is single-writer by construction.
+    const std::uint64_t exec0 = sh.executed;
+    const double wall0 = tracer_->now_us();
+    while (peek_time(sh) < end) dispatch_one(sh);
+    if (sh.executed != exec0) {
+      tracer_->shard_span(id, sh.now, sh.executed - exec0, wall0,
+                          tracer_->now_us());
+    }
+  }
   g_ctx = saved;
 }
 
@@ -480,6 +530,7 @@ void Simulator::merge_mailboxes() {
       }
     }
     if (merge_refs_.empty()) continue;
+    mail_merged_ += merge_refs_.size();
     // Canonical order: (time, source shard); stable keeps push order for
     // same-source ties. This — not thread completion order — assigns the
     // destination sequence numbers.
@@ -519,8 +570,18 @@ void Simulator::parallel_run(SimTime limit) {
     SimTime end = t_ev > kNever - lookahead_ ? kNever : t_ev + lookahead_;
     if (t_task < end) end = t_task;
     if (limit != kNever && end > limit) end = limit + 1;  // events at == limit
-    execute_window(end);
-    merge_mailboxes();
+    ++windows_executed_;
+    if (tracer_ == nullptr) {
+      execute_window(end);
+      merge_mailboxes();
+    } else {
+      const double wall0 = tracer_->now_us();
+      const std::uint64_t merged0 = mail_merged_;
+      execute_window(end);
+      merge_mailboxes();
+      tracer_->window_span(windows_executed_, t_ev, end, wall0,
+                           tracer_->now_us(), mail_merged_ - merged0);
+    }
     SimTime advanced = global_now_;
     for (const auto& sh : shards_) advanced = std::max(advanced, sh->now);
     global_now_ = advanced;
@@ -564,6 +625,19 @@ std::uint64_t Simulator::executed_events() const {
   std::uint64_t n = barrier_executed_;
   for (const auto& sh : shards_) n += sh->executed;
   return n;
+}
+
+TimingWheel::Stats Simulator::wheel_stats() const {
+  TimingWheel::Stats total;
+  for (const auto& sh : shards_) {
+    const TimingWheel::Stats& s = sh->wheel.stats();
+    total.inserts += s.inserts;
+    total.erases += s.erases;
+    total.pops += s.pops;
+    total.cascaded_nodes += s.cascaded_nodes;
+    total.overflow_rehomed += s.overflow_rehomed;
+  }
+  return total;
 }
 
 ShardGuard::ShardGuard(Simulator& sim, ShardId shard)

@@ -72,6 +72,10 @@
 #include "common/units.h"
 #include "sim/timing_wheel.h"
 
+namespace portland::obs {
+class EngineTracer;
+}  // namespace portland::obs
+
 namespace portland::sim {
 
 /// Identifies an event shard. Devices created before `configure_shards`
@@ -286,6 +290,30 @@ class Simulator {
   [[nodiscard]] std::size_t pending_events() const;
   [[nodiscard]] std::uint64_t executed_events() const;
 
+  // --- observability (passive; never alters the event schedule) ----------
+
+  /// Attaches a wall-clock profiling tracer (nullptr detaches). The
+  /// tracer receives window/dispatch/shard spans; with it detached the
+  /// dispatch loops are byte-for-byte the untraced originals.
+  void set_tracer(obs::EngineTracer* tracer) { tracer_ = tracer; }
+
+  /// Lookahead windows completed by parallel_run.
+  [[nodiscard]] std::uint64_t windows_executed() const {
+    return windows_executed_;
+  }
+  /// Cross-shard mailbox entries merged at window barriers.
+  [[nodiscard]] std::uint64_t mail_merged() const { return mail_merged_; }
+  /// Globally-serialized barrier tasks run.
+  [[nodiscard]] std::uint64_t barrier_tasks_executed() const {
+    return barrier_executed_;
+  }
+  /// Events dispatched by one shard.
+  [[nodiscard]] std::uint64_t shard_executed(ShardId shard) const {
+    return shards_[shard]->executed;
+  }
+  /// Timing-wheel activity aggregated over all shards (zeros under kHeap).
+  [[nodiscard]] TimingWheel::Stats wheel_stats() const;
+
  private:
   friend class ShardGuard;
 
@@ -384,6 +412,7 @@ class Simulator {
   void dispatch_one(Shard& sh);
 
   void classic_run(SimTime limit);
+  void classic_run_traced(SimTime limit);
   void parallel_run(SimTime limit);
   void run_shard_window(Shard& sh, ShardId id, SimTime end);
   void execute_window(SimTime end);
@@ -404,6 +433,9 @@ class Simulator {
   /// Global clock, meaningful when no shard context is active.
   SimTime global_now_ = 0;
   std::uint64_t barrier_executed_ = 0;
+  std::uint64_t windows_executed_ = 0;
+  std::uint64_t mail_merged_ = 0;
+  obs::EngineTracer* tracer_ = nullptr;
   std::atomic<bool> stopped_{false};
 
   // --- Barrier task queue (mutex-protected: any thread may schedule). ----

@@ -88,6 +88,7 @@ std::uint32_t TimingWheel::insert(SimTime t, std::uint64_t seq,
   node.payload = payload;
   place(n);
   ++size_;
+  ++stats_.inserts;
   if (cache_valid_ && t < cached_earliest_) cached_earliest_ = t;
   return n;
 }
@@ -95,6 +96,7 @@ std::uint32_t TimingWheel::insert(SimTime t, std::uint64_t seq,
 std::uint32_t TimingWheel::erase(std::uint32_t handle) {
   Node& node = nodes_[handle];
   assert(node.where != kFree && node.where != kDeadStaged);
+  ++stats_.erases;
   const std::uint32_t payload = node.payload;
   if (node.where == kStaged) {
     // Mid-dispatch: the staging vector still references the node, so it
@@ -171,6 +173,7 @@ void TimingWheel::cascade(int level, int slot) {
   while (i != kNilIndex) {
     const std::uint32_t next = nodes_[i].next;
     place(i);  // relative to the new cursor: always lands on a lower level
+    ++stats_.cascaded_nodes;
     i = next;
   }
 }
@@ -185,6 +188,7 @@ void TimingWheel::rehome_overflow() {
     }
     remove_from_overflow(n);  // swap-pop: re-examine index i
     place(n);
+    ++stats_.overflow_rehomed;
   }
 }
 
@@ -234,6 +238,7 @@ void TimingWheel::stage_due_bucket(SimTime t) {
 
 TimingWheel::PopResult TimingWheel::pop() {
   assert(size_ != 0);
+  ++stats_.pops;
   if (due_pos_ >= staging_.size()) {
     const SimTime t = peek();
     assert(t != kNoEvent);

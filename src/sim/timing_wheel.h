@@ -51,6 +51,17 @@ class TimingWheel {
     bool live = false;
   };
 
+  /// Lifetime activity counters (monotonic; metrics snapshots read them).
+  struct Stats {
+    std::uint64_t inserts = 0;
+    std::uint64_t erases = 0;
+    std::uint64_t pops = 0;
+    /// Nodes relocated to a lower level when the cursor crossed a digit.
+    std::uint64_t cascaded_nodes = 0;
+    /// Overflow-parked nodes re-placed onto the wheel.
+    std::uint64_t overflow_rehomed = 0;
+  };
+
   TimingWheel();
 
   /// Schedules payload slot `payload` at time `t` (>= the wheel cursor,
@@ -79,6 +90,7 @@ class TimingWheel {
   /// pop() has not yet discarded) remains.
   [[nodiscard]] bool has_events() const { return size_ != 0; }
   [[nodiscard]] std::size_t node_count() const { return size_; }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
 
  private:
   static constexpr int kLevels = 4;
@@ -146,6 +158,7 @@ class TimingWheel {
   std::size_t size_ = 0;
   SimTime cached_earliest_ = 0;
   bool cache_valid_ = false;
+  Stats stats_;
 };
 
 }  // namespace portland::sim

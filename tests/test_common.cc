@@ -215,6 +215,86 @@ TEST(Histogram, ClampsOutliers) {
   EXPECT_EQ(h.bucket(4), 1u);
 }
 
+TEST(Stats, PercentileEdgeCases) {
+  EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0);   // empty -> 0, not a crash
+  EXPECT_DOUBLE_EQ(percentile({7.5}, 0), 7.5);  // single sample, any p
+  EXPECT_DOUBLE_EQ(percentile({7.5}, 50), 7.5);
+  EXPECT_DOUBLE_EQ(percentile({7.5}, 100), 7.5);
+  // Out-of-range p clamps to the extremes.
+  EXPECT_DOUBLE_EQ(percentile({1, 2, 3}, -5), 1.0);
+  EXPECT_DOUBLE_EQ(percentile({1, 2, 3}, 400), 3.0);
+  // Midpoint interpolates between neighbors.
+  EXPECT_DOUBLE_EQ(percentile({10, 20}, 50), 15.0);
+}
+
+TEST(Stats, AccumulatorEdgeCases) {
+  Accumulator a;
+  // Empty: everything is zero, not NaN or garbage.
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(a.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(a.min(), 0.0);
+  EXPECT_DOUBLE_EQ(a.max(), 0.0);
+  // One sample: sample variance (n-1 denominator) is still zero.
+  a.add(-3.0);
+  EXPECT_DOUBLE_EQ(a.mean(), -3.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(a.min(), -3.0);
+  EXPECT_DOUBLE_EQ(a.max(), -3.0);
+  // Two samples: variance turns on.
+  a.add(5.0);
+  EXPECT_DOUBLE_EQ(a.mean(), 1.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 32.0);  // ((-4)^2 + 4^2) / (2-1)
+  a.reset();
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_DOUBLE_EQ(a.max(), 0.0);
+}
+
+TEST(Stats, CounterHandleSurvivesResetAndGrowth) {
+  CounterSet c;
+  std::uint64_t* cell = c.handle("hot");
+  ++*cell;
+  EXPECT_EQ(c.get("hot"), 1u);
+  // Map growth must not invalidate the handle (node-based storage).
+  for (int i = 0; i < 100; ++i) c.add("other_" + std::to_string(i));
+  ++*cell;
+  EXPECT_EQ(c.get("hot"), 2u);
+  // reset() zeroes in place; the handle still points at the live cell.
+  c.reset();
+  EXPECT_EQ(c.get("hot"), 0u);
+  ++*cell;
+  EXPECT_EQ(c.get("hot"), 1u);
+}
+
+TEST(Histogram, EmptyCdfIsZero) {
+  Histogram h(0, 10, 4);
+  EXPECT_EQ(h.total(), 0u);
+  for (std::size_t b = 0; b < h.bucket_count(); ++b) {
+    EXPECT_DOUBLE_EQ(h.cdf_at(b), 0.0);
+  }
+  EXPECT_EQ(h.render_cdf(), "");
+}
+
+TEST(Histogram, SingleBucketTakesEverything) {
+  Histogram h(0, 1, 1);
+  h.add(-1e12);
+  h.add(0.5);
+  h.add(1e12);
+  EXPECT_EQ(h.bucket(0), 3u);
+  EXPECT_DOUBLE_EQ(h.cdf_at(0), 1.0);
+}
+
+TEST(Histogram, BoundaryValuesLandInEdgeBuckets) {
+  Histogram h(0, 10, 5);
+  h.add(0);     // exactly lo -> first bucket
+  h.add(10);    // exactly hi -> clamped into last bucket
+  h.add(9.999);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(4), 2u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
 TEST(Strings, Format) {
   EXPECT_EQ(str_format("%d-%s", 42, "x"), "42-x");
   EXPECT_EQ(join({"a", "b", "c"}, ","), "a,b,c");
