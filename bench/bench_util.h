@@ -42,16 +42,19 @@ struct ProbeFlow {
   std::unique_ptr<host::UdpFlowSender> sender;
 
   ProbeFlow(host::Host& from, host::Host& to, std::uint16_t port,
-            SimDuration interval = millis(1), std::size_t payload_bytes = 64) {
+            SimDuration interval = millis(1), std::size_t payload_bytes = 64,
+            std::size_t burst = 1, SimDuration phase = 0, bool record = true) {
     src = &from;
     dst = &to;
-    receiver = std::make_unique<host::UdpFlowReceiver>(to, port);
+    receiver = std::make_unique<host::UdpFlowReceiver>(to, port, record);
     host::UdpFlowSender::Config cfg;
     cfg.dst = to.ip();
     cfg.src_port = port;
     cfg.dst_port = port;
     cfg.interval = interval;
     cfg.payload_bytes = payload_bytes;
+    cfg.burst = burst;
+    cfg.phase = phase;
     sender = std::make_unique<host::UdpFlowSender>(from, cfg);
     // On a sharded simulator the first transmission must be scheduled on
     // the sender's shard; with the classic engine the guard is a no-op.

@@ -32,6 +32,7 @@ struct Args {
   core::PortlandConfig::EcmpMode ecmp =
       core::PortlandConfig::EcmpMode::kFlowHash;
   unsigned workers = 0;
+  bool burst = true;
   // Observability outputs; empty = off.
   std::string metrics_out;
   std::string prom_out;
@@ -55,8 +56,13 @@ void print_usage(std::FILE* to) {
       "  --ecmp hash|spray      ECMP mode (default hash)\n"
       "  --fm-failover-ms T     wipe the fabric manager's soft state at T "
       "(0 = off)\n"
-      "  --workers N            parallel engine worker threads (0 = classic "
-      "engine)\n"
+      "  --workers N|auto       parallel engine worker threads (0 = classic "
+      "engine;\n"
+      "                         auto = one per shard, capped at core count,\n"
+      "                         serial on single-core boxes)\n"
+      "  --burst on|off         burst/train event execution (default on; "
+      "either\n"
+      "                         setting runs the identical event sequence)\n"
       "  --metrics-out PATH     write per-interval metrics snapshots as "
       "JSONL\n"
       "  --metrics-interval-ms T  snapshot period (default 100)\n"
@@ -131,7 +137,22 @@ Args parse_args(int argc, char** argv) {
     } else if (!std::strcmp(flag, "--fm-failover-ms")) {
       out.fm_failover_at = millis(int_value(0, INT64_MAX / 2000000));
     } else if (!std::strcmp(flag, "--workers")) {
-      out.workers = static_cast<unsigned>(int_value(0, 256));
+      const char* w = value();
+      if (!std::strcmp(w, "auto")) {
+        out.workers = core::PortlandFabric::Options::kAutoWorkers;
+      } else {
+        out.workers =
+            static_cast<unsigned>(parse_int(flag, w, 0, 256));
+      }
+    } else if (!std::strcmp(flag, "--burst")) {
+      const char* b = value();
+      if (!std::strcmp(b, "on")) {
+        out.burst = true;
+      } else if (!std::strcmp(b, "off")) {
+        out.burst = false;
+      } else {
+        die_usage("unknown --burst value '%s' (on|off)", b);
+      }
     } else if (!std::strcmp(flag, "--metrics-out")) {
       out.metrics_out = value();
     } else if (!std::strcmp(flag, "--metrics-interval-ms")) {
@@ -169,6 +190,7 @@ int main(int argc, char** argv) {
   options.k = args.k;
   options.seed = args.seed;
   options.workers = args.workers;
+  options.burst = args.burst;
   options.config.ecmp_mode = args.ecmp;
   options.obs.flight_recorder = want_trace;
   options.obs.engine_trace = want_trace;
@@ -180,6 +202,12 @@ int main(int argc, char** argv) {
               args.ecmp == core::PortlandConfig::EcmpMode::kFlowHash
                   ? "flow-hash"
                   : "packet-spray");
+  // options() holds the resolved worker count (auto is resolved in the
+  // fabric constructor).
+  std::printf("engine: workers=%u (%s), burst=%s\n",
+              fabric.options().workers,
+              fabric.options().workers == 0 ? "classic" : "parallel",
+              args.burst ? "on" : "off");
   if (!fabric.run_until_converged()) {
     std::printf("discovery did not converge\n");
     return 1;

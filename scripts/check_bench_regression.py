@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Bench regression floors for CI.
+
+Compares the smoke-mode bench reports (build/BENCH_e14.json,
+BENCH_e15.json, BENCH_e18.json — written by run_all_benches.sh --smoke)
+against the committed floors in bench/baseline.json. Two kinds of check:
+
+* Throughput floors: fail when frames/s drops more than 10% below the
+  baseline value. The baselines are deliberately conservative (roughly
+  half of a quiet run on a weak box) because shared CI runners are noisy;
+  the floor catches order-of-magnitude regressions, not percent-level
+  drift.
+* Structural metrics: events-per-frame, train share, and the workers-4 /
+  workers-1 ratio are deterministic (or nearly so), so they get tight
+  thresholds. A burst-path regression shows up here long before it shows
+  up in wall-clock noise.
+
+The workers comparison is skipped when the bench itself reports the run
+as oversubscribed (more workers than hardware cores): losing to serial
+while timesharing one core is expected, not a regression.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+TOLERANCE = 0.9  # observed must be >= 90% of the baseline floor
+
+failures = []
+checks = 0
+
+
+def check(label, ok, detail):
+    global checks
+    checks += 1
+    print(f"{'ok  ' if ok else 'FAIL'}  {label}: {detail}")
+    if not ok:
+        failures.append(label)
+
+
+def load(name):
+    path = ROOT / "build" / name
+    if not path.is_file():
+        print(f"FAIL  {name} missing — run ./scripts/run_all_benches.sh first")
+        sys.exit(1)
+    with open(path) as f:
+        return json.load(f)
+
+
+def floor(label, observed, baseline):
+    limit = TOLERANCE * baseline
+    check(label, observed >= limit,
+          f"{observed:.0f} vs floor {limit:.0f} (baseline {baseline:.0f})")
+
+
+def main():
+    with open(ROOT / "bench" / "baseline.json") as f:
+        base = json.load(f)
+
+    e14 = load("BENCH_e14.json")
+    floor("e14 frames/s", e14["frames_per_sec"],
+          base["e14"]["frames_per_sec"])
+    check("e14 events/frame",
+          e14["events_per_frame"] <= base["e14"]["events_per_frame_max"],
+          f'{e14["events_per_frame"]:.3f} <= '
+          f'{base["e14"]["events_per_frame_max"]}')
+
+    e15 = load("BENCH_e15.json")
+    rows = e15["rows"]
+    w1 = next(r for r in rows if r["workers"] == 1)
+    floor("e15 workers=1 frames/s", w1["frames_per_sec"],
+          base["e15"]["w1_frames_per_sec"])
+    multi = max(rows, key=lambda r: r["workers"])
+    if multi["workers"] > 1 and not multi.get("oversubscribed", False):
+        ratio = multi["frames_per_sec"] / w1["frames_per_sec"]
+        check("e15 multi-worker never loses",
+              ratio >= base["e15"]["w_multi_over_w1_min"],
+              f'workers={multi["workers"]} / workers=1 = {ratio:.3f} >= '
+              f'{base["e15"]["w_multi_over_w1_min"]}')
+    else:
+        print(f'skip  e15 multi-worker check: workers={multi["workers"]} '
+              'oversubscribed on this runner')
+
+    e18 = load("BENCH_e18.json")
+    floor("e18 sharded w1 frames/s", e18["frames_per_sec"],
+          base["e18"]["frames_per_sec"])
+    check("e18 events/frame",
+          e18["events_per_frame"] <= base["e18"]["events_per_frame_max"],
+          f'{e18["events_per_frame"]:.3f} <= '
+          f'{base["e18"]["events_per_frame_max"]}')
+    check("e18 train share",
+          e18["train_share"] >= base["e18"]["train_share_min"],
+          f'{e18["train_share"]:.3f} >= {base["e18"]["train_share_min"]}')
+    check("e18 workers 4 vs 1",
+          e18["w4_over_w1"] >= base["e18"]["w4_over_w1_min"],
+          f'{e18["w4_over_w1"]:.3f} >= {base["e18"]["w4_over_w1_min"]}')
+
+    print(f"\n{checks} checks, {len(failures)} failures")
+    if failures:
+        print("REGRESSION: " + ", ".join(failures))
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()

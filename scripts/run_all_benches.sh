@@ -66,16 +66,19 @@ E14_ARGS=""
 E15_ARGS=""
 E16_ARGS=""
 E17_ARGS=""
+E18_ARGS=""
 if [ "$SMOKE" = 1 ]; then
   E14_ARGS="--k 4 --flows-per-host 1"
   E15_ARGS="--k 4 --threads 2 --reps 1 --measure-ms 50"
   E16_ARGS="--k 4 --reps 1 --measure-ms 50 --micro-ops 20000"
   E17_ARGS="--k 4 --reps 1 --measure-ms 50"
+  E18_ARGS="--k 4 --cap-k 4 --reps 2 --measure-us 4000 --interval-us 4000 --burst 32"
 fi
 
 # shellcheck disable=SC2086
 for spec in "e14_fastpath:$E14_ARGS" "e15_parallel:$E15_ARGS" \
-            "e16_event_queue:$E16_ARGS" "e17_observability:$E17_ARGS"; do
+            "e16_event_queue:$E16_ARGS" "e17_observability:$E17_ARGS" \
+            "e18_burst:$E18_ARGS"; do
   n="${spec%%:*}"
   extra="${spec#*:}"
   b="build/bench/bench_$n"
@@ -90,10 +93,17 @@ done
 # bench crashed or silently stopped emitting — fail loudly (bit-rot guard).
 echo
 MISSING=0
-for short in e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 e14 e15 e16 e17; do
+for pair in e1:e1_convergence e2:e2_tcp_convergence \
+            e3:e3_multicast_convergence e4:e4_vm_migration \
+            e5:e5_state_table e6:e6_fm_arp_scaling e7:e7_control_overhead \
+            e8:e8_baseline_ethernet e9:e9_ecmp_loopfree e10:e10_micro \
+            e11:e11_ecmp_ablation e12:e12_ldp_scale e13:e13_path_audit \
+            e14:e14_fastpath e15:e15_parallel e16:e16_event_queue \
+            e17:e17_observability e18:e18_burst; do
+  short="${pair%%:*}"
   f="build/BENCH_${short}.json"
   if [ ! -s "$f" ]; then
-    echo "MISSING: $f"
+    echo "MISSING: $f (bench_${pair#*:} crashed or stopped emitting JSON)"
     MISSING=1
   fi
 done

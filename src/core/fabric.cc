@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <thread>
 
 #include "common/logging.h"
 #include "common/strings.h"
@@ -25,8 +26,18 @@ Ipv4Address PortlandFabric::ip_at(std::size_t pod, std::size_t edge,
 PortlandFabric::PortlandFabric(Options options)
     : options_(std::move(options)),
       tree_(options_.k),
-      net_(options_.seed, {options_.scheduler}),
+      net_(options_.seed,
+           {options_.scheduler, options_.burst, options_.max_train,
+            options_.adaptive_lookahead, options_.parallel_min_events}),
       injector_(net_) {
+  if (options_.workers == Options::kAutoWorkers) {
+    // workers=auto: serial unless the box and the fabric can both feed a
+    // pool (Simulator::resolve_auto_workers); the engine additionally
+    // runs sparse windows inline at runtime, so even a resolved pool
+    // never loses to serial on light phases.
+    options_.workers = sim::Simulator::resolve_auto_workers(
+        std::thread::hardware_concurrency(), tree_.shard_count());
+  }
   if (options_.workers >= 1) {
     // Conservative lookahead: no cross-shard effect (frame over an
     // agg<->core or host access link, control-plane message) can land
@@ -236,6 +247,12 @@ void PortlandFabric::snapshot_metrics(obs::MetricsRegistry& registry) {
   snap.engine.mail_merged = s.mail_merged();
   snap.engine.barrier_tasks = s.barrier_tasks_executed();
   snap.engine.pending = s.pending_events();
+  snap.engine.trains_popped = s.trains_popped();
+  snap.engine.train_frames = s.train_frames();
+  snap.engine.train_repushes = s.train_repushes();
+  snap.engine.nodes_pushed = s.nodes_pushed();
+  snap.engine.windows_inline = s.windows_inline();
+  snap.engine.windows_widened = s.windows_widened();
   snap.engine.per_shard_executed.reserve(s.shard_count());
   for (sim::ShardId sh = 0; sh < s.shard_count(); ++sh) {
     snap.engine.per_shard_executed.push_back(s.shard_executed(sh));

@@ -51,12 +51,28 @@ class PortlandFabric {
     /// paper targets general multi-rooted trees, not only pristine fat
     /// trees). With c cores/group the oversubscription ratio is (k/2)/c.
     std::size_t cores_per_group = 0;
+    /// `workers = kAutoWorkers`: pick the engine automatically — serial
+    /// on boxes with fewer than two hardware cores, otherwise one worker
+    /// per shard capped at the core count (Simulator::resolve_auto_workers).
+    static constexpr unsigned kAutoWorkers = ~0u;
     /// 0 (default): classic single-threaded engine, byte-for-byte the
     /// behavior every experiment has always had. >= 1: the sharded
     /// parallel engine — one shard per pod plus one for cores + fabric
     /// manager — driven by this many worker threads. Any worker count
     /// schedules the identical event sequence (see Simulator).
+    /// kAutoWorkers resolves per the auto policy above.
     unsigned workers = 0;
+    /// Burst/train event execution (Simulator::Options::burst): on by
+    /// default, bit-identical to per-frame scheduling; off for A/B
+    /// proofs and the E18 ablation.
+    bool burst = true;
+    /// Per-train entry cap, 0 = unbounded (E18 sweeps this).
+    std::uint32_t max_train = 0;
+    /// Adaptive per-shard lookahead windows (Simulator::Options).
+    bool adaptive_lookahead = true;
+    /// Pooled-window threshold (Simulator::Options::parallel_min_events);
+    /// 0 forces every window through the worker pool.
+    std::uint32_t parallel_min_events = 128;
     /// Event-queue implementation (see Simulator::Options): the default
     /// hierarchical timing wheel, or the classic binary heap for A/B
     /// determinism diffing. Both schedule the identical event sequence.

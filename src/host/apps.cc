@@ -15,27 +15,33 @@ UdpFlowSender::UdpFlowSender(Host& host, Config config)
   assert(config_.payload_bytes >= 8);
 }
 
-void UdpFlowSender::start() { timer_.start(/*initial_delay=*/0); }
+void UdpFlowSender::start() { timer_.start(/*initial_delay=*/config_.phase); }
 
 void UdpFlowSender::stop() { timer_.stop(); }
 
 void UdpFlowSender::tick() {
-  std::vector<std::uint8_t> payload;
-  payload.reserve(config_.payload_bytes);
-  ByteWriter w(payload);
-  w.u64(next_seq_++);
-  payload.resize(config_.payload_bytes, 0);
-  host_->send_udp(config_.dst, config_.src_port, config_.dst_port,
-                  std::move(payload));
+  for (std::size_t i = 0; i < config_.burst; ++i) {
+    std::vector<std::uint8_t> payload;
+    payload.reserve(config_.payload_bytes);
+    ByteWriter w(payload);
+    w.u64(next_seq_++);
+    payload.resize(config_.payload_bytes, 0);
+    host_->send_udp(config_.dst, config_.src_port, config_.dst_port,
+                    std::move(payload));
+  }
 }
 
-UdpFlowReceiver::UdpFlowReceiver(Host& host, std::uint16_t port) {
-  host.bind_udp(port, [this, &host](Ipv4Address, std::uint16_t, std::uint16_t,
-                                    std::span<const std::uint8_t> payload) {
+UdpFlowReceiver::UdpFlowReceiver(Host& host, std::uint16_t port, bool record) {
+  host.bind_udp(port, [this, &host, record](Ipv4Address, std::uint16_t,
+                                            std::uint16_t,
+                                            std::span<const std::uint8_t>
+                                                payload) {
     ByteReader r(payload);
     const std::uint64_t seq = r.u64();
     if (!r.ok()) return;
-    arrivals_.push_back(Arrival{host.sim().now(), seq});
+    ++count_;
+    last_time_ = host.sim().now();
+    if (record) arrivals_.push_back(Arrival{host.sim().now(), seq});
   });
 }
 

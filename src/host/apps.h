@@ -25,6 +25,13 @@ class UdpFlowSender {
     std::uint16_t dst_port = 7001;
     SimDuration interval = millis(1);   // 1000 packets/sec
     std::size_t payload_bytes = 64;     // >= 8 (sequence number)
+    /// Frames emitted back-to-back per tick (shuffle/incast-style bursts;
+    /// the NIC serializes them, so they hit the wire as one train).
+    std::size_t burst = 1;
+    /// Delay before the first tick after start(). Benches stagger flow
+    /// phases with this so thousands of senders don't fire on the same
+    /// nanosecond forever.
+    SimDuration phase = 0;
   };
 
   UdpFlowSender(Host& host, Config config);
@@ -45,8 +52,10 @@ class UdpFlowSender {
 
 class UdpFlowReceiver {
  public:
-  /// Binds `port` on `host` and records every arrival.
-  UdpFlowReceiver(Host& host, std::uint16_t port);
+  /// Binds `port` on `host` and records every arrival. Throughput benches
+  /// pass `record = false` to keep only counters (no per-packet vector
+  /// growth); the gap/convergence queries then see an empty trace.
+  UdpFlowReceiver(Host& host, std::uint16_t port, bool record = true);
 
   struct Arrival {
     SimTime time;
@@ -56,12 +65,8 @@ class UdpFlowReceiver {
   [[nodiscard]] const std::vector<Arrival>& arrivals() const {
     return arrivals_;
   }
-  [[nodiscard]] std::uint64_t packets_received() const {
-    return arrivals_.size();
-  }
-  [[nodiscard]] SimTime last_arrival_time() const {
-    return arrivals_.empty() ? -1 : arrivals_.back().time;
-  }
+  [[nodiscard]] std::uint64_t packets_received() const { return count_; }
+  [[nodiscard]] SimTime last_arrival_time() const { return last_time_; }
 
   /// Largest inter-arrival gap that *starts* within [window_start,
   /// window_end]. Returns 0 if fewer than two packets arrived. This is the
@@ -78,6 +83,8 @@ class UdpFlowReceiver {
 
  private:
   std::vector<Arrival> arrivals_;
+  std::uint64_t count_ = 0;
+  SimTime last_time_ = -1;
 };
 
 /// Builds a derangement-free random permutation pairing of host indices:

@@ -43,6 +43,12 @@ void append_snapshot_json(std::string* out, const MetricsSnapshot& s) {
   append_u64_field(out, "mail_merged", s.engine.mail_merged);
   append_u64_field(out, "barrier_tasks", s.engine.barrier_tasks);
   append_u64_field(out, "pending", s.engine.pending);
+  append_u64_field(out, "trains_popped", s.engine.trains_popped);
+  append_u64_field(out, "train_frames", s.engine.train_frames);
+  append_u64_field(out, "train_repushes", s.engine.train_repushes);
+  append_u64_field(out, "nodes_pushed", s.engine.nodes_pushed);
+  append_u64_field(out, "windows_inline", s.engine.windows_inline);
+  append_u64_field(out, "windows_widened", s.engine.windows_widened);
   append_u64_field(out, "wheel_inserts", s.engine.wheel_inserts);
   append_u64_field(out, "wheel_erases", s.engine.wheel_erases);
   append_u64_field(out, "wheel_cascaded", s.engine.wheel_cascaded);
@@ -147,6 +153,12 @@ bool MetricsRegistry::write_prometheus(const std::string& path) const {
       {"portland_engine_mail_merged", s.engine.mail_merged},
       {"portland_engine_barrier_tasks", s.engine.barrier_tasks},
       {"portland_engine_pending", s.engine.pending},
+      {"portland_engine_trains_popped", s.engine.trains_popped},
+      {"portland_engine_train_frames", s.engine.train_frames},
+      {"portland_engine_train_repushes", s.engine.train_repushes},
+      {"portland_engine_nodes_pushed", s.engine.nodes_pushed},
+      {"portland_engine_windows_inline", s.engine.windows_inline},
+      {"portland_engine_windows_widened", s.engine.windows_widened},
       {"portland_wheel_inserts", s.engine.wheel_inserts},
       {"portland_wheel_erases", s.engine.wheel_erases},
       {"portland_wheel_cascaded", s.engine.wheel_cascaded},

@@ -26,6 +26,14 @@ struct EngineSample {
   std::uint64_t mail_merged = 0;     // cross-shard mailbox merges
   std::uint64_t barrier_tasks = 0;   // window-barrier tasks run
   std::size_t pending = 0;           // events still queued
+  // Burst/train execution (see sim/train.h).
+  std::uint64_t trains_popped = 0;   // train nodes dispatched
+  std::uint64_t train_frames = 0;    // frames delivered via trains
+  std::uint64_t train_repushes = 0;  // trains handed back mid-batch
+  std::uint64_t nodes_pushed = 0;    // scheduler inserts (all kinds)
+  // Adaptive windows / pooled-vs-inline execution.
+  std::uint64_t windows_inline = 0;  // windows run inline despite a pool
+  std::uint64_t windows_widened = 0; // windows widened past the lookahead
   std::vector<std::uint64_t> per_shard_executed;
   // Aggregated timing-wheel activity (zero under the heap scheduler).
   std::uint64_t wheel_inserts = 0;

@@ -14,6 +14,11 @@ Link::Link(Simulator& sim, Device& a, PortId port_a, Device& b, PortId port_b,
   assert(config_.bandwidth_bps > 0);
   a.attach_link(port_a, this, 0);
   b.attach_link(port_b, this, 1);
+  for (int side = 0; side < 2; ++side) {
+    train_[side].ctx = this;
+    train_[side].deliver = &Link::deliver_train_entry;
+    train_[side].from_side = side;
+  }
 }
 
 std::size_t Link::side_index(int side) {
@@ -69,6 +74,16 @@ void Link::transmit(int from_side, const FramePtr& frame) {
   Device* receiver = end_[side_index(1 - from_side)].device;
   const PortId rx_port = end_[side_index(1 - from_side)].port;
 
+  // Burst path: append the arrival to this direction's train — one
+  // scheduler node per run of back-to-back frames instead of one per
+  // frame. Entries carry the exact (time, seq) the classic path below
+  // would have used, so the two paths schedule identical sequences.
+  if (sim_->burst_enabled() &&
+      sim_->train_append(receiver->shard(), arrival, epoch, frame,
+                         train_[side_index(from_side)])) {
+    return;
+  }
+
   // Delivery runs on the receiver's shard. In the parallel engine a
   // cross-shard arrival parks in the (src,dst) mailbox until the window
   // barrier; the lambda's reads of the *sending* direction (up, epoch)
@@ -83,6 +98,23 @@ void Link::transmit(int from_side, const FramePtr& frame) {
     if (tap_ != nullptr && *tap_) (*tap_)(*this, 1 - from_side, frame);
     receiver->handle_frame(rx_port, frame);
   });
+}
+
+void Link::deliver_train_entry(void* ctx, int from_side,
+                               const TrainEntry& entry) {
+  auto* self = static_cast<Link*>(ctx);
+  Direction& d = self->dir_[side_index(from_side)];
+  // Frames in flight when the direction failed are lost — the entry's
+  // epoch snapshot makes this check identical to the classic lambda's.
+  if (!d.up || d.epoch != entry.epoch) return;
+  Device* receiver = self->end_[side_index(1 - from_side)].device;
+  ++*receiver->rx_frames_cell();
+  *receiver->rx_bytes_cell() += entry.frame->size();
+  if (self->tap_ != nullptr && *self->tap_) {
+    (*self->tap_)(*self, 1 - from_side, entry.frame);
+  }
+  receiver->handle_frame(self->end_[side_index(1 - from_side)].port,
+                         entry.frame);
 }
 
 void Link::set_up(bool up) {

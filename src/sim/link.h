@@ -16,6 +16,7 @@
 #include "common/units.h"
 #include "sim/device.h"
 #include "sim/frame.h"
+#include "sim/train.h"
 
 namespace portland::sim {
 
@@ -135,11 +136,20 @@ class Link {
   static std::size_t side_index(int side);
   [[nodiscard]] SimDuration serialization_time(std::size_t bytes) const;
 
+  /// Burst-mode delivery thunk: replays exactly the classic per-frame
+  /// delivery lambda (epoch/up filter, rx counters, tap, handle_frame)
+  /// for one train entry. The dispatcher has already set the receiving
+  /// shard's clock to the entry's arrival time.
+  static void deliver_train_entry(void* ctx, int from_side,
+                                  const TrainEntry& entry);
+
   Simulator* sim_;
   Config config_;
   const FrameTap* tap_;  // owned by the Network; may point at an empty fn
   std::array<Endpoint, 2> end_;
   std::array<Direction, 2> dir_;
+  /// One train per direction: the batched in-flight frames a->b and b->a.
+  std::array<Train, 2> train_;
 };
 
 }  // namespace portland::sim

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "obs/trace_export.h"
+#include "sim/train.h"
 
 namespace portland::sim {
 
@@ -27,7 +28,13 @@ thread_local ExecCtx g_ctx;
 
 Simulator::Simulator() : Simulator(Options{}) {}
 
-Simulator::Simulator(Options options) : scheduler_(options.scheduler) {
+Simulator::Simulator(Options options)
+    : scheduler_(options.scheduler),
+      burst_(options.burst),
+      adaptive_lookahead_(options.adaptive_lookahead),
+      max_train_(options.max_train),
+      parallel_min_events_(options.parallel_min_events),
+      hw_cores_(std::max(1u, std::thread::hardware_concurrency())) {
   shards_.push_back(std::make_unique<Shard>());
   Shard& sh = *shards_[0];
   if (scheduler_ == SchedulerKind::kWheel) {
@@ -69,10 +76,21 @@ void Simulator::release_slot(Shard& sh, std::uint32_t slot) {
 }
 
 std::uint32_t Simulator::push_node(Shard& sh, SimTime t, std::uint32_t slot) {
+  ++sh.nodes_pushed;
   if (scheduler_ == SchedulerKind::kWheel) {
     return sh.wheel.insert(t, sh.next_seq++, slot);
   }
   sh.queue.push(QNode{t, sh.next_seq++, slot});
+  return slot;
+}
+
+std::uint32_t Simulator::push_node_at(Shard& sh, SimTime t, std::uint64_t seq,
+                                      std::uint32_t slot) {
+  ++sh.nodes_pushed;
+  if (scheduler_ == SchedulerKind::kWheel) {
+    return sh.wheel.insert(t, seq, slot);
+  }
+  sh.queue.push(QNode{t, seq, slot});
   return slot;
 }
 
@@ -102,6 +120,68 @@ void Simulator::schedule_timer_local(Shard& sh, ShardId id, SimTime t,
     raw->shard = id;
     raw->handle = handle;
   }
+}
+
+void Simulator::train_append_local(Shard& sh, Train& tr, SimTime t,
+                                   std::uint64_t epoch,
+                                   const FramePtr& frame) {
+  assert(t >= sh.now);
+  assert(tr.entries.empty() || t > tr.entries.back().time);
+  TrainEntry e;
+  e.time = t;
+  // The entry consumes the shard's next sequence number here — the exact
+  // point the classic per-frame path would have consumed it — so burst
+  // on/off schedule identical (time, seq) streams.
+  e.seq = sh.next_seq++;
+  e.epoch = epoch;
+  e.frame = frame;
+  tr.entries.push_back(std::move(e));
+  ++sh.live;
+  ++sh.train_frames;
+  if (!tr.scheduled) {
+    // An unscheduled train is empty by invariant, so the entry just
+    // appended is the front: anchor the node at its (time, seq).
+    const std::uint32_t slot = acquire_slot(sh);
+    sh.slots[slot].train = &tr;
+    push_node_at(sh, t, tr.entries.back().seq, slot);
+    tr.scheduled = true;
+  }
+}
+
+bool Simulator::train_append(ShardId dst, SimTime t, std::uint64_t epoch,
+                             const FramePtr& frame, Train& tr) {
+  if (!burst_) return false;
+  if (!configured_ || dst == kNoShard) {
+    Shard& sh = *shards_[0];
+    if (max_train_ != 0 && tr.entries.size() >= max_train_) return false;
+    if (!tr.entries.empty() && t <= tr.entries.back().time) return false;
+    train_append_local(sh, tr, t, epoch, frame);
+    return true;
+  }
+  assert(dst < shards_.size());
+  const ShardId ctx = context_shard();
+  if (ctx != dst && in_window_ && ctx != kNoShard) {
+    // Mid-window cross-shard arrival: the destination worker owns the
+    // train's deque right now, so even *peeking* at it would race. Park
+    // the arrival in the (src,dst) mailbox unconditionally; the barrier
+    // merge re-checks cap/monotonicity and appends (or falls back)
+    // there, in canonical order.
+    Shard& src = *shards_[ctx];
+    auto& box = src.outbox[dst];
+    box.emplace_back();
+    Mail& m = box.back();
+    m.time = t;
+    m.train = &tr;
+    m.epoch = epoch;
+    m.frame = frame;
+    if (t + lookahead_ < src.send_cap) src.send_cap = t + lookahead_;
+    return true;
+  }
+  // Same-shard or quiescent: this thread owns the destination queue.
+  if (max_train_ != 0 && tr.entries.size() >= max_train_) return false;
+  if (!tr.entries.empty() && t <= tr.entries.back().time) return false;
+  train_append_local(*shards_[dst], tr, t, epoch, frame);
+  return true;
 }
 
 void Simulator::at(SimTime t, SmallFn fn) {
@@ -187,10 +267,12 @@ void Simulator::at_shard(ShardId dst, SimTime t, SmallFn fn) {
     // Mid-window cross-shard send: park in the (src,dst) mailbox. The
     // barrier merges mailboxes in (time, src, push-order) order, so the
     // destination sequence is independent of thread interleaving.
-    auto& box = shards_[ctx]->outbox[dst];
+    Shard& src = *shards_[ctx];
+    auto& box = src.outbox[dst];
     box.emplace_back();
     box.back().time = t;
     box.back().payload.fn = std::move(fn);
+    if (t + lookahead_ < src.send_cap) src.send_cap = t + lookahead_;
     return;
   }
   // Quiescent (between windows / barrier task): safe to push directly.
@@ -302,14 +384,16 @@ SimTime Simulator::peek_time(Shard& sh) {
   while (!sh.queue.empty()) {
     const QNode& top = sh.queue.top();
     EventPayload& slot = sh.slots[top.slot];
-    if (slot.fn || slot.timer != nullptr) return top.time;
+    if (slot.fn || slot.timer != nullptr || slot.train != nullptr) {
+      return top.time;
+    }
     release_slot(sh, top.slot);
     sh.queue.pop();
   }
   return kNever;
 }
 
-void Simulator::dispatch_one(Shard& sh) {
+void Simulator::dispatch_one(Shard& sh, SimTime bound) {
   SimTime time;
   std::uint32_t payload;
   std::uint32_t handle;
@@ -329,6 +413,44 @@ void Simulator::dispatch_one(Shard& sh) {
   // The payload must be moved out and its slot released before running:
   // the callback may schedule new events, reusing (or growing) the pool.
   EventPayload& slot = sh.slots[payload];
+  if (slot.train != nullptr) {
+    // Burst dispatch: the node stands for the train's front entry, which
+    // carries this pop's exact (time, seq). Deliver it, then keep
+    // draining entries that are strictly earlier than both the bound and
+    // every other queued event; the first entry that ties or trails
+    // hands the train back to the scheduler at its own (time, seq), so
+    // the global dispatch order is the classic one, event for event.
+    Train* tr = slot.train;
+    slot.train = nullptr;
+    release_slot(sh, payload);
+    ++sh.trains_popped;
+    for (;;) {
+      assert(!tr->entries.empty());
+      TrainEntry e = std::move(tr->entries.front());
+      tr->entries.pop_front();
+      --sh.live;
+      sh.now = e.time;
+      ++sh.executed;
+      tr->deliver(tr->ctx, tr->from_side, e);
+      if (tr->entries.empty()) {
+        tr->scheduled = false;
+        return;
+      }
+      const TrainEntry& nx = tr->entries.front();
+      // A delivery above may have parked cross-shard mail, shrinking the
+      // shard's echo cap below the bound this drain started with.
+      SimTime eff = bound;
+      if (sh.send_cap < eff) eff = std::max(window_floor_, sh.send_cap);
+      if (nx.time >= eff || nx.time >= peek_time(sh) ||
+          stopped_.load(std::memory_order_relaxed)) {
+        const std::uint32_t s2 = acquire_slot(sh);
+        sh.slots[s2].train = tr;
+        push_node_at(sh, nx.time, nx.seq, s2);
+        ++sh.train_repushes;
+        return;  // tr->scheduled stays true
+      }
+    }
+  }
   if (slot.timer != nullptr) {
     const std::shared_ptr<TimerCore> timer = std::move(slot.timer);
     const std::uint64_t gen = slot.timer_gen;
@@ -373,10 +495,11 @@ void Simulator::classic_run(SimTime limit) {
   }
   stopped_.store(false, std::memory_order_relaxed);
   Shard& sh = *shards_[0];
+  const SimTime bound = limit == kNever ? kNever : limit + 1;
   while (!stopped_.load(std::memory_order_relaxed)) {
     const SimTime t = peek_time(sh);
     if (t == kNever || t > limit) break;
-    dispatch_one(sh);
+    dispatch_one(sh, bound);
   }
   if (limit != kNever && !stopped_.load(std::memory_order_relaxed) &&
       sh.now < limit) {
@@ -391,6 +514,7 @@ void Simulator::classic_run_traced(SimTime limit) {
   constexpr std::uint64_t kDispatchChunk = 4096;
   stopped_.store(false, std::memory_order_relaxed);
   Shard& sh = *shards_[0];
+  const SimTime bound = limit == kNever ? kNever : limit + 1;
   bool done = false;
   while (!done && !stopped_.load(std::memory_order_relaxed)) {
     const SimTime span_start = sh.now;
@@ -402,7 +526,7 @@ void Simulator::classic_run_traced(SimTime limit) {
         done = true;
         break;
       }
-      dispatch_one(sh);
+      dispatch_one(sh, bound);
       ++n;
       if (stopped_.load(std::memory_order_relaxed)) break;
     }
@@ -453,14 +577,27 @@ void Simulator::run_due_barrier_tasks(SimTime bound) {
 void Simulator::run_shard_window(Shard& sh, ShardId id, SimTime end) {
   const ExecCtx saved = g_ctx;
   g_ctx = ExecCtx{this, id};
+  // The shard's own cross-shard sends tighten the bound while the window
+  // runs (Shard::send_cap): a reply chain seeded by a send parked at
+  // arrival time `a` can re-enter this shard as early as a + lookahead,
+  // so a widened window must stop there. The fixed window end stays a
+  // floor — it is causally safe regardless of what anyone sends.
+  const auto bound = [&]() -> SimTime {
+    if (sh.send_cap >= end) return end;
+    return std::max(window_floor_, sh.send_cap);
+  };
   if (tracer_ == nullptr) {
-    while (peek_time(sh) < end) dispatch_one(sh);
+    for (SimTime b = bound(); peek_time(sh) < b; b = bound()) {
+      dispatch_one(sh, b);
+    }
   } else {
     // Lane 1+id belongs to this thread until the window barrier, so the
     // span push below is single-writer by construction.
     const std::uint64_t exec0 = sh.executed;
     const double wall0 = tracer_->now_us();
-    while (peek_time(sh) < end) dispatch_one(sh);
+    for (SimTime b = bound(); peek_time(sh) < b; b = bound()) {
+      dispatch_one(sh, b);
+    }
     if (sh.executed != exec0) {
       tracer_->shard_span(id, sh.now, sh.executed - exec0, wall0,
                           tracer_->now_us());
@@ -472,16 +609,16 @@ void Simulator::run_shard_window(Shard& sh, ShardId id, SimTime end) {
 void Simulator::worker_loop(unsigned worker_index) {
   std::uint64_t seen_gen = 0;
   for (;;) {
-    SimTime end;
     {
       std::unique_lock<std::mutex> lk(pool_mutex_);
       cv_start_.wait(lk, [&] { return quit_ || window_gen_ != seen_gen; });
       if (quit_) return;
       seen_gen = window_gen_;
-      end = window_end_;
+      // window_ends_ was fully written before the generation bump; the
+      // mutex handshake makes it visible here.
     }
     for (ShardId s = worker_index; s < shards_.size(); s += workers_) {
-      run_shard_window(*shards_[s], s, end);
+      run_shard_window(*shards_[s], s, window_ends_[s]);
     }
     {
       std::lock_guard<std::mutex> lk(pool_mutex_);
@@ -490,13 +627,24 @@ void Simulator::worker_loop(unsigned worker_index) {
   }
 }
 
-void Simulator::execute_window(SimTime end) {
-  if (threads_.empty()) {
-    // Single worker: still windowed, still mailboxed — the execution
-    // order must match the multi-worker schedule bit for bit.
+void Simulator::execute_window() {
+  // Hand the window to the pool only when it is worth waking: the recent
+  // events-per-window average must clear the threshold, and the box must
+  // actually have a second core. Sparse windows (control-plane chatter,
+  // convergence tails) run inline on this thread, skipping two condvar
+  // round-trips per window — this is what keeps workers=4 from losing to
+  // workers=1 on light workloads or small machines. Inline and pooled
+  // execution dispatch the identical schedule.
+  const bool pooled =
+      !threads_.empty() &&
+      (parallel_min_events_ == 0 ||
+       (hw_cores_ > 1 &&
+        window_events_ema_ >= static_cast<double>(parallel_min_events_)));
+  if (!pooled) {
+    if (!threads_.empty()) ++windows_inline_;
     in_window_ = true;
     for (ShardId s = 0; s < shards_.size(); ++s) {
-      run_shard_window(*shards_[s], s, end);
+      run_shard_window(*shards_[s], s, window_ends_[s]);
     }
     in_window_ = false;
     return;
@@ -504,13 +652,12 @@ void Simulator::execute_window(SimTime end) {
   {
     std::lock_guard<std::mutex> lk(pool_mutex_);
     in_window_ = true;
-    window_end_ = end;
     active_workers_ = static_cast<unsigned>(threads_.size());
     ++window_gen_;
   }
   cv_start_.notify_all();
   for (ShardId s = 0; s < shards_.size(); s += workers_) {
-    run_shard_window(*shards_[s], s, end);
+    run_shard_window(*shards_[s], s, window_ends_[s]);
   }
   std::unique_lock<std::mutex> lk(pool_mutex_);
   cv_done_.wait(lk, [&] { return active_workers_ == 0; });
@@ -542,7 +689,35 @@ void Simulator::merge_mailboxes() {
     Shard& d = *shards_[dst];
     for (const MailRef& r : merge_refs_) {
       Mail& m = shards_[r.src]->outbox[dst][r.idx];
-      if (m.payload.timer != nullptr) {
+      if (m.train != nullptr) {
+        // Train mail: append the whole arrival to the destination train
+        // (seq consumed here, in canonical order — identical to what a
+        // per-frame schedule_local at this position would consume) with
+        // no scheduler insert unless the train was idle.
+        Train& tr = *m.train;
+        const bool fits =
+            (max_train_ == 0 || tr.entries.size() < max_train_) &&
+            (tr.entries.empty() || m.time > tr.entries.back().time);
+        if (fits) {
+          train_append_local(d, tr, m.time, m.epoch, m.frame);
+        } else {
+          // Cap reached (or a propagation change broke arrival
+          // monotonicity): deliver this one frame classically through
+          // the train's thunk.
+          Train* trp = m.train;
+          schedule_local(d, m.time,
+                         [trp, time = m.time, epoch = m.epoch,
+                          frame = std::move(m.frame)]() mutable {
+                           TrainEntry e;
+                           e.time = time;
+                           e.epoch = epoch;
+                           e.frame = std::move(frame);
+                           trp->deliver(trp->ctx, trp->from_side, e);
+                         });
+        }
+        m.frame.reset();
+        m.train = nullptr;
+      } else if (m.payload.timer != nullptr) {
         schedule_timer_local(d, static_cast<ShardId>(dst), m.time,
                              std::move(m.payload.timer), m.payload.timer_gen);
       } else {
@@ -557,9 +732,31 @@ void Simulator::merge_mailboxes() {
 
 void Simulator::parallel_run(SimTime limit) {
   stopped_.store(false, std::memory_order_relaxed);
+  const std::size_t count = shards_.size();
+  window_ends_.resize(count);
   for (;;) {
     if (stopped_.load(std::memory_order_relaxed)) break;
-    const SimTime t_ev = earliest_shard_event();
+    // One pass gives the two earliest shard peeks: min1 bounds everyone
+    // (the classic fixed window), min2 bounds the min1 shard itself —
+    // no *currently queued* foreign event can mail it anything earlier
+    // than min2 + lookahead. Mail the widened shard sends during its own
+    // run can echo back sooner than that; the per-shard send_cap
+    // (maintained at the outbox push sites, enforced in
+    // run_shard_window) closes that hole.
+    SimTime min1 = kNever;
+    SimTime min2 = kNever;
+    std::size_t argmin = 0;
+    for (std::size_t s = 0; s < count; ++s) {
+      const SimTime p = peek_time(*shards_[s]);
+      if (p < min1) {
+        min2 = min1;
+        min1 = p;
+        argmin = s;
+      } else if (p < min2) {
+        min2 = p;
+      }
+    }
+    const SimTime t_ev = min1;
     const SimTime t_task = earliest_barrier_task();
     const SimTime t = std::min(t_ev, t_task);
     if (t == kNever || t > limit) break;
@@ -567,25 +764,70 @@ void Simulator::parallel_run(SimTime limit) {
       run_due_barrier_tasks(std::min(t_ev, limit));
       continue;
     }
-    SimTime end = t_ev > kNever - lookahead_ ? kNever : t_ev + lookahead_;
-    if (t_task < end) end = t_task;
-    if (limit != kNever && end > limit) end = limit + 1;  // events at == limit
+    const auto clamp_end = [&](SimTime base) {
+      SimTime end = base > kNever - lookahead_ ? kNever : base + lookahead_;
+      if (t_task < end) end = t_task;
+      if (limit != kNever && end > limit) end = limit + 1;  // events at limit
+      return end;
+    };
+    const SimTime fixed_end = clamp_end(t_ev);
+    SimTime lead_end = fixed_end;
+    if (adaptive_lookahead_) {
+      // Adaptive lookahead (conservative, Chandy–Misra–Bryant): the
+      // earliest shard runs to the second-earliest foreign peek plus
+      // lookahead — a pure function of queue state, so every worker
+      // count computes the same window ends. The widened shard's *own*
+      // cross-shard sends additionally cap its run at first-send-arrival
+      // + lookahead (send_cap), since a reply chain they seed may return
+      // earlier than min2. A single-shard engine has no cross-shard
+      // constraint at all. Dense cross-shard phases make min2 == min1
+      // and the window collapses to the fixed bound — the width never
+      // drops *below* the configured lookahead.
+      lead_end = count > 1
+                     ? clamp_end(min2)
+                     : std::min(t_task,
+                                limit == kNever ? kNever : limit + 1);
+      if (lead_end > fixed_end) ++windows_widened_;
+      if (lead_end != t_task &&
+          !(limit != kNever && lead_end == limit + 1) && lead_end != kNever) {
+        const SimDuration width = lead_end - t_ev;
+        if (window_width_min_ == 0 || width < window_width_min_) {
+          window_width_min_ = width;
+        }
+        if (width > window_width_max_) window_width_max_ = width;
+      }
+    }
+    window_floor_ = fixed_end;
+    for (std::size_t s = 0; s < count; ++s) {
+      window_ends_[s] = s == argmin ? lead_end : fixed_end;
+      shards_[s]->send_cap = kNever;
+    }
     ++windows_executed_;
     if (tracer_ == nullptr) {
-      execute_window(end);
+      execute_window();
       merge_mailboxes();
     } else {
       const double wall0 = tracer_->now_us();
       const std::uint64_t merged0 = mail_merged_;
-      execute_window(end);
+      execute_window();
       merge_mailboxes();
-      tracer_->window_span(windows_executed_, t_ev, end, wall0,
+      tracer_->window_span(windows_executed_, t_ev, lead_end, wall0,
                            tracer_->now_us(), mail_merged_ - merged0);
     }
-    SimTime advanced = global_now_;
-    for (const auto& sh : shards_) advanced = std::max(advanced, sh->now);
-    global_now_ = advanced;
-    for (auto& sh : shards_) sh->now = advanced;
+    // The global clock (read between windows, and the floor barrier
+    // tasks lift lagging shards to) advances to the window-start
+    // minimum: every post-window peek provably exceeds it. Shard clocks
+    // are *not* force-advanced — with per-shard ends a lagging shard may
+    // legitimately still have events below a leading shard's now.
+    global_now_ = std::max(global_now_, t);
+    std::uint64_t total = barrier_executed_;
+    for (const auto& sh : shards_) total += sh->executed;
+    const double in_window =
+        static_cast<double>(total - last_total_executed_);
+    last_total_executed_ = total;
+    window_events_ema_ = window_events_ema_ == 0.0
+                             ? in_window
+                             : 0.8 * window_events_ema_ + 0.2 * in_window;
   }
   if (limit != kNever && !stopped_.load(std::memory_order_relaxed) &&
       global_now_ < limit) {
@@ -625,6 +867,37 @@ std::uint64_t Simulator::executed_events() const {
   std::uint64_t n = barrier_executed_;
   for (const auto& sh : shards_) n += sh->executed;
   return n;
+}
+
+std::uint64_t Simulator::trains_popped() const {
+  std::uint64_t n = 0;
+  for (const auto& sh : shards_) n += sh->trains_popped;
+  return n;
+}
+
+std::uint64_t Simulator::train_frames() const {
+  std::uint64_t n = 0;
+  for (const auto& sh : shards_) n += sh->train_frames;
+  return n;
+}
+
+std::uint64_t Simulator::train_repushes() const {
+  std::uint64_t n = 0;
+  for (const auto& sh : shards_) n += sh->train_repushes;
+  return n;
+}
+
+std::uint64_t Simulator::nodes_pushed() const {
+  std::uint64_t n = 0;
+  for (const auto& sh : shards_) n += sh->nodes_pushed;
+  return n;
+}
+
+unsigned Simulator::resolve_auto_workers(unsigned hw_cores,
+                                         std::size_t shard_count) {
+  if (hw_cores < 2 || shard_count < 2) return 0;
+  return static_cast<unsigned>(
+      std::min<std::size_t>(hw_cores, shard_count));
 }
 
 TimingWheel::Stats Simulator::wheel_stats() const {

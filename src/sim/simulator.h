@@ -59,6 +59,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <new>
@@ -70,6 +71,7 @@
 
 #include "common/random.h"
 #include "common/units.h"
+#include "sim/frame.h"
 #include "sim/timing_wheel.h"
 
 namespace portland::obs {
@@ -77,6 +79,9 @@ class EngineTracer;
 }  // namespace portland::obs
 
 namespace portland::sim {
+
+struct Train;
+struct TrainEntry;
 
 /// Identifies an event shard. Devices created before `configure_shards`
 /// (and everything in classic mode) live on shard 0.
@@ -202,6 +207,31 @@ class Simulator {
  public:
   struct Options {
     SchedulerKind scheduler = SchedulerKind::kWheel;
+    /// Burst/train execution: back-to-back frames on one link direction
+    /// batch into a single scheduler node (see train.h). Bit-identical
+    /// to per-frame scheduling — every entry carries the exact (time,
+    /// seq) the classic path would have assigned — so this is on by
+    /// default; off exists for A/B proofs and the E18 ablation.
+    bool burst = true;
+    /// Cap on entries per train batch; 0 = unbounded. Appends past the
+    /// cap fall back to per-frame scheduling (E18 sweeps this).
+    std::uint32_t max_train = 0;
+    /// Adaptive lookahead: per-shard conservative window ends. The shard
+    /// holding the globally earliest event may run up to the *second*
+    /// earliest foreign peek + lookahead (Chandy–Misra–Bryant bound), so
+    /// sparse phases execute in a few wide windows while dense phases
+    /// degrade gracefully to the fixed-lookahead schedule. Window ends
+    /// are a pure function of queue state, so any worker count still
+    /// schedules the identical event sequence.
+    bool adaptive_lookahead = true;
+    /// Pooled-window threshold for the worker pool: a window is handed
+    /// to the pool only when the recent events-per-window average
+    /// reaches this value *and* the machine has >1 hardware core;
+    /// otherwise the calling thread runs it inline, skipping two
+    /// condvar round-trips. 0 = always use the pool (TSan suites use
+    /// this to keep exercising the cross-thread path). Inline and
+    /// pooled windows execute the identical schedule.
+    std::uint32_t parallel_min_events = 128;
   };
 
   Simulator();
@@ -248,6 +278,40 @@ class Simulator {
   /// cross-cutting mutations: link up/down, migration rewiring. In classic
   /// mode this is plain at().
   void at_barrier(SimTime t, SmallFn fn);
+
+  /// Burst path for link deliveries: appends one frame arrival to `tr`
+  /// (a per-link-direction train) on shard `dst` at time `t`, consuming
+  /// the exact sequence number a classic at_shard of the delivery would
+  /// have consumed. Mid-window cross-shard appends park in the mailbox
+  /// and join the train at the barrier, interleaved with plain mail in
+  /// the same canonical (time, src, push-order) stream. Returns false
+  /// when the append is declined (burst disabled, train at max_train, or
+  /// a non-monotonic arrival) — the caller must then schedule the
+  /// delivery classically.
+  bool train_append(ShardId dst, SimTime t, std::uint64_t epoch,
+                    const FramePtr& frame, Train& tr);
+
+  [[nodiscard]] bool burst_enabled() const { return burst_; }
+  [[nodiscard]] bool adaptive_lookahead_enabled() const {
+    return adaptive_lookahead_;
+  }
+
+  /// Re-tunes the pooled-window threshold (see Options::parallel_min_events)
+  /// after construction. 0 forces every window through the worker pool.
+  void set_parallel_threshold(std::uint32_t min_events) {
+    parallel_min_events_ = min_events;
+  }
+
+  /// `workers = auto` policy, kept pure and static so tests can pin it:
+  /// a box with fewer than two hardware cores — or a fabric with fewer
+  /// than two shards — gains nothing from windowed execution, so resolve
+  /// to 0 (the classic serial engine); otherwise one worker per shard,
+  /// capped at the core count. On a multicore box the engine still
+  /// guards the downside at runtime: sparse windows run inline on the
+  /// calling thread (Options::parallel_min_events), so parallel never
+  /// loses to serial by more than the window bookkeeping.
+  [[nodiscard]] static unsigned resolve_auto_workers(unsigned hw_cores,
+                                                     std::size_t shard_count);
 
   /// Splits the engine into `count` shards with the given conservative
   /// lookahead (must be >= 1 ns: the minimum cross-shard link latency) and
@@ -314,6 +378,40 @@ class Simulator {
   /// Timing-wheel activity aggregated over all shards (zeros under kHeap).
   [[nodiscard]] TimingWheel::Stats wheel_stats() const;
 
+  /// Train nodes popped from the schedulers (each covers >= 1 frame).
+  [[nodiscard]] std::uint64_t trains_popped() const;
+  /// Frames delivered through trains (burst path).
+  [[nodiscard]] std::uint64_t train_frames() const;
+  /// Train nodes re-pushed mid-batch (tie with another event, window
+  /// boundary, or stop()).
+  [[nodiscard]] std::uint64_t train_repushes() const;
+  /// Scheduler node insertions across all shards — the denominator of
+  /// the E18 events/frame metric. Burst mode pushes one node per train
+  /// instead of one per frame, so this divided by delivered frames drops
+  /// below 1 when trains form.
+  [[nodiscard]] std::uint64_t nodes_pushed() const;
+  /// Windows the calling thread ran inline while a worker pool existed
+  /// (the sparse-window fallback that keeps parallel >= serial).
+  [[nodiscard]] std::uint64_t windows_inline() const {
+    return windows_inline_;
+  }
+  /// Windows in which adaptive lookahead widened the earliest shard's
+  /// end past the fixed-lookahead bound.
+  [[nodiscard]] std::uint64_t windows_widened() const {
+    return windows_widened_;
+  }
+  /// Narrowest / widest adaptive window observed (end of the earliest
+  /// shard's window minus the window-start minimum event time). The
+  /// minimum never drops below the configured lookahead: a sudden
+  /// cross-shard burst shrinks windows *to* the conservative bound, not
+  /// through it.
+  [[nodiscard]] SimDuration window_width_min() const {
+    return window_width_min_;
+  }
+  [[nodiscard]] SimDuration window_width_max() const {
+    return window_width_max_;
+  }
+
  private:
   friend class ShardGuard;
 
@@ -335,19 +433,29 @@ class Simulator {
     void reserve(std::size_t n) { c.reserve(n); }
   };
 
-  /// One of the two is set: a plain callback, or a timer shot. A slot
-  /// with neither (a cancelled heap shot whose QNode is still sifting)
-  /// is a husk: purged at the next peek, never executed.
+  /// One of the three is set: a plain callback, a timer shot, or a train
+  /// node (the slot anchors the train's scheduler presence; the frames
+  /// live in the train's own deque). A slot with none (a cancelled heap
+  /// shot whose QNode is still sifting) is a husk: purged at the next
+  /// peek, never executed.
   struct EventPayload {
     SmallFn fn;
     std::shared_ptr<TimerCore> timer;
     std::uint64_t timer_gen = 0;
+    Train* train = nullptr;
   };
 
-  /// A cross-shard event parked until the next window barrier.
+  /// A cross-shard event parked until the next window barrier: either a
+  /// plain payload, or (train != nullptr) one frame arrival destined for
+  /// a train on the receiving shard. Both kinds ride the same per-(src,
+  /// dst) vector, so the canonical merge order interleaves them exactly
+  /// as the classic per-frame path would have.
   struct Mail {
     SimTime time;
     EventPayload payload;
+    Train* train = nullptr;
+    std::uint64_t epoch = 0;
+    FramePtr frame;
   };
 
   /// Everything one shard touches while executing a window, padded so
@@ -360,13 +468,26 @@ class Simulator {
     std::vector<std::uint32_t> free_slots;
     std::uint64_t next_seq = 0;
     std::uint64_t executed = 0;
-    /// Live (non-cancelled) events currently queued here.
+    /// Live (non-cancelled) events currently queued here. Each pending
+    /// train entry counts as one, exactly like its classic equivalent.
     std::size_t live = 0;
+    std::uint64_t trains_popped = 0;
+    std::uint64_t train_frames = 0;
+    std::uint64_t train_repushes = 0;
+    std::uint64_t nodes_pushed = 0;
     SimTime now = 0;
     Rng rng{0};
     /// outbox[dst]: mail pushed during the current window, merged at the
     /// barrier in (time, src, push-order) order.
     std::vector<std::vector<Mail>> outbox;
+    /// Echo cap — earliest cross-shard mail arrival this shard has pushed
+    /// during the current window, plus the configured lookahead. Any reply
+    /// chain seeded by that mail needs at least one more link hop to come
+    /// back, so it cannot re-enter this shard before the cap; a widened
+    /// (adaptive-lookahead) window must therefore never execute past it.
+    /// Reset to "never" at every window start; updated only by this
+    /// shard's own worker, so it is unsynchronized by construction.
+    SimTime send_cap = std::numeric_limits<SimTime>::max();
   };
 
   /// Globally-serialized task run between windows (link failures,
@@ -399,23 +520,38 @@ class Simulator {
   /// scheduler; returns the cancellation handle (wheel node index, or the
   /// payload slot itself for the heap).
   std::uint32_t push_node(Shard& sh, SimTime t, std::uint32_t slot);
+  /// Same, but at an explicit already-consumed sequence number (train
+  /// nodes re-entering the queue keep their front entry's seq).
+  std::uint32_t push_node_at(Shard& sh, SimTime t, std::uint64_t seq,
+                             std::uint32_t slot);
   void schedule_local(Shard& sh, SimTime t, SmallFn fn);
   void schedule_timer_local(Shard& sh, ShardId id, SimTime t,
                             std::shared_ptr<TimerCore> core,
                             std::uint64_t generation);
+  /// Appends one arrival to `tr` on shard `sh`, consuming the next seq,
+  /// and anchors the train in the scheduler if it is not already.
+  void train_append_local(Shard& sh, Train& tr, SimTime t,
+                          std::uint64_t epoch, const FramePtr& frame);
   /// The shard the calling thread is executing for *this* simulator.
   [[nodiscard]] ShardId context_shard() const;
   static void fire_timer(TimerCore& core, std::uint64_t generation);
   /// Earliest live event time in this shard, or kNoEvent. Purges any
   /// cancelled heap husks sitting on top, so both schedulers agree.
   [[nodiscard]] SimTime peek_time(Shard& sh);
-  void dispatch_one(Shard& sh);
+  /// Dispatches the earliest event. `bound` is the exclusive horizon for
+  /// *additional* train deliveries piggybacking on this dispatch (the
+  /// window end, or limit + 1 in classic mode); the first delivery of a
+  /// popped node is always due by construction.
+  void dispatch_one(Shard& sh, SimTime bound);
 
   void classic_run(SimTime limit);
   void classic_run_traced(SimTime limit);
   void parallel_run(SimTime limit);
   void run_shard_window(Shard& sh, ShardId id, SimTime end);
-  void execute_window(SimTime end);
+  /// Runs one window with per-shard ends in `window_ends_`, either on
+  /// the worker pool or inline on the calling thread (see
+  /// Options::parallel_min_events).
+  void execute_window();
   void merge_mailboxes();
   void run_due_barrier_tasks(SimTime bound);
   void worker_loop(unsigned worker_index);
@@ -429,12 +565,27 @@ class Simulator {
   std::vector<std::unique_ptr<Shard>> shards_;
   SchedulerKind scheduler_ = SchedulerKind::kWheel;
   bool configured_ = false;
+  bool burst_ = true;
+  bool adaptive_lookahead_ = true;
+  std::uint32_t max_train_ = 0;
+  std::uint32_t parallel_min_events_ = 128;
+  /// Hardware cores, cached once (hardware_concurrency may syscall).
+  unsigned hw_cores_ = 1;
   SimDuration lookahead_ = 1;
   /// Global clock, meaningful when no shard context is active.
   SimTime global_now_ = 0;
   std::uint64_t barrier_executed_ = 0;
   std::uint64_t windows_executed_ = 0;
   std::uint64_t mail_merged_ = 0;
+  std::uint64_t windows_inline_ = 0;
+  std::uint64_t windows_widened_ = 0;
+  SimDuration window_width_min_ = 0;
+  SimDuration window_width_max_ = 0;
+  /// Exponential moving average of events executed per window — the
+  /// inline-vs-pooled predictor. Affects only *where* a window runs,
+  /// never what it executes, so it is free to be a float.
+  double window_events_ema_ = 0.0;
+  std::uint64_t last_total_executed_ = 0;
   obs::EngineTracer* tracer_ = nullptr;
   std::atomic<bool> stopped_{false};
 
@@ -451,7 +602,14 @@ class Simulator {
   std::condition_variable cv_start_;
   std::condition_variable cv_done_;
   std::uint64_t window_gen_ = 0;
-  SimTime window_end_ = 0;
+  /// Per-shard window ends for the current window (adaptive lookahead
+  /// gives the earliest shard a wider end than the rest). Written by the
+  /// coordinating thread before the window starts; workers read it after
+  /// the pool_mutex_ handshake.
+  std::vector<SimTime> window_ends_;
+  /// The window's fixed (non-widened) end — min1 + lookahead, clamped.
+  /// Always causally safe, so per-shard echo caps never bind below it.
+  SimTime window_floor_ = 0;
   unsigned active_workers_ = 0;
   bool in_window_ = false;
   bool quit_ = false;

@@ -1,7 +1,9 @@
 // Unit tests for the discrete-event engine: ordering, timers, links.
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <memory>
+#include <vector>
 
 #include "common/random.h"
 #include "sim/device.h"
@@ -726,6 +728,97 @@ TEST(Scheduler, HeapAndWheelDispatchIdenticalTraces) {
   const auto wheel = run_random_trace(SchedulerKind::kWheel);
   ASSERT_GT(heap.size(), 2000u);
   EXPECT_EQ(heap, wheel);
+}
+
+TEST(Sharded, AdaptiveLookaheadWidensSparseWindows) {
+  // Shard 0 walks a long purely-local chain while every other shard sits
+  // far in the future: the adaptive policy must widen shard 0's windows
+  // well past the fixed lookahead instead of creeping one lookahead at a
+  // time — and the observed widths must never drop below the configured
+  // lookahead floor.
+  Simulator sim;
+  sim.configure_shards(2, micros(1), 3);
+  // The anchor sits inside the run limit: widths of limit-clamped windows
+  // are deliberately not recorded, so min2 must be a real event time.
+  {
+    ShardGuard guard(sim, 1);
+    sim.at(micros(300), [] {});
+  }
+  int steps = 0;
+  std::function<void()> chain = [&] {
+    if (++steps < 1000) sim.after(nanos(200), [&] { chain(); });
+  };
+  {
+    ShardGuard guard(sim, 0);
+    sim.at(micros(10), [&] { chain(); });
+  }
+  sim.run_until(millis(1));
+  EXPECT_EQ(steps, 1000);
+  EXPECT_GT(sim.windows_widened(), 0u);
+  // The 200 ns chain spans ~200 us; a fixed 1 us window would need ~200
+  // windows. Widening must cover it in far fewer.
+  EXPECT_LT(sim.windows_executed(), 50u);
+  EXPECT_GT(sim.window_width_max(), micros(1));
+  if (sim.window_width_min() != 0) {
+    EXPECT_GE(sim.window_width_min(), micros(1));
+  }
+}
+
+TEST(Sharded, WidenedShardNeverOutrunsItsOwnEchoes) {
+  // Regression test: a widened (argmin) shard that emits a cross-shard
+  // send mid-window must stop at that send's arrival + lookahead. If it
+  // ran on, the reply chain seeded by its own mail would re-enter it
+  // *behind* its executed clock, and its dispatch order would go back in
+  // time. Shard 2 anchors min2 far away so shard 0's window widens hugely;
+  // shard 0's local chain fires one echo round-trip through shard 1.
+  for (const unsigned workers : {1u, 2u}) {
+    Simulator sim;
+    sim.configure_shards(3, micros(1), 7);
+    sim.set_workers(workers);
+    {
+      ShardGuard guard(sim, 2);
+      sim.at(micros(500), [] {});
+    }
+    {
+      ShardGuard guard(sim, 1);
+      sim.at(seconds(1), [] {});
+    }
+    std::vector<SimTime> shard0_times;
+    int steps = 0;
+    std::function<void()> chain = [&] {
+      shard0_times.push_back(sim.now());
+      if (++steps == 100) {
+        // One echo: shard 0 -> shard 1 -> shard 0, one lookahead per hop.
+        sim.at_shard(1, sim.now() + micros(1), [&] {
+          sim.at_shard(0, sim.now() + micros(1),
+                       [&] { shard0_times.push_back(sim.now()); });
+        });
+      }
+      if (steps < 2000) sim.after(nanos(100), [&] { chain(); });
+    };
+    {
+      ShardGuard guard(sim, 0);
+      sim.at(micros(10), [&] { chain(); });
+    }
+    sim.run_until(millis(2));
+    ASSERT_EQ(shard0_times.size(), 2001u) << workers << " workers";
+    EXPECT_GT(sim.windows_widened(), 0u) << workers << " workers";
+    for (std::size_t i = 1; i < shard0_times.size(); ++i) {
+      ASSERT_GE(shard0_times[i], shard0_times[i - 1])
+          << "shard 0 executed behind its own clock at step " << i << " ("
+          << workers << " workers)";
+    }
+  }
+}
+
+TEST(Sharded, ResolveAutoWorkersPolicy) {
+  // A single-core box or a single-shard fabric resolves to the classic
+  // serial engine; otherwise one worker per shard, capped at the cores.
+  EXPECT_EQ(Simulator::resolve_auto_workers(1, 8), 0u);
+  EXPECT_EQ(Simulator::resolve_auto_workers(2, 1), 0u);
+  EXPECT_EQ(Simulator::resolve_auto_workers(8, 4), 4u);
+  EXPECT_EQ(Simulator::resolve_auto_workers(2, 8), 2u);
+  EXPECT_EQ(Simulator::resolve_auto_workers(4, 4), 4u);
 }
 
 TEST(Sharded, ShardRngStreamsAreIndependentAndStable) {

@@ -176,6 +176,8 @@ struct ParallelRunResult {
   std::uint64_t link_dropped = 0;
   /// Every frame delivery network-wide: (time, receiving device, size).
   std::vector<std::tuple<SimTime, std::string, std::size_t>> trace;
+  /// Frames delivered via train batches (zero when burst mode is off).
+  std::uint64_t train_frames = 0;
   /// Flight-recorder totals (zero when it was off).
   std::uint64_t rec_captured = 0;
   std::uint64_t rec_traced = 0;
@@ -184,7 +186,7 @@ struct ParallelRunResult {
 
 ParallelRunResult run_parallel_soak(
     unsigned workers, sim::SchedulerKind scheduler = sim::SchedulerKind::kWheel,
-    bool obs_on = false) {
+    bool obs_on = false, bool burst = true) {
   topo::FatTree tree(4);
   PortlandFabric::Options options;
   options.k = 4;
@@ -194,6 +196,7 @@ ParallelRunResult run_parallel_soak(
   options.skip_host_indices = {tree.host_index(3, 1, 1)};  // migration slot
   options.obs.flight_recorder = obs_on;
   options.obs.engine_trace = obs_on;
+  options.burst = burst;
   PortlandFabric fabric(options);
 
   ParallelRunResult result;
@@ -292,6 +295,7 @@ ParallelRunResult run_parallel_soak(
 
   result.executed = fabric.sim().executed_events();
   result.final_now = fabric.sim().now();
+  result.train_frames = fabric.sim().train_frames();
   for (const auto& p : probes) {
     result.probe_sent.push_back(p.tx->packets_sent());
     result.probe_received.push_back(p.rx->packets_received());
@@ -423,6 +427,47 @@ TEST(Soak, FlightRecorderIsInvisibleToExecution) {
   EXPECT_EQ(on1.rec_drops, on4.rec_drops);
   // The untraced run recorded nothing.
   EXPECT_EQ(off1.rec_captured, 0u);
+}
+
+// Burst/train execution is a pure scheduler-side batching optimization:
+// turning it off must not move a single event. The same chaos scenario
+// runs with trains disabled — across worker counts and on both scheduler
+// backends — and every sim-visible quantity must match the burst-on
+// reference bit for bit. This is the equality proof behind the E18 bench
+// ("every configuration simulates the same network").
+TEST(Soak, BurstModeIsInvisibleToExecution) {
+  const ParallelRunResult on1 = run_parallel_soak(1);  // burst on (default)
+  const ParallelRunResult off1 = run_parallel_soak(
+      1, sim::SchedulerKind::kWheel, /*obs_on=*/false, /*burst=*/false);
+  const ParallelRunResult off4 = run_parallel_soak(
+      4, sim::SchedulerKind::kWheel, /*obs_on=*/false, /*burst=*/false);
+  const ParallelRunResult off_heap = run_parallel_soak(
+      1, sim::SchedulerKind::kHeap, /*obs_on=*/false, /*burst=*/false);
+
+  // The reference run really used trains; the off runs never did.
+  EXPECT_GT(on1.train_frames, 0u);
+  EXPECT_EQ(off1.train_frames, 0u);
+  EXPECT_EQ(off4.train_frames, 0u);
+  EXPECT_EQ(off_heap.train_frames, 0u);
+
+  const auto expect_same_sim = [](const ParallelRunResult& a,
+                                  const ParallelRunResult& b,
+                                  const char* label) {
+    EXPECT_EQ(a.executed, b.executed) << label;
+    EXPECT_EQ(a.final_now, b.final_now) << label;
+    EXPECT_EQ(a.probe_sent, b.probe_sent) << label;
+    EXPECT_EQ(a.probe_received, b.probe_received) << label;
+    EXPECT_EQ(a.tcp_delivered, b.tcp_delivered) << label;
+    EXPECT_EQ(a.tcp_corrupt, b.tcp_corrupt) << label;
+    EXPECT_EQ(a.mcast_rx, b.mcast_rx) << label;
+    EXPECT_EQ(a.link_tx_frames, b.link_tx_frames) << label;
+    EXPECT_EQ(a.link_dropped, b.link_dropped) << label;
+    ASSERT_EQ(a.trace.size(), b.trace.size()) << label;
+    EXPECT_TRUE(a.trace == b.trace) << label << ": traces diverged";
+  };
+  expect_same_sim(on1, off1, "burst on vs off, wheel, 1 worker");
+  expect_same_sim(on1, off4, "burst on vs off, wheel, 4 workers");
+  expect_same_sim(on1, off_heap, "burst on vs off, heap, 1 worker");
 }
 
 }  // namespace
