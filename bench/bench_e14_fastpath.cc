@@ -209,6 +209,7 @@ void run(const Args& args) {
       std::fprintf(stderr, "cannot open %s\n", args.json_path.c_str());
       std::exit(1);
     }
+    const bench::MemoryReport mem = bench::MemoryReport::capture();
     std::fprintf(f,
                  "{\n"
                  "  \"bench\": \"e14_fastpath\",\n"
@@ -226,7 +227,9 @@ void run(const Args& args) {
                  "  \"meta_hits_per_frame\": %.4f,\n"
                  "  \"flow_cache_hits\": %llu,\n"
                  "  \"flow_cache_misses\": %llu,\n"
-                 "  \"fib_rebuilds\": %llu\n"
+                 "  \"fib_rebuilds\": %llu,\n"
+                 "  \"rss_bytes\": %zu,\n"
+                 "  \"peak_rss_bytes\": %zu\n"
                  "}\n",
                  args.k, n, flows.size(),
                  static_cast<unsigned long long>(frames), wall_s, fps,
@@ -237,7 +240,8 @@ void run(const Args& args) {
                  static_cast<double>(meta_hits) / static_cast<double>(frames),
                  static_cast<unsigned long long>(fc_hits),
                  static_cast<unsigned long long>(fc_misses),
-                 static_cast<unsigned long long>(fib_rebuilds));
+                 static_cast<unsigned long long>(fib_rebuilds),
+                 mem.rss_bytes, mem.peak_rss_bytes);
     std::fclose(f);
     std::printf("json written          : %s\n", args.json_path.c_str());
   }

@@ -12,10 +12,27 @@
 #include <utility>
 #include <vector>
 
+#include "common/rss.h"
 #include "core/fabric.h"
 #include "host/apps.h"
 
 namespace portland::bench {
+
+// ---------------------------------------------------------------------------
+// Memory accounting: every bench report carries the process RSS next to
+// its throughput numbers, so memory regressions show up in the same
+// trajectory (E19). Counted per-component table bytes come from
+// PortlandFabric::total_table_bytes() where a fabric is at hand.
+// ---------------------------------------------------------------------------
+
+struct MemoryReport {
+  std::size_t rss_bytes = 0;       // VmRSS at capture
+  std::size_t peak_rss_bytes = 0;  // VmHWM (process lifetime peak)
+
+  [[nodiscard]] static MemoryReport capture() {
+    return MemoryReport{current_rss_bytes(), portland::peak_rss_bytes()};
+  }
+};
 
 inline std::unique_ptr<core::PortlandFabric> make_fabric(
     int k, std::uint64_t seed, core::PortlandConfig config = {},
@@ -147,17 +164,21 @@ class JsonReport {
 
   /// Writes the object to `path` and reports on stdout. Exits on I/O
   /// failure — a bench whose output vanished should not look green.
+  /// Every report gains an RSS snapshot at write time (rss_bytes /
+  /// peak_rss_bytes), so memory rides along in all BENCH_e*.json files.
   void write(const std::string& path) const {
     FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) {
       std::fprintf(stderr, "cannot open %s\n", path.c_str());
       std::exit(1);
     }
+    const MemoryReport mem = MemoryReport::capture();
     std::fprintf(f, "{\n");
-    for (std::size_t i = 0; i < entries_.size(); ++i) {
-      std::fprintf(f, "  %s%s\n", entries_[i].c_str(),
-                   i + 1 < entries_.size() ? "," : "");
+    for (const std::string& e : entries_) {
+      std::fprintf(f, "  %s,\n", e.c_str());
     }
+    std::fprintf(f, "  \"rss_bytes\": %zu,\n", mem.rss_bytes);
+    std::fprintf(f, "  \"peak_rss_bytes\": %zu\n", mem.peak_rss_bytes);
     std::fprintf(f, "}\n");
     std::fclose(f);
     std::printf("json written          : %s\n", path.c_str());

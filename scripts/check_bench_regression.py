@@ -20,6 +20,7 @@ as oversubscribed (more workers than hardware cores): losing to serial
 while timesharing one core is expected, not a regression.
 """
 
+import argparse
 import json
 import sys
 from pathlib import Path
@@ -54,10 +55,7 @@ def floor(label, observed, baseline):
           f"{observed:.0f} vs floor {limit:.0f} (baseline {baseline:.0f})")
 
 
-def main():
-    with open(ROOT / "bench" / "baseline.json") as f:
-        base = json.load(f)
-
+def check_e14(base):
     e14 = load("BENCH_e14.json")
     floor("e14 frames/s", e14["frames_per_sec"],
           base["e14"]["frames_per_sec"])
@@ -66,6 +64,8 @@ def main():
           f'{e14["events_per_frame"]:.3f} <= '
           f'{base["e14"]["events_per_frame_max"]}')
 
+
+def check_e15(base):
     e15 = load("BENCH_e15.json")
     rows = e15["rows"]
     w1 = next(r for r in rows if r["workers"] == 1)
@@ -82,6 +82,8 @@ def main():
         print(f'skip  e15 multi-worker check: workers={multi["workers"]} '
               'oversubscribed on this runner')
 
+
+def check_e18(base):
     e18 = load("BENCH_e18.json")
     floor("e18 sharded w1 frames/s", e18["frames_per_sec"],
           base["e18"]["frames_per_sec"])
@@ -95,6 +97,51 @@ def main():
     check("e18 workers 4 vs 1",
           e18["w4_over_w1"] >= base["e18"]["w4_over_w1_min"],
           f'{e18["w4_over_w1"]:.3f} >= {base["e18"]["w4_over_w1_min"]}')
+
+
+def check_e19(base):
+    """Memory-per-host floors (E19). Counted table bytes are
+    deterministic, so no noise tolerance: every row must have converged,
+    every compact row must stay under the per-host byte ceiling, and the
+    legacy/compact ratio (reported at the largest k that ran both modes)
+    must hold the 3x reduction."""
+    e19 = load("BENCH_e19.json")
+    ceiling = base["e19"]["compact_table_bytes_per_host_max"]
+    for row in e19["rows"]:
+        label = f'e19 k={row["k"]} {row["mode"]}'
+        check(f"{label} converged", row["converged"], "converged")
+        if row["mode"] == "compact":
+            check(f"{label} table bytes/host",
+                  row["table_bytes_per_host"] <= ceiling,
+                  f'{row["table_bytes_per_host"]:.1f} <= {ceiling}')
+    ratio_min = base["e19"]["bytes_per_host_ratio_min"]
+    check("e19 legacy/compact bytes-per-host ratio",
+          e19.get("legacy_over_compact_bytes_per_host", 0) >= ratio_min,
+          f'{e19.get("legacy_over_compact_bytes_per_host", 0):.2f} >= '
+          f'{ratio_min} (at k={e19.get("ratio_k", "?")})')
+
+
+SECTIONS = {
+    "e14": check_e14,
+    "e15": check_e15,
+    "e18": check_e18,
+    "e19": check_e19,
+}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--only", action="append", choices=sorted(SECTIONS),
+                        help="check only these sections (repeatable); "
+                             "default: all")
+    args = parser.parse_args()
+    selected = args.only if args.only else sorted(SECTIONS)
+
+    with open(ROOT / "bench" / "baseline.json") as f:
+        base = json.load(f)
+
+    for name in selected:
+        SECTIONS[name](base)
 
     print(f"\n{checks} checks, {len(failures)} failures")
     if failures:

@@ -1,0 +1,42 @@
+// Process-memory readings from /proc/self/status (Linux). Used by the
+// memory benches (E19) and metrics snapshots; returns 0 on platforms
+// without procfs so callers can gate on that.
+#pragma once
+
+#include <cstddef>
+#include <cstdio>
+#include <cstring>
+
+namespace portland {
+
+/// Parses a "Vm...: N kB" line value into bytes; 0 when absent.
+inline std::size_t read_proc_status_bytes(const char* field) {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  std::size_t bytes = 0;
+  const std::size_t field_len = std::strlen(field);
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, field, field_len) == 0 && line[field_len] == ':') {
+      unsigned long long kb = 0;
+      if (std::sscanf(line + field_len + 1, "%llu", &kb) == 1) {
+        bytes = static_cast<std::size_t>(kb) * 1024;
+      }
+      break;
+    }
+  }
+  std::fclose(f);
+  return bytes;
+}
+
+/// Current resident set size in bytes (VmRSS); 0 when unavailable.
+inline std::size_t current_rss_bytes() {
+  return read_proc_status_bytes("VmRSS");
+}
+
+/// Peak resident set size in bytes (VmHWM); 0 when unavailable.
+inline std::size_t peak_rss_bytes() {
+  return read_proc_status_bytes("VmHWM");
+}
+
+}  // namespace portland

@@ -34,6 +34,13 @@ class ControlPlane {
 
   void unregister_endpoint(SwitchId id) { endpoints_.erase(id); }
 
+  /// Pre-sizes the endpoint tables for the expected switch count (plus
+  /// the fabric manager), avoiding rehash churn during fabric wiring.
+  void reserve(std::size_t endpoints) {
+    endpoints_.reserve(endpoints);
+    shard_hints_.reserve(endpoints);
+  }
+
   /// Tells the control plane which event shard `id`'s handler runs on, so
   /// deliveries land on the owning shard in parallel runs. Unhinted
   /// endpoints fall back to the (serialized) barrier queue. Call during

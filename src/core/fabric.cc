@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "common/logging.h"
+#include "common/rss.h"
 #include "common/strings.h"
 #include "core/pmac.h"
 
@@ -85,6 +86,27 @@ PortlandFabric::PortlandFabric(Options options)
   Rng rng = net_.rng().fork();
   SwitchId next_id = kSwitchIdBase;
 
+  // Bulk reservation (E19): size the device/link vectors, the name index,
+  // and one contiguous arena chunk for the whole topology up front, so a
+  // k=64 build never reallocates mid-construction.
+  const std::size_t n_switches =
+      tree_.num_edge() + tree_.num_agg() + half * cores_per_group;
+  const std::size_t n_hosts =
+      tree_.num_hosts() - options_.skip_host_indices.size();
+  const std::size_t n_links = n_hosts + tree_.pods() * half * half +
+                              tree_.pods() * half * cores_per_group;
+  net_.reserve(n_switches + n_hosts, n_links,
+               n_switches * (sizeof(PortlandSwitch) + 64) +
+                   n_hosts * (sizeof(host::Host) + 64) +
+                   n_links * (sizeof(sim::Link) + 64));
+  edges_.reserve(tree_.num_edge());
+  aggs_.reserve(tree_.num_agg());
+  cores_.reserve(half * cores_per_group);
+  hosts_.reserve(n_hosts);
+  fabric_links_.reserve(n_links - n_hosts);
+  fm_->reserve(n_hosts, n_switches);
+  control_->reserve(n_switches + 1);
+
   // Switches, in FatTree order: edge, agg, core. Each is pinned to its
   // pod's event shard (cores to the shared core shard) and the control
   // plane learns where to deliver its messages.
@@ -115,6 +137,7 @@ PortlandFabric::PortlandFabric(Options options)
                                     tree_.core_shard()));
     }
   }
+  switches_.reserve(edges_.size() + aggs_.size() + cores_.size());
   switches_ = edges_;
   switches_.insert(switches_.end(), aggs_.begin(), aggs_.end());
   switches_.insert(switches_.end(), cores_.begin(), cores_.end());
@@ -238,6 +261,20 @@ std::size_t PortlandFabric::total_switch_state() const {
   return n;
 }
 
+PortlandSwitch::TableBytes PortlandFabric::total_table_bytes() const {
+  PortlandSwitch::TableBytes total;
+  for (const PortlandSwitch* sw : switches_) {
+    const PortlandSwitch::TableBytes b = sw->table_bytes();
+    total.host_table += b.host_table;
+    total.fib += b.fib;
+    total.flow_cache += b.flow_cache;
+    total.prunes += b.prunes;
+    total.multicast += b.multicast;
+    total.other += b.other;
+  }
+  return total;
+}
+
 void PortlandFabric::snapshot_metrics(obs::MetricsRegistry& registry) {
   sim::Simulator& s = sim();
   obs::MetricsSnapshot& snap = registry.begin_snapshot(s.now());
@@ -268,6 +305,14 @@ void PortlandFabric::snapshot_metrics(obs::MetricsRegistry& registry) {
   snap.parse.meta_hits = parse.meta_hits;
   snap.parse.meta_attaches = parse.meta_attaches;
   snap.parse.rewrite_copies = parse.rewrite_copies;
+
+  const PortlandSwitch::TableBytes tables = total_table_bytes();
+  snap.memory.switch_table_bytes = tables.total();
+  snap.memory.host_table_bytes = tables.host_table;
+  snap.memory.fib_bytes = tables.fib;
+  snap.memory.flow_cache_bytes = tables.flow_cache;
+  snap.memory.arena_bytes = net_.arena().bytes_reserved();
+  snap.memory.rss_bytes = current_rss_bytes();
 
   snap.devices.reserve(net_.devices().size());
   for (const auto& dev : net_.devices()) {

@@ -142,6 +142,9 @@ class PortlandFabric {
   /// Sum of forwarding-state entries across all switches (E5).
   [[nodiscard]] std::size_t total_switch_state() const;
 
+  /// Sum of counted forwarding-table bytes across all switches (E19).
+  [[nodiscard]] PortlandSwitch::TableBytes total_table_bytes() const;
+
   // --- observability -------------------------------------------------------
   /// The attached flight recorder, or nullptr when Options::obs left it off.
   [[nodiscard]] obs::FlightRecorder* flight_recorder() const {

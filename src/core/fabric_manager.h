@@ -45,6 +45,13 @@ class FabricManager {
   /// The control-message entry point (registered at kFabricManagerId).
   void handle_message(const ControlMessage& msg);
 
+  /// Pre-sizes the host registry for the expected fabric (the boot-time
+  /// gratuitous-ARP storm registers every host in a tight burst).
+  void reserve(std::size_t hosts, std::size_t switches) {
+    hosts_.reserve(hosts);
+    (void)switches;  // the switch-keyed tables are ordered maps
+  }
+
   // --- inspection (tests, benches) --------------------------------------
   [[nodiscard]] const FabricGraph& graph() const { return graph_; }
   [[nodiscard]] std::optional<HostRecord> host(Ipv4Address ip) const;

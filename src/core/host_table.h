@@ -1,0 +1,200 @@
+// HostTable: the edge switch's AMAC<->PMAC host table, in two builds.
+//
+// Compact (default): entries live in one contiguous vector; two sorted
+// slot-id index vectors (ordered by AMAC / by PMAC, keys derived from the
+// entries themselves) give binary-search lookup at 4 bytes per index
+// entry. An edge switch learns at most k/2 hosts (plus migrants), so the
+// O(n) index shifts on insert are negligible while lookups stay
+// cache-resident — this is the O(k)-state table the paper's §3 argument
+// promises. Reservation is lazy: aggregation and core switches construct
+// a HostTable but never insert, so they never allocate.
+//
+// Legacy: the seed's node-allocating std::map pair, kept behind
+// PortlandConfig::Tables::kLegacyMap so the chaos soak can prove the
+// compact build produces bit-identical frame traces, and so the E19 bench
+// can measure the honest before/after bytes-per-host gap.
+//
+// Behavioral invariant either way: iteration (for_each) is ascending by
+// AMAC, because the periodic soft-state refresh walks the table to emit
+// HostRegister messages and their order is part of the deterministic
+// event stream.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/mac_address.h"
+#include "common/ipv4_address.h"
+#include "common/memsize.h"
+#include "core/pmac.h"
+#include "sim/device.h"
+
+namespace portland::core {
+
+struct HostEntry {
+  MacAddress amac;
+  Pmac pmac;
+  Ipv4Address ip;  // zero until first IP-bearing frame
+  sim::PortId port = 0;
+};
+
+class HostTable {
+ public:
+  explicit HostTable(bool legacy = false) : legacy_(legacy) {}
+
+  /// Sizing hint, applied lazily at the first insert — switches that
+  /// never learn a host (aggregation, core) never allocate.
+  void reserve(std::size_t hosts) { hint_ = hosts; }
+
+  [[nodiscard]] std::size_t size() const {
+    return legacy_ ? map_.size() : slots_.size();
+  }
+
+  [[nodiscard]] HostEntry* find_amac(MacAddress amac) {
+    if (legacy_) {
+      const auto it = map_.find(amac);
+      return it == map_.end() ? nullptr : &it->second;
+    }
+    const std::uint32_t slot = index_find(by_amac_, kAmac, amac.to_u64());
+    return slot == kNoSlot ? nullptr : &slots_[slot];
+  }
+  [[nodiscard]] const HostEntry* find_amac(MacAddress amac) const {
+    return const_cast<HostTable*>(this)->find_amac(amac);
+  }
+
+  [[nodiscard]] const HostEntry* find_pmac(MacAddress pmac) const {
+    if (legacy_) {
+      const auto it = pmac_to_amac_.find(pmac);
+      if (it == pmac_to_amac_.end()) return nullptr;
+      return &map_.at(it->second);
+    }
+    const std::uint32_t slot = index_find(by_pmac_, kPmac, pmac.to_u64());
+    return slot == kNoSlot ? nullptr : &slots_[slot];
+  }
+
+  /// Inserts a new host (AMAC must be absent). The returned pointer is
+  /// valid until the next insert or erase.
+  HostEntry* insert(const HostEntry& e) {
+    if (legacy_) {
+      HostEntry& stored = map_[e.amac] = e;
+      pmac_to_amac_[e.pmac.to_mac()] = e.amac;
+      return &stored;
+    }
+    if (slots_.capacity() == 0 && hint_ != 0) {
+      slots_.reserve(hint_);
+      by_amac_.reserve(hint_);
+      by_pmac_.reserve(hint_);
+    }
+    const auto slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.push_back(e);
+    index_insert(by_amac_, kAmac, slot);
+    index_insert(by_pmac_, kPmac, slot);
+    return &slots_[slot];
+  }
+
+  /// Re-keys an entry's PMAC (local migration to a new port/vmid) and
+  /// fixes the PMAC index. `e` must point into this table.
+  void rekey_pmac(HostEntry& e, Pmac new_pmac) {
+    if (legacy_) {
+      pmac_to_amac_.erase(e.pmac.to_mac());
+      e.pmac = new_pmac;
+      pmac_to_amac_[new_pmac.to_mac()] = e.amac;
+      return;
+    }
+    const auto slot = static_cast<std::uint32_t>(&e - slots_.data());
+    index_erase(by_pmac_, kPmac, key_of(kPmac, slot));  // old key still live
+    e.pmac = new_pmac;
+    index_insert(by_pmac_, kPmac, slot);
+  }
+
+  /// Removes the host a PMAC maps to (migration invalidation). Returns
+  /// false when the PMAC is unknown. Invalidates entry pointers (the
+  /// vacated slot is back-filled from the end).
+  bool erase_by_pmac(MacAddress pmac) {
+    if (legacy_) {
+      const auto it = pmac_to_amac_.find(pmac);
+      if (it == pmac_to_amac_.end()) return false;
+      map_.erase(it->second);
+      pmac_to_amac_.erase(it);
+      return true;
+    }
+    const std::uint32_t slot = index_find(by_pmac_, kPmac, pmac.to_u64());
+    if (slot == kNoSlot) return false;
+    index_erase(by_amac_, kAmac, key_of(kAmac, slot));
+    index_erase(by_pmac_, kPmac, pmac.to_u64());
+    const auto last = static_cast<std::uint32_t>(slots_.size() - 1);
+    if (slot != last) {
+      // Re-point the index entries of the entry being moved down.
+      *index_ref(by_amac_, kAmac, key_of(kAmac, last)) = slot;
+      *index_ref(by_pmac_, kPmac, key_of(kPmac, last)) = slot;
+      slots_[slot] = slots_[last];
+    }
+    slots_.pop_back();
+    return true;
+  }
+
+  /// Visits every host in ascending AMAC order (determinism-relevant).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    if (legacy_) {
+      for (const auto& [amac, e] : map_) fn(e);
+      return;
+    }
+    for (const std::uint32_t slot : by_amac_) fn(slots_[slot]);
+  }
+
+  [[nodiscard]] std::size_t bytes() const {
+    if (legacy_) return map_bytes(map_) + map_bytes(pmac_to_amac_);
+    return vector_bytes(slots_) + vector_bytes(by_amac_) +
+           vector_bytes(by_pmac_);
+  }
+
+ private:
+  using Index = std::vector<std::uint32_t>;  // slot ids, sorted by key
+  enum Kind { kAmac, kPmac };
+  static constexpr std::uint32_t kNoSlot = 0xFFFF'FFFF;
+
+  [[nodiscard]] std::uint64_t key_of(Kind kind, std::uint32_t slot) const {
+    const HostEntry& e = slots_[slot];
+    return kind == kAmac ? e.amac.to_u64() : e.pmac.to_mac().to_u64();
+  }
+  [[nodiscard]] Index::iterator index_lower(Index& idx, Kind kind,
+                                            std::uint64_t key) {
+    return std::lower_bound(idx.begin(), idx.end(), key,
+                            [this, kind](std::uint32_t slot, std::uint64_t k) {
+                              return key_of(kind, slot) < k;
+                            });
+  }
+  [[nodiscard]] std::uint32_t index_find(const Index& idx, Kind kind,
+                                         std::uint64_t key) const {
+    auto& mut = const_cast<Index&>(idx);
+    const auto it = const_cast<HostTable*>(this)->index_lower(mut, kind, key);
+    return (it != idx.end() && key_of(kind, *it) == key) ? *it : kNoSlot;
+  }
+  void index_insert(Index& idx, Kind kind, std::uint32_t slot) {
+    idx.insert(index_lower(idx, kind, key_of(kind, slot)), slot);
+  }
+  void index_erase(Index& idx, Kind kind, std::uint64_t key) {
+    const auto it = index_lower(idx, kind, key);
+    if (it != idx.end() && key_of(kind, *it) == key) idx.erase(it);
+  }
+  /// Iterator to the index entry holding `key` (must exist).
+  [[nodiscard]] Index::iterator index_ref(Index& idx, Kind kind,
+                                          std::uint64_t key) {
+    return index_lower(idx, kind, key);
+  }
+
+  bool legacy_;
+  std::size_t hint_ = 0;
+  // Compact build.
+  std::vector<HostEntry> slots_;
+  Index by_amac_;
+  Index by_pmac_;
+  // Legacy build (the seed's structures, node for node).
+  std::map<MacAddress, HostEntry> map_;
+  std::map<MacAddress, MacAddress> pmac_to_amac_;
+};
+
+}  // namespace portland::core

@@ -66,4 +66,12 @@ struct Pmac {
   return (mac.to_u64() >> 40) < 0x02 && !mac.is_zero();
 }
 
+/// Advances a per-port vmid counter: vmids start at 1 (vmid 0 means
+/// "unassigned" in the PMAC encoding) and wrap 0xFFFF -> 1, never back
+/// to 0.
+[[nodiscard]] inline std::uint16_t next_vmid(std::uint16_t current) {
+  return current >= 0xFFFF ? std::uint16_t{1}
+                           : static_cast<std::uint16_t>(current + 1);
+}
+
 }  // namespace portland::core

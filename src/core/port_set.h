@@ -1,0 +1,61 @@
+// PortSet: a fixed-size bitmap standing in for std::set<sim::PortId> in
+// per-group multicast tables. A switch has at most k ports (k <= 64 at the
+// largest supported fabric), so four words replace a red-black tree of
+// 56-byte nodes. Iteration is ascending, matching std::set order — the
+// replacement is invisible to frame traces.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+
+namespace portland::core {
+
+class PortSet {
+ public:
+  static constexpr std::size_t kMaxPorts = 256;
+
+  void insert(std::size_t p) {
+    assert(p < kMaxPorts);
+    bits_[p >> 6] |= std::uint64_t{1} << (p & 63);
+  }
+  void erase(std::size_t p) {
+    assert(p < kMaxPorts);
+    bits_[p >> 6] &= ~(std::uint64_t{1} << (p & 63));
+  }
+  [[nodiscard]] bool contains(std::size_t p) const {
+    return p < kMaxPorts && (bits_[p >> 6] >> (p & 63) & 1) != 0;
+  }
+  [[nodiscard]] bool empty() const {
+    for (const std::uint64_t w : bits_) {
+      if (w != 0) return false;
+    }
+    return true;
+  }
+  [[nodiscard]] std::size_t size() const {
+    std::size_t n = 0;
+    for (const std::uint64_t w : bits_) n += std::popcount(w);
+    return n;
+  }
+
+  /// Calls `fn(port)` for every member in ascending port order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t w = 0; w < bits_.size(); ++w) {
+      std::uint64_t word = bits_[w];
+      while (word != 0) {
+        fn(w * 64 + static_cast<std::size_t>(std::countr_zero(word)));
+        word &= word - 1;
+      }
+    }
+  }
+
+  friend bool operator==(const PortSet&, const PortSet&) = default;
+
+ private:
+  std::array<std::uint64_t, kMaxPorts / 64> bits_{};
+};
+
+}  // namespace portland::core

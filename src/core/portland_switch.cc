@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "common/logging.h"
+#include "common/memsize.h"
 #include "net/igmp.h"
 #include "obs/flight_recorder.h"
 
@@ -21,6 +22,7 @@ PortlandSwitch::PortlandSwitch(sim::Simulator& sim, std::string name,
       id_(id),
       control_(&control),
       config_(config),
+      legacy_tables_(config.tables == PortlandConfig::Tables::kLegacyMap),
       rng_(rng),
       ldp_(sim, id, num_ports, config,
            LdpAgent::Hooks{
@@ -34,11 +36,21 @@ PortlandSwitch::PortlandSwitch(sim::Simulator& sim, std::string name,
                },
            },
            rng.fork()),
+      host_table_(config.tables == PortlandConfig::Tables::kLegacyMap),
       hello_timer_(sim),
       hello_periodic_(sim, config.hello_interval, [this] { send_hello(); }),
       refresh_periodic_(sim, config.host_reregister_interval,
                         [this] { send_soft_state_refresh(); }) {
   add_ports(num_ports);
+  if (!legacy_tables_) next_vmid_.assign(num_ports, 0);
+  // An edge's hosts hang off its down ports (at most half the radix);
+  // the hint is applied lazily, so non-edge switches never allocate.
+  host_table_.reserve(std::max<std::size_t>(1, num_ports / 2));
+  if (!legacy_tables_) {
+    std::size_t slots = 16;
+    while (slots < config_.flow_cache_entries) slots <<= 1;
+    flow_slot_mask_ = slots - 1;  // slot array itself allocates lazily
+  }
   // kNone stays nullptr: it is never dropped, and a stray use faults
   // loudly instead of silently counting nonsense.
   for (std::size_t i = 1; i < obs::kDropReasonCount; ++i) {
@@ -74,25 +86,27 @@ void PortlandSwitch::start() {
 
 void PortlandSwitch::send_soft_state_refresh() {
   // Host registrations (edge switches). A refresh with an unchanged PMAC
-  // is a no-op at the FM unless it lost its state.
-  for (const auto& [amac, entry] : hosts_by_amac_) {
-    if (entry.ip.is_zero()) continue;
+  // is a no-op at the FM unless it lost its state. Iteration is ascending
+  // by AMAC in both table builds — the message order is part of the
+  // deterministic event stream.
+  host_table_.for_each([this](const HostEntry& entry) {
+    if (entry.ip.is_zero()) return;
     send_to_fm(HostRegister{entry.ip, entry.amac, entry.pmac.to_mac(),
                             static_cast<std::uint16_t>(entry.port)});
-  }
+  });
   // Multicast membership and sender grafts.
   for (const auto& [group, ports] : local_members_) {
-    for (const sim::PortId p : ports) {
+    ports.for_each([&](std::size_t p) {
       send_to_fm(McastJoin{group, static_cast<std::uint16_t>(p)});
-    }
+    });
   }
   for (const Ipv4Address group : mcast_sender_reported_) {
     send_to_fm(McastSenderSeen{group});
   }
   // Outstanding faults: the FM's fault matrix is soft state too.
-  for (const auto& [port, neighbor] : ports_reported_down_) {
-    send_to_fm(FaultNotify{static_cast<std::uint16_t>(port), neighbor,
-                           /*link_up=*/false});
+  for (const PortFault& fault : reported_down_) {
+    send_to_fm(FaultNotify{static_cast<std::uint16_t>(fault.port),
+                           fault.neighbor, /*link_up=*/false});
   }
 }
 
@@ -255,12 +269,15 @@ void PortlandSwitch::rebuild_fib() const {
   fib_.prune_gen = prune_generation_;
   fib_.base_up = ldp_.up_ports();
   fib_.pruned_up.clear();
+  fib_.pruned_up_map.clear();
   fib_.down_by_position.clear();
   fib_.down_by_pod.clear();
 
   // One prune-applied candidate array per installed destination key. Fine
   // (pod, position) entries fold in the pod-wide coarse set so lookups
-  // never merge sets per packet.
+  // never merge sets per packet. prunes_ iterates in (pod, position)
+  // order, so the compact flat table comes out sorted by its u32 key.
+  if (!legacy_tables_) fib_.pruned_up.reserve(prunes_.size());
   for (const auto& [key, avoid] : prunes_) {
     const std::set<SwitchId>* coarse = nullptr;
     if (key.position != kUnknownPosition) {
@@ -276,7 +293,12 @@ void PortlandSwitch::rebuild_fib() const {
       if (coarse != nullptr && coarse->count(nbr->switch_id) != 0) continue;
       candidates.push_back(p);
     }
-    fib_.pruned_up.emplace(key, std::move(candidates));
+    if (legacy_tables_) {
+      fib_.pruned_up_map.emplace(key, std::move(candidates));
+    } else {
+      fib_.pruned_up.push_back(PrunedRoute{
+          dst_key_u32(key.pod, key.position), std::move(candidates)});
+    }
   }
 
   // Down-path indexes: aggregation forwards by the PMAC's position field,
@@ -312,27 +334,64 @@ std::optional<sim::PortId> PortlandSwitch::pick_up_port(
     // Exact-match flow cache: (dst PMAC, flow hash) -> egress port. An
     // entry is live only for the FIB generation it was computed against,
     // so topology or prune churn invalidates everything implicitly.
-    const auto it = flow_cache_.find(key);
-    if (it != flow_cache_.end() && it->second.generation == fib.generation) {
-      ++flow_cache_hits_;
-      if (flight_recorder() != nullptr) {
-        record_hop(obs::HopEvent::kFlowCacheHit, frame, it->second.port,
-                   fib.generation);
+    if (legacy_tables_) {
+      const auto it = flow_cache_.find(key);
+      if (it != flow_cache_.end() &&
+          it->second.generation == fib.generation) {
+        ++flow_cache_hits_;
+        if (flight_recorder() != nullptr) {
+          record_hop(obs::HopEvent::kFlowCacheHit, frame, it->second.port,
+                     fib.generation);
+        }
+        return it->second.port;
       }
-      return it->second.port;
+    } else if (!flow_slots_.empty()) {
+      std::size_t idx = FlowCacheKeyHash{}(key) & flow_slot_mask_;
+      for (std::size_t i = 0; i < kFlowProbeWindow;
+           ++i, idx = (idx + 1) & flow_slot_mask_) {
+        const FlowSlot& slot = flow_slots_[idx];
+        if (slot.generation == fib.generation && slot.dst == key.dst &&
+            slot.flow_hash == key.flow_hash) {
+          ++flow_cache_hits_;
+          if (flight_recorder() != nullptr) {
+            record_hop(obs::HopEvent::kFlowCacheHit, frame, slot.port,
+                       fib.generation);
+          }
+          return slot.port;
+        }
+      }
     }
     ++flow_cache_misses_;
   }
 
   const std::vector<sim::PortId>* candidates = &fib.base_up;
-  if (!fib.pruned_up.empty()) {
-    if (const auto it = fib.pruned_up.find(DstKey{dst_pod, dst_position});
-        it != fib.pruned_up.end()) {
-      candidates = &it->second;
-    } else if (const auto cit =
-                   fib.pruned_up.find(DstKey{dst_pod, kUnknownPosition});
-               cit != fib.pruned_up.end()) {
-      candidates = &cit->second;
+  if (legacy_tables_) {
+    if (!fib.pruned_up_map.empty()) {
+      if (const auto it =
+              fib.pruned_up_map.find(DstKey{dst_pod, dst_position});
+          it != fib.pruned_up_map.end()) {
+        candidates = &it->second;
+      } else if (const auto cit =
+                     fib.pruned_up_map.find(DstKey{dst_pod, kUnknownPosition});
+                 cit != fib.pruned_up_map.end()) {
+        candidates = &cit->second;
+      }
+    }
+  } else if (!fib.pruned_up.empty()) {
+    // Fine (pod, position) entry first, then the pod-wide coarse entry —
+    // both binary searches over the sorted flat table.
+    const auto find_route = [&fib](std::uint32_t k) {
+      const auto it = std::lower_bound(
+          fib.pruned_up.begin(), fib.pruned_up.end(), k,
+          [](const PrunedRoute& r, std::uint32_t key) { return r.key < key; });
+      return (it != fib.pruned_up.end() && it->key == k) ? &it->ports
+                                                         : nullptr;
+    };
+    if (const auto* fine = find_route(dst_key_u32(dst_pod, dst_position))) {
+      candidates = fine;
+    } else if (const auto* coarse =
+                   find_route(dst_key_u32(dst_pod, kUnknownPosition))) {
+      candidates = coarse;
     }
   }
   if (candidates->empty()) return std::nullopt;
@@ -352,8 +411,25 @@ std::optional<sim::PortId> PortlandSwitch::pick_up_port(
   // hash was precomputed at parse time.
   const sim::PortId port =
       (*candidates)[parsed.flow_hash % candidates->size()];
-  if (flow_cache_.size() >= kFlowCacheCap) flow_cache_.clear();
-  flow_cache_.emplace(key, FlowCacheEntry{port, fib.generation});
+  if (legacy_tables_) {
+    if (flow_cache_.size() >= kFlowCacheCap) flow_cache_.clear();
+    flow_cache_.emplace(key, FlowCacheEntry{port, fib.generation});
+  } else {
+    if (flow_slots_.empty()) flow_slots_.assign(flow_slot_mask_ + 1, {});
+    // Prefer an empty or stale slot in the probe window; when all are
+    // live, overwrite the home slot (plain eviction — correctness never
+    // depends on what the cache holds).
+    std::size_t idx = FlowCacheKeyHash{}(key) & flow_slot_mask_;
+    FlowSlot* victim = &flow_slots_[idx];
+    for (std::size_t i = 0; i < kFlowProbeWindow;
+         ++i, idx = (idx + 1) & flow_slot_mask_) {
+      if (flow_slots_[idx].generation != fib.generation) {
+        victim = &flow_slots_[idx];
+        break;
+      }
+    }
+    *victim = FlowSlot{key.dst, key.flow_hash, fib.generation, port};
+  }
   if (flight_recorder() != nullptr) {
     record_hop(obs::HopEvent::kEcmpChoice, frame, port, candidates->size());
   }
@@ -370,9 +446,8 @@ void PortlandSwitch::forward_unicast(sim::PortId in_port, MacAddress dst,
   switch (self.level) {
     case Level::kEdge: {
       if (pmac.pod == self.pod && pmac.position == self.position) {
-        const auto ait = amac_by_pmac_.find(dst);
-        if (ait != amac_by_pmac_.end()) {
-          deliver_to_local_host(hosts_by_amac_.at(ait->second), parsed, frame);
+        if (const HostEntry* entry = host_table_.find_pmac(dst)) {
+          deliver_to_local_host(*entry, parsed, frame);
           return;
         }
         // Migration trap (§3.7): the host this PMAC referred to has moved.
@@ -541,9 +616,9 @@ void PortlandSwitch::forward_multicast(sim::PortId in_port, bool from_host,
     drop(obs::DropReason::kMcastNoEntry, frame, in_port);
     return;
   }
-  for (const sim::PortId p : it->second) {
-    if (p != in_port) send(p, frame);
-  }
+  it->second.for_each([&](std::size_t p) {
+    if (p != in_port) send(static_cast<sim::PortId>(p), frame);
+  });
 }
 
 // ---------------------------------------------------------------------------
@@ -554,7 +629,8 @@ void PortlandSwitch::handle_host_arp(sim::PortId port,
                                      const ParsedFrame& parsed,
                                      const sim::FramePtr& frame) {
   const ArpMessage& arp = *parsed.arp;
-  const HostEntry& host = hosts_by_amac_.at(parsed.eth.src);
+  // ensure_host ran in handle_host_ingress, so the entry exists.
+  const HostEntry& host = *host_table_.find_amac(parsed.eth.src);
 
   if (arp.is_gratuitous()) {
     // Boot/migration announcement: registration already refreshed by
@@ -656,44 +732,43 @@ void PortlandSwitch::send_garp_to_sender(MacAddress old_pmac,
 // Host registration (PMAC assignment, §3.2)
 // ---------------------------------------------------------------------------
 
-PortlandSwitch::HostEntry* PortlandSwitch::ensure_host(sim::PortId port,
-                                                       MacAddress amac,
-                                                       Ipv4Address ip_hint) {
+HostEntry* PortlandSwitch::ensure_host(sim::PortId port, MacAddress amac,
+                                       Ipv4Address ip_hint) {
   if (amac.is_multicast() || amac.is_zero()) return nullptr;
   const SwitchLocator& self = ldp_.self();
   assert(self.level == Level::kEdge);
 
-  const auto it = hosts_by_amac_.find(amac);
-  if (it != hosts_by_amac_.end()) {
-    HostEntry& e = it->second;
+  if (HostEntry* e = host_table_.find_amac(amac)) {
     bool reregister = false;
-    if (e.port != port) {
+    if (e->port != port) {
       // Same edge switch, different port (local migration): new PMAC.
-      amac_by_pmac_.erase(e.pmac.to_mac());
-      e.port = port;
-      e.pmac = Pmac{self.pod, self.position, static_cast<std::uint8_t>(port),
-                    ++next_vmid_[port]};
-      amac_by_pmac_[e.pmac.to_mac()] = amac;
+      e->port = port;
+      std::uint16_t& vmid = vmid_counter(port);
+      vmid = next_vmid(vmid);
+      host_table_.rekey_pmac(
+          *e, Pmac{self.pod, self.position, static_cast<std::uint8_t>(port),
+                   vmid});
       reregister = true;
     }
-    if (!ip_hint.is_zero() && e.ip != ip_hint) {
-      e.ip = ip_hint;
+    if (!ip_hint.is_zero() && e->ip != ip_hint) {
+      e->ip = ip_hint;
       reregister = true;
     }
-    if (reregister && !e.ip.is_zero()) {
-      send_to_fm(HostRegister{e.ip, e.amac, e.pmac.to_mac(),
-                              static_cast<std::uint16_t>(e.port)});
+    if (reregister && !e->ip.is_zero()) {
+      send_to_fm(HostRegister{e->ip, e->amac, e->pmac.to_mac(),
+                              static_cast<std::uint16_t>(e->port)});
     }
-    return &e;
+    return e;
   }
 
   HostEntry e;
   e.amac = amac;
   e.ip = ip_hint;
   e.port = port;
+  std::uint16_t& vmid = vmid_counter(port);
+  vmid = next_vmid(vmid);
   e.pmac = Pmac{self.pod, self.position, static_cast<std::uint8_t>(port),
-                ++next_vmid_[port]};
-  amac_by_pmac_[e.pmac.to_mac()] = amac;
+                vmid};
   counters().add("hosts_learned");
   if (!e.ip.is_zero()) {
     send_to_fm(HostRegister{e.ip, e.amac, e.pmac.to_mac(),
@@ -703,13 +778,13 @@ PortlandSwitch::HostEntry* PortlandSwitch::ensure_host(sim::PortId port,
       rit = (rit->second.ip == e.ip) ? redirects_.erase(rit) : std::next(rit);
     }
   }
-  return &(hosts_by_amac_[amac] = e);
+  return host_table_.insert(e);
 }
 
 std::optional<Pmac> PortlandSwitch::pmac_for(MacAddress amac) const {
-  const auto it = hosts_by_amac_.find(amac);
-  if (it == hosts_by_amac_.end()) return std::nullopt;
-  return it->second.pmac;
+  const HostEntry* e = host_table_.find_amac(amac);
+  if (e == nullptr) return std::nullopt;
+  return e->pmac;
 }
 
 // ---------------------------------------------------------------------------
@@ -750,7 +825,7 @@ void PortlandSwitch::on_control(const ControlMessage& msg) {
       sw.counters().add("prune_updates_applied");
     }
     void operator()(const McastInstall& m) {
-      std::set<sim::PortId> ports;
+      PortSet ports;
       for (const std::uint16_t p : m.ports) {
         if (p < sw.port_count()) {
           ports.insert(p);
@@ -758,17 +833,13 @@ void PortlandSwitch::on_control(const ControlMessage& msg) {
           sw.counters().add("mcast_install_bad_port");
         }
       }
-      sw.mcast_ports_[m.group] = std::move(ports);
+      sw.mcast_ports_[m.group] = ports;
       sw.counters().add("mcast_installs");
     }
     void operator()(const McastRemove& m) { sw.mcast_ports_.erase(m.group); }
     void operator()(const InvalidateHost& m) {
       // Remove the stale host entry and set up the trap-and-redirect flow.
-      const auto ait = sw.amac_by_pmac_.find(m.old_pmac);
-      if (ait != sw.amac_by_pmac_.end()) {
-        sw.hosts_by_amac_.erase(ait->second);
-        sw.amac_by_pmac_.erase(ait);
-      }
+      sw.host_table_.erase_by_pmac(m.old_pmac);
       sw.redirects_[m.old_pmac] = Redirect{m.new_pmac, m.ip, {}};
       // Compress chains: earlier redirects for the same IP now point at
       // the newest location.
@@ -817,12 +888,21 @@ void PortlandSwitch::on_location_changed() {
 
 void PortlandSwitch::on_neighbor_event(sim::PortId port, SwitchId neighbor,
                                        bool lost) {
+  const auto it = std::lower_bound(
+      reported_down_.begin(), reported_down_.end(), port,
+      [](const PortFault& f, sim::PortId p) { return f.port < p; });
+  const bool present = it != reported_down_.end() && it->port == port;
   if (lost) {
-    ports_reported_down_[port] = neighbor;
+    if (present) {
+      it->neighbor = neighbor;
+    } else {
+      reported_down_.insert(it, PortFault{port, neighbor});
+    }
     counters().add("neighbors_lost");
     send_to_fm(FaultNotify{static_cast<std::uint16_t>(port), neighbor,
                            /*link_up=*/false});
-  } else if (ports_reported_down_.erase(port) != 0) {
+  } else if (present) {
+    reported_down_.erase(it);
     counters().add("neighbors_recovered");
     send_to_fm(FaultNotify{static_cast<std::uint16_t>(port), neighbor,
                            /*link_up=*/true});
@@ -841,8 +921,35 @@ std::size_t PortlandSwitch::prune_entry_count() const {
 }
 
 std::size_t PortlandSwitch::forwarding_state_size() const {
-  return ldp_.neighbor_entries().size() + hosts_by_amac_.size() +
+  return ldp_.neighbor_entries().size() + host_table_.size() +
          prune_entry_count() + mcast_ports_.size();
+}
+
+PortlandSwitch::TableBytes PortlandSwitch::table_bytes() const {
+  TableBytes b;
+  b.host_table = host_table_.bytes();
+
+  b.fib = vector_bytes(fib_.base_up) + vector_bytes(fib_.down_by_position) +
+          vector_bytes(fib_.down_by_pod);
+  for (const auto& [key, ports] : fib_.pruned_up_map) {
+    b.fib += sizeof(key) + kTreeNodeOverhead + vector_bytes(ports);
+  }
+  b.fib += vector_bytes(fib_.pruned_up);
+  for (const PrunedRoute& r : fib_.pruned_up) b.fib += vector_bytes(r.ports);
+
+  b.flow_cache = vector_bytes(flow_slots_) + unordered_map_bytes(flow_cache_);
+
+  for (const auto& [key, avoid] : prunes_) {
+    b.prunes += sizeof(key) + kTreeNodeOverhead + set_bytes(avoid);
+  }
+
+  b.multicast = map_bytes(mcast_ports_) + map_bytes(local_members_) +
+                set_bytes(mcast_sender_reported_);
+
+  b.other = (legacy_tables_ ? map_bytes(next_vmid_map_)
+                            : vector_bytes(next_vmid_)) +
+            vector_bytes(reported_down_) + map_bytes(redirects_);
+  return b;
 }
 
 }  // namespace portland::core

@@ -35,9 +35,11 @@
 #include "core/config.h"
 #include "core/control_plane.h"
 #include "core/fabric_graph.h"
+#include "core/host_table.h"
 #include "core/ldp_agent.h"
 #include "core/messages.h"
 #include "core/pmac.h"
+#include "core/port_set.h"
 #include "net/packet.h"
 #include "sim/device.h"
 
@@ -65,7 +67,7 @@ class PortlandSwitch : public sim::Device {
   /// Host (PMAC/AMAC) table size — the state the paper argues stays O(k)
   /// per edge switch instead of O(total hosts).
   [[nodiscard]] std::size_t host_table_size() const {
-    return hosts_by_amac_.size();
+    return host_table_.size();
   }
   /// Installed reroute (prune) entries.
   [[nodiscard]] std::size_t prune_entry_count() const;
@@ -94,13 +96,23 @@ class PortlandSwitch : public sim::Device {
     return fib_.generation;
   }
 
- private:
-  struct HostEntry {
-    MacAddress amac;
-    Pmac pmac;
-    Ipv4Address ip;   // zero until first IP-bearing frame
-    sim::PortId port = 0;
+  /// Counted forwarding-state bytes by component (E19). Compact tables
+  /// report exact vector footprints; legacy maps report estimated
+  /// allocator footprints (see common/memsize.h).
+  struct TableBytes {
+    std::size_t host_table = 0;
+    std::size_t fib = 0;
+    std::size_t flow_cache = 0;
+    std::size_t prunes = 0;
+    std::size_t multicast = 0;
+    std::size_t other = 0;  // vmid/fault vectors, redirects, pending ARPs
+    [[nodiscard]] std::size_t total() const {
+      return host_table + fib + flow_cache + prunes + multicast + other;
+    }
   };
+  [[nodiscard]] TableBytes table_bytes() const;
+
+ private:
   struct PendingArp {
     sim::PortId host_port = 0;
     MacAddress requester_amac;
@@ -116,6 +128,19 @@ class PortlandSwitch : public sim::Device {
     std::set<MacAddress> garp_sent_to;  // sender PMACs already corrected
   };
 
+  /// One prune-applied uplink candidate array, keyed by the PMAC prefix
+  /// (pod << 8 | position) — u32 order equals DstKey's (pod, position)
+  /// lexicographic order, so the flat table sorts identically to the
+  /// legacy map and lookups binary-search it.
+  struct PrunedRoute {
+    std::uint32_t key = 0;
+    std::vector<sim::PortId> ports;
+  };
+  [[nodiscard]] static constexpr std::uint32_t dst_key_u32(
+      std::uint16_t pod, std::uint8_t position) {
+    return (static_cast<std::uint32_t>(pod) << 8) | position;
+  }
+
   /// Precomputed forwarding tables, derived from the LDP neighbor table
   /// and the FM-installed prune sets. Rebuilt lazily when either input's
   /// generation moves (event-driven invalidation) — never per packet.
@@ -130,7 +155,9 @@ class PortlandSwitch : public sim::Device {
     std::vector<sim::PortId> base_up;
     /// Per-destination uplink candidate arrays with the avoid sets already
     /// subtracted (fine entries also fold in the pod-wide coarse set).
-    std::map<DstKey, std::vector<sim::PortId>> pruned_up;
+    /// Compact build: sorted flat vector; legacy build: the seed's map.
+    std::vector<PrunedRoute> pruned_up;
+    std::map<DstKey, std::vector<sim::PortId>> pruned_up_map;
     /// Aggregation: edge position -> down port (-1 = none).
     std::vector<std::int32_t> down_by_position;
     /// Core: pod -> down port (-1 = none).
@@ -154,9 +181,23 @@ class PortlandSwitch : public sim::Device {
     sim::PortId port = 0;
     std::uint64_t generation = 0;  // FIB generation at insert
   };
-  /// Bound on cached flows per switch; on overflow the cache is dropped
-  /// wholesale (entries regenerate in one miss each).
+  /// Legacy bound on cached flows per switch; on overflow the cache is
+  /// dropped wholesale (entries regenerate in one miss each).
   static constexpr std::size_t kFlowCacheCap = 65536;
+
+  /// Compact flow cache: a fixed open-addressed slot array. A slot is
+  /// live only when its stamp equals the current FIB generation, so both
+  /// "empty" (stamp 0 — generations start at 1) and "stale" need no
+  /// separate bookkeeping and eviction is overwrite. Cache organization
+  /// cannot change forwarding: a hit returns exactly what the miss path
+  /// would recompute for the same FIB generation.
+  struct FlowSlot {
+    std::uint64_t dst = 0;
+    std::uint64_t flow_hash = 0;
+    std::uint64_t generation = 0;
+    sim::PortId port = 0;
+  };
+  static constexpr std::size_t kFlowProbeWindow = 8;
 
   // --- ingress dispatch ---
   void handle_host_ingress(sim::PortId port, const net::ParsedFrame& parsed,
@@ -200,6 +241,10 @@ class PortlandSwitch : public sim::Device {
   // --- host registration ---
   HostEntry* ensure_host(sim::PortId port, MacAddress amac,
                          Ipv4Address ip_hint);
+  /// The per-port vmid counter of whichever table build is active.
+  [[nodiscard]] std::uint16_t& vmid_counter(sim::PortId port) {
+    return legacy_tables_ ? next_vmid_map_[port] : next_vmid_[port];
+  }
 
   // --- control plane ---
   void on_control(const ControlMessage& msg);
@@ -218,13 +263,17 @@ class PortlandSwitch : public sim::Device {
   SwitchId id_;
   ControlPlane* control_;
   PortlandConfig config_;
+  bool legacy_tables_;
   Rng rng_;
   LdpAgent ldp_;
 
-  // Edge state.
-  std::map<MacAddress, HostEntry> hosts_by_amac_;
-  std::map<MacAddress, MacAddress> amac_by_pmac_;  // pmac mac -> amac
-  std::map<sim::PortId, std::uint16_t> next_vmid_;
+  // Edge state. The host table is compact or legacy per config, and so
+  // are the per-port vmid counters: a flat dense vector by default, the
+  // seed's ordered map behind kLegacyMap (same values either way — the
+  // split exists so E19 measures the honest before/after bytes).
+  HostTable host_table_;
+  std::vector<std::uint16_t> next_vmid_;          // compact build
+  std::map<sim::PortId, std::uint16_t> next_vmid_map_;  // legacy build
   std::map<MacAddress, Redirect> redirects_;  // old pmac -> new location
   std::map<std::uint32_t, PendingArp> pending_arps_;
   std::uint32_t next_query_id_ = 1;
@@ -236,22 +285,33 @@ class PortlandSwitch : public sim::Device {
   std::uint64_t prune_generation_ = 1;
 
   // Data-plane fast path (logically derived state, hence mutable).
+  // Compact build uses the fixed slot array (allocated on first insert);
+  // legacy keeps the seed's unordered_map.
   mutable Fib fib_;
+  mutable std::vector<FlowSlot> flow_slots_;
+  std::size_t flow_slot_mask_ = 0;
   mutable std::unordered_map<FlowCacheKey, FlowCacheEntry, FlowCacheKeyHash>
       flow_cache_;
   mutable std::uint64_t flow_cache_hits_ = 0;
   mutable std::uint64_t flow_cache_misses_ = 0;
   mutable std::uint64_t fib_rebuilds_ = 0;
 
-  // Multicast state.
-  std::map<Ipv4Address, std::set<sim::PortId>> mcast_ports_;  // FM-installed
-  std::map<Ipv4Address, std::set<sim::PortId>> local_members_;
+  // Multicast state: per-group port bitmaps (a switch has at most k
+  // ports), iterated in ascending order exactly like the sets they
+  // replaced.
+  std::map<Ipv4Address, PortSet> mcast_ports_;  // FM-installed
+  std::map<Ipv4Address, PortSet> local_members_;
   std::set<Ipv4Address> mcast_sender_reported_;
 
-  // Fault reporting: port -> the neighbor we reported lost (refreshed
+  // Fault reporting: the neighbors we reported lost, refreshed
   // periodically so a failed-over fabric manager relearns the fault
-  // matrix).
-  std::map<sim::PortId, SwitchId> ports_reported_down_;
+  // matrix. Sorted by port (refresh order is determinism-relevant) and
+  // normally empty, so it costs nothing per switch at scale.
+  struct PortFault {
+    sim::PortId port = 0;
+    SwitchId neighbor = kInvalidSwitchId;
+  };
+  std::vector<PortFault> reported_down_;
 
   /// Cached CounterSet cells, one per DropReason (kNone unused), so a
   /// per-frame drop bumps a pointer instead of a string-keyed map lookup.

@@ -69,6 +69,15 @@ void append_snapshot_json(std::string* out, const MetricsSnapshot& s) {
   append_u64_field(out, "rewrite_copies", s.parse.rewrite_copies, false);
   out->append("},");
 
+  out->append("\"memory\":{");
+  append_u64_field(out, "switch_table_bytes", s.memory.switch_table_bytes);
+  append_u64_field(out, "host_table_bytes", s.memory.host_table_bytes);
+  append_u64_field(out, "fib_bytes", s.memory.fib_bytes);
+  append_u64_field(out, "flow_cache_bytes", s.memory.flow_cache_bytes);
+  append_u64_field(out, "arena_bytes", s.memory.arena_bytes);
+  append_u64_field(out, "rss_bytes", s.memory.rss_bytes, false);
+  out->append("},");
+
   out->append("\"devices\":{");
   bool first_dev = true;
   for (const DeviceSample& d : s.devices) {
@@ -167,6 +176,12 @@ bool MetricsRegistry::write_prometheus(const std::string& path) const {
       {"portland_parse_meta_hits", s.parse.meta_hits},
       {"portland_parse_meta_attaches", s.parse.meta_attaches},
       {"portland_parse_rewrite_copies", s.parse.rewrite_copies},
+      {"portland_memory_switch_table_bytes", s.memory.switch_table_bytes},
+      {"portland_memory_host_table_bytes", s.memory.host_table_bytes},
+      {"portland_memory_fib_bytes", s.memory.fib_bytes},
+      {"portland_memory_flow_cache_bytes", s.memory.flow_cache_bytes},
+      {"portland_memory_arena_bytes", s.memory.arena_bytes},
+      {"portland_memory_rss_bytes", s.memory.rss_bytes},
   };
   for (const auto& [name, value] : engine_metrics) {
     std::snprintf(buf, sizeof(buf), "%s %" PRIu64 "\n", name, value);

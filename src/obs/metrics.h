@@ -56,6 +56,18 @@ struct DeviceSample {
   std::vector<std::pair<std::string, std::uint64_t>> counters;
 };
 
+/// Fabric memory footprint at the snapshot instant: counted
+/// forwarding-table bytes by component (summed over all switches), the
+/// device/link arena, and the process RSS (0 where procfs is absent).
+struct MemorySample {
+  std::uint64_t switch_table_bytes = 0;  // total of the components below
+  std::uint64_t host_table_bytes = 0;
+  std::uint64_t fib_bytes = 0;
+  std::uint64_t flow_cache_bytes = 0;
+  std::uint64_t arena_bytes = 0;  // Network arena reservation
+  std::uint64_t rss_bytes = 0;    // VmRSS
+};
+
 /// One link direction ("a->b").
 struct LinkSample {
   std::string name;
@@ -70,6 +82,7 @@ struct MetricsSnapshot {
   SimTime t = 0;  // simulated time of the capture
   EngineSample engine;
   ParseSample parse;
+  MemorySample memory;
   std::vector<DeviceSample> devices;
   std::vector<LinkSample> links;
 };

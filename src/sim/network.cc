@@ -4,8 +4,7 @@ namespace portland::sim {
 
 Link& Network::connect(Device& a, PortId pa, Device& b, PortId pb,
                        Link::Config config) {
-  links_.push_back(
-      std::make_unique<Link>(sim_, a, pa, b, pb, config, &frame_tap_));
+  links_.push_back(arena_.create<Link>(sim_, a, pa, b, pb, config, &frame_tap_));
   return *links_.back();
 }
 
@@ -16,7 +15,7 @@ void Network::disconnect(Link& link) {
 }
 
 void Network::start_all() {
-  for (const auto& dev : devices_) {
+  for (Device* dev : devices_) {
     // Each device starts "on" its own shard so its initial timers land in
     // the right event queue (no-op in classic mode).
     ShardGuard guard(sim_, dev->shard());
@@ -30,10 +29,10 @@ Device* Network::find_device(const std::string& name) const {
 }
 
 Link* Network::find_link(const Device& a, const Device& b) const {
-  for (const auto& link : links_) {
+  for (Link* link : links_) {
     Device* d0 = &link->device(0);
     Device* d1 = &link->device(1);
-    if ((d0 == &a && d1 == &b) || (d0 == &b && d1 == &a)) return link.get();
+    if ((d0 == &a && d1 == &b) || (d0 == &b && d1 == &a)) return link;
   }
   return nullptr;
 }

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "sim/arena.h"
 #include "sim/device.h"
 #include "sim/link.h"
 #include "sim/simulator.h"
@@ -24,15 +25,27 @@ class Network {
   [[nodiscard]] Rng& rng() { return rng_; }
 
   /// Constructs a device of type T in place. T's first constructor argument
-  /// must be Simulator&.
+  /// must be Simulator&. Devices live in the arena: contiguous storage, no
+  /// per-object malloc, destroyed in reverse creation order while the
+  /// simulator is still alive.
   template <typename T, typename... Args>
   T& add_device(Args&&... args) {
-    auto dev = std::make_unique<T>(sim_, std::forward<Args>(args)...);
-    T& ref = *dev;
-    ref.set_flight_recorder(flight_recorder_);
-    by_name_[ref.name()] = dev.get();
-    devices_.push_back(std::move(dev));
-    return ref;
+    T* dev = arena_.create<T>(sim_, std::forward<Args>(args)...);
+    dev->set_flight_recorder(flight_recorder_);
+    by_name_[dev->name()] = dev;
+    devices_.push_back(dev);
+    return *dev;
+  }
+
+  /// Bulk reservation before topology construction: pre-sizes the device
+  /// and link vectors, the name index, and (when `arena_bytes` > 0) a
+  /// single contiguous arena chunk large enough for the whole topology.
+  void reserve(std::size_t devices, std::size_t links,
+               std::size_t arena_bytes = 0) {
+    devices_.reserve(devices);
+    links_.reserve(links);
+    by_name_.reserve(devices);
+    arena_.reserve(arena_bytes, devices + links);
   }
 
   /// Attaches (or detaches, with nullptr) a flight recorder to every
@@ -40,7 +53,7 @@ class Network {
   /// every fabric (the fabric owns both).
   void set_flight_recorder(obs::FlightRecorder* recorder) {
     flight_recorder_ = recorder;
-    for (auto& dev : devices_) dev->set_flight_recorder(recorder);
+    for (Device* dev : devices_) dev->set_flight_recorder(recorder);
   }
   [[nodiscard]] obs::FlightRecorder* flight_recorder() const {
     return flight_recorder_;
@@ -63,12 +76,14 @@ class Network {
   /// Calls Device::start() on every device (protocols arm their timers).
   void start_all();
 
-  [[nodiscard]] const std::vector<std::unique_ptr<Device>>& devices() const {
+  [[nodiscard]] const std::vector<Device*>& devices() const {
     return devices_;
   }
-  [[nodiscard]] const std::vector<std::unique_ptr<Link>>& links() const {
-    return links_;
-  }
+  [[nodiscard]] const std::vector<Link*>& links() const { return links_; }
+
+  /// The arena backing every device and link (bytes accounting for the
+  /// memory benches).
+  [[nodiscard]] const Arena& arena() const { return arena_; }
 
   /// Finds a device by name; nullptr if absent.
   [[nodiscard]] Device* find_device(const std::string& name) const;
@@ -77,12 +92,16 @@ class Network {
   [[nodiscard]] Link* find_link(const Device& a, const Device& b) const;
 
  private:
+  // Declaration order is destruction-critical: arena_ is declared after
+  // sim_ so device/link destructors (which cancel timers) run while the
+  // simulator is still alive.
   Simulator sim_;
   Rng rng_;
   FrameTap frame_tap_;
   obs::FlightRecorder* flight_recorder_ = nullptr;
-  std::vector<std::unique_ptr<Device>> devices_;
-  std::vector<std::unique_ptr<Link>> links_;
+  Arena arena_;
+  std::vector<Device*> devices_;
+  std::vector<Link*> links_;
   std::unordered_map<std::string, Device*> by_name_;
 };
 

@@ -27,6 +27,11 @@ FatTree::FatTree(int k) : k_(k) {
   }
   const std::size_t half = static_cast<std::size_t>(k) / 2;
 
+  // Bulk reservation: a k=64 tree has 70k nodes and 200k links — growing
+  // these vectors by doubling churns hundreds of MB of reallocation.
+  nodes_.reserve(num_hosts() + num_edge() + num_agg() + num_core());
+  links_.reserve(num_hosts() + pods() * half * half + pods() * half * half);
+
   // Hosts.
   for (std::size_t pod = 0; pod < pods(); ++pod) {
     for (std::size_t e = 0; e < half; ++e) {
@@ -146,6 +151,12 @@ BuiltFatTree instantiate(const FatTree& tree, sim::Network& net,
                          sim::Link::Config host_link,
                          sim::Link::Config fabric_link) {
   BuiltFatTree built;
+  built.hosts.reserve(tree.num_hosts());
+  built.edges.reserve(tree.num_edge());
+  built.aggs.reserve(tree.num_agg());
+  built.cores.reserve(tree.num_core());
+  built.host_links.reserve(tree.num_hosts());
+  built.fabric_links.reserve(tree.links().size() - tree.num_hosts());
   std::vector<sim::Device*> by_index;
   by_index.reserve(tree.nodes().size());
 

@@ -8,8 +8,8 @@ namespace portland::topo {
 
 Graph Graph::from_network(const sim::Network& net) {
   Graph g;
-  for (const auto& dev : net.devices()) {
-    g.device_index_[dev.get()] = g.add_node();
+  for (sim::Device* dev : net.devices()) {
+    g.device_index_[dev] = g.add_node();
   }
   for (const auto& link : net.links()) {
     if (!link->is_up()) continue;

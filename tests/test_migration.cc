@@ -193,9 +193,9 @@ TEST(Migration, MigrateBackReusesOriginalPort) {
   // This documents the supported pattern: one controller migration per
   // fabric-tracked attachment; chained migrations use the network API.
   sim::Link* current = nullptr;
-  for (const auto& l : fx.fabric->network().links()) {
+  for (sim::Link* l : fx.fabric->network().links()) {
     if ((&l->device(0) == &vm || &l->device(1) == &vm) && l->is_up()) {
-      current = l.get();
+      current = l;
     }
   }
   ASSERT_NE(current, nullptr);

@@ -186,7 +186,7 @@ struct ParallelRunResult {
 
 ParallelRunResult run_parallel_soak(
     unsigned workers, sim::SchedulerKind scheduler = sim::SchedulerKind::kWheel,
-    bool obs_on = false, bool burst = true) {
+    bool obs_on = false, bool burst = true, bool legacy_tables = false) {
   topo::FatTree tree(4);
   PortlandFabric::Options options;
   options.k = 4;
@@ -197,6 +197,8 @@ ParallelRunResult run_parallel_soak(
   options.obs.flight_recorder = obs_on;
   options.obs.engine_trace = obs_on;
   options.burst = burst;
+  options.config.tables = legacy_tables ? PortlandConfig::Tables::kLegacyMap
+                                        : PortlandConfig::Tables::kCompact;
   PortlandFabric fabric(options);
 
   ParallelRunResult result;
@@ -468,6 +470,43 @@ TEST(Soak, BurstModeIsInvisibleToExecution) {
   expect_same_sim(on1, off1, "burst on vs off, wheel, 1 worker");
   expect_same_sim(on1, off4, "burst on vs off, wheel, 4 workers");
   expect_same_sim(on1, off_heap, "burst on vs off, heap, 1 worker");
+}
+
+// The compact prefix tables (flat host table, sorted pruned-up routes,
+// open-addressed flow cache) are a pure representation change: the same
+// chaos scenario — link failures and repairs, a VM migration, TCP,
+// multicast — on the legacy std::map build must execute the identical
+// simulation. This is the equality proof behind E19: the memory savings
+// cost nothing behaviorally, down to every (time, receiver, size) frame
+// delivery, at 1 and at 4 workers.
+TEST(Soak, CompactTablesAreInvisibleToExecution) {
+  const ParallelRunResult compact1 = run_parallel_soak(1);
+  const ParallelRunResult legacy1 =
+      run_parallel_soak(1, sim::SchedulerKind::kWheel, /*obs_on=*/false,
+                        /*burst=*/true, /*legacy_tables=*/true);
+  const ParallelRunResult legacy4 =
+      run_parallel_soak(4, sim::SchedulerKind::kWheel, /*obs_on=*/false,
+                        /*burst=*/true, /*legacy_tables=*/true);
+
+  EXPECT_GT(compact1.trace.size(), 10'000u);  // the scenario really ran
+
+  const auto expect_same_sim = [](const ParallelRunResult& a,
+                                  const ParallelRunResult& b,
+                                  const char* label) {
+    EXPECT_EQ(a.executed, b.executed) << label;
+    EXPECT_EQ(a.final_now, b.final_now) << label;
+    EXPECT_EQ(a.probe_sent, b.probe_sent) << label;
+    EXPECT_EQ(a.probe_received, b.probe_received) << label;
+    EXPECT_EQ(a.tcp_delivered, b.tcp_delivered) << label;
+    EXPECT_EQ(a.tcp_corrupt, b.tcp_corrupt) << label;
+    EXPECT_EQ(a.mcast_rx, b.mcast_rx) << label;
+    EXPECT_EQ(a.link_tx_frames, b.link_tx_frames) << label;
+    EXPECT_EQ(a.link_dropped, b.link_dropped) << label;
+    ASSERT_EQ(a.trace.size(), b.trace.size()) << label;
+    EXPECT_TRUE(a.trace == b.trace) << label << ": traces diverged";
+  };
+  expect_same_sim(compact1, legacy1, "compact vs legacy tables, 1 worker");
+  expect_same_sim(compact1, legacy4, "compact vs legacy tables, 4 workers");
 }
 
 }  // namespace
