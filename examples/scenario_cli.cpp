@@ -5,13 +5,24 @@
 //
 //   $ ./scenario_cli --k 6 --flows 10 --fail 3 --fail-at-ms 500 --ecmp spray
 //   $ ./scenario_cli --fail 2 --metrics-out m.jsonl --trace-out t.json
+//
+// Checkpoint/fork serving: converge once, then answer what-if queries
+// from the warm image in milliseconds instead of re-converging.
+//
+//   $ ./scenario_cli --k 16 --snapshot-out warm.plfs      # warm + save
+//   $ ./scenario_cli --k 16 --snapshot-in warm.plfs       # resume, no converge
+//   $ ./scenario_cli --k 16 --serve 8                     # 8 forked what-ifs
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "core/fabric.h"
+#include "core/path_audit.h"
 #include "host/apps.h"
 #include "obs/metrics.h"
 #include "obs/trace_export.h"
@@ -39,6 +50,11 @@ struct Args {
   std::string trace_out;
   long long metrics_interval_ms = 100;
   long long trace_frames = 0;
+  bool trace_engine = true;
+  // Checkpoint/fork serving.
+  std::string snapshot_out;
+  std::string snapshot_in;
+  int serve = 0;
 };
 
 void print_usage(std::FILE* to) {
@@ -74,6 +90,24 @@ void print_usage(std::FILE* to) {
       "tracer)\n"
       "  --trace-frames N       per-shard cap on traced frames (0 = "
       "unlimited)\n"
+      "  --trace-engine on|off  include wall-clock engine spans in the trace "
+      "(default\n"
+      "                         on; off leaves only sim-time frame hops, "
+      "which are\n"
+      "                         bit-deterministic and diffable across runs)\n"
+      "  --snapshot-out PATH    after convergence, save the warm fabric "
+      "image to\n"
+      "                         PATH, then run the scenario as usual\n"
+      "  --snapshot-in PATH     restore the fabric from PATH instead of "
+      "converging\n"
+      "                         (requires identical --k/--seed/--workers)\n"
+      "  --serve N              checkpoint the converged fabric in memory, "
+      "then\n"
+      "                         answer N what-if queries (link kills, switch "
+      "crash,\n"
+      "                         ARP storm, path audit), forking the warm "
+      "image per\n"
+      "                         query and reporting reaction metrics\n"
       "  --help                 this text\n");
 }
 
@@ -163,6 +197,21 @@ Args parse_args(int argc, char** argv) {
       out.trace_out = value();
     } else if (!std::strcmp(flag, "--trace-frames")) {
       out.trace_frames = int_value(0, INT64_MAX);
+    } else if (!std::strcmp(flag, "--trace-engine")) {
+      const char* b = value();
+      if (!std::strcmp(b, "on")) {
+        out.trace_engine = true;
+      } else if (!std::strcmp(b, "off")) {
+        out.trace_engine = false;
+      } else {
+        die_usage("unknown --trace-engine value '%s' (on|off)", b);
+      }
+    } else if (!std::strcmp(flag, "--snapshot-out")) {
+      out.snapshot_out = value();
+    } else if (!std::strcmp(flag, "--snapshot-in")) {
+      out.snapshot_in = value();
+    } else if (!std::strcmp(flag, "--serve")) {
+      out.serve = static_cast<int>(int_value(1, 1000000));
     } else if (!std::strcmp(flag, "--ecmp")) {
       const char* mode = value();
       if (!std::strcmp(mode, "spray")) {
@@ -179,6 +228,239 @@ Args parse_args(int argc, char** argv) {
   return out;
 }
 
+bool write_file(const std::string& path, const std::vector<std::uint8_t>& b) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool ok =
+      b.empty() || std::fwrite(b.data(), 1, b.size(), f) == b.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+bool read_file(const std::string& path, std::vector<std::uint8_t>& b) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::fseek(f, 0, SEEK_END);
+  const long n = std::ftell(f);
+  if (n < 0) {
+    std::fclose(f);
+    return false;
+  }
+  std::fseek(f, 0, SEEK_SET);
+  b.resize(static_cast<std::size_t>(n));
+  const bool ok = n == 0 || std::fread(b.data(), 1, b.size(), f) == b.size();
+  std::fclose(f);
+  return ok;
+}
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// One probe flow: constant-rate UDP stream whose receive gaps measure
+/// the fabric's reaction to whatever the query breaks.
+struct Probe {
+  std::unique_ptr<host::UdpFlowReceiver> rx;
+  std::unique_ptr<host::UdpFlowSender> tx;
+};
+
+std::vector<Probe> make_probes(core::PortlandFabric& fabric, Rng& rng, int n,
+                               std::uint16_t base_port) {
+  std::vector<Probe> probes;
+  const auto& hosts = fabric.hosts();
+  std::uint16_t port = base_port;
+  while (static_cast<int>(probes.size()) < n) {
+    host::Host* a = hosts[rng.next_below(hosts.size())];
+    host::Host* b = hosts[rng.next_below(hosts.size())];
+    if (a == b) continue;
+    Probe p;
+    p.rx = std::make_unique<host::UdpFlowReceiver>(*b, port);
+    host::UdpFlowSender::Config cfg;
+    cfg.dst = b->ip();
+    cfg.src_port = cfg.dst_port = port;
+    cfg.interval = millis(1);
+    p.tx = std::make_unique<host::UdpFlowSender>(*a, cfg);
+    p.tx->start();
+    probes.push_back(std::move(p));
+    ++port;
+  }
+  return probes;
+}
+
+struct ProbeReport {
+  std::uint64_t sent = 0;
+  std::uint64_t recv = 0;
+  SimDuration worst_gap = 0;
+};
+
+ProbeReport finish_probes(core::PortlandFabric& fabric,
+                          std::vector<Probe>& probes, SimTime t0) {
+  for (Probe& p : probes) p.tx->stop();
+  fabric.sim().run_until(fabric.sim().now() + millis(5));
+  ProbeReport rep;
+  for (const Probe& p : probes) {
+    rep.sent += p.tx->packets_sent();
+    rep.recv += p.rx->packets_received();
+    rep.worst_gap = std::max(rep.worst_gap,
+                             p.rx->max_gap(t0, fabric.sim().now()));
+  }
+  return rep;
+}
+
+/// What-if serving: every query forks the warm image (an in-memory
+/// restore into this fabric), perturbs the fork, runs a short window of
+/// simulated time, and reports reaction metrics — all in wall-clock
+/// milliseconds, versus re-converging from cold per question.
+int run_serve(core::PortlandFabric& fabric,
+              const std::vector<std::uint8_t>& image, const Args& args,
+              double converge_wall_ms) {
+  Rng rng(args.seed ^ 0x5E41E);
+  const int k = args.k;
+  double fork_total_ms = 0;
+  double answer_total_ms = 0;
+  std::printf("\nserve: %d what-if queries against a %zu-byte warm image "
+              "(cold converge: %.1f ms wall)\n",
+              args.serve, image.size(), converge_wall_ms);
+  for (int q = 0; q < args.serve; ++q) {
+    const auto wall0 = std::chrono::steady_clock::now();
+    std::string err;
+    if (!fabric.restore_snapshot(image, &err)) {
+      std::fprintf(stderr, "scenario_cli: fork failed: %s\n", err.c_str());
+      return 1;
+    }
+    const double fork_ms = ms_since(wall0);
+    const SimTime t0 = fabric.sim().now();
+    const auto& fm = fabric.fabric_manager();
+    const std::uint64_t faults0 = fm.counters().get("fault_notifications");
+    const std::uint64_t reroutes0 = fm.counters().get("prune_updates_sent");
+    const std::uint64_t ctl0 = fabric.control().messages_sent();
+    switch (q % 4) {
+      case 0: {  // Kill 3 random fabric links.
+        std::vector<Probe> probes = make_probes(fabric, rng, 8, 7200);
+        const auto victims = fabric.failures().fail_random_links_at(
+            fabric.fabric_links(), 3, t0 + millis(1), rng);
+        fabric.sim().run_until(t0 + millis(250));
+        const ProbeReport rep = finish_probes(fabric, probes, t0);
+        std::printf(
+            "  q%-3d kill-links   fork %6.2f ms  answer %7.2f ms  "
+            "%zu links down, %llu faults, %llu reroutes, probe %llu/%llu "
+            "recv, worst gap %s\n",
+            q, fork_ms, ms_since(wall0), victims.size(),
+            static_cast<unsigned long long>(
+                fm.counters().get("fault_notifications") - faults0),
+            static_cast<unsigned long long>(
+                fm.counters().get("prune_updates_sent") - reroutes0),
+            static_cast<unsigned long long>(rep.recv),
+            static_cast<unsigned long long>(rep.sent),
+            format_time(rep.worst_gap).c_str());
+        break;
+      }
+      case 1: {  // Crash one aggregation switch (all its links drop).
+        std::vector<Probe> probes = make_probes(fabric, rng, 8, 7200);
+        const std::size_t pod = rng.next_below(static_cast<std::size_t>(k));
+        const std::size_t pos =
+            rng.next_below(static_cast<std::size_t>(k / 2));
+        core::PortlandSwitch& victim = fabric.agg_at(pod, pos);
+        fabric.failures().crash_device_at(victim, t0 + millis(1));
+        fabric.sim().run_until(t0 + millis(250));
+        const ProbeReport rep = finish_probes(fabric, probes, t0);
+        std::printf(
+            "  q%-3d crash-switch fork %6.2f ms  answer %7.2f ms  "
+            "%s down, %llu faults, %llu reroutes, probe %llu/%llu recv, "
+            "worst gap %s\n",
+            q, fork_ms, ms_since(wall0), victim.name().c_str(),
+            static_cast<unsigned long long>(
+                fm.counters().get("fault_notifications") - faults0),
+            static_cast<unsigned long long>(
+                fm.counters().get("prune_updates_sent") - reroutes0),
+            static_cast<unsigned long long>(rep.recv),
+            static_cast<unsigned long long>(rep.sent),
+            format_time(rep.worst_gap).c_str());
+        break;
+      }
+      case 2: {  // ARP storm: one pod's hosts all resolve cold remotes.
+        const std::size_t pod = rng.next_below(static_cast<std::size_t>(k));
+        const auto& hosts = fabric.hosts();
+        std::vector<Probe> storm;
+        std::uint64_t arp0 = 0;
+        std::uint16_t port = 7400;
+        for (std::size_t e = 0; e < static_cast<std::size_t>(k / 2); ++e) {
+          for (std::size_t h = 0; h < static_cast<std::size_t>(k / 2); ++h) {
+            host::Host& src = fabric.host_at(pod, e, h);
+            arp0 += src.arp_requests_sent();
+            host::Host* dst = nullptr;
+            do {
+              dst = hosts[rng.next_below(hosts.size())];
+            } while (dst == &src);
+            Probe p;
+            p.rx = std::make_unique<host::UdpFlowReceiver>(*dst, port);
+            host::UdpFlowSender::Config cfg;
+            cfg.dst = dst->ip();
+            cfg.src_port = cfg.dst_port = port;
+            cfg.interval = millis(20);
+            p.tx = std::make_unique<host::UdpFlowSender>(src, cfg);
+            p.tx->start();
+            storm.push_back(std::move(p));
+            ++port;
+          }
+        }
+        fabric.sim().run_until(t0 + millis(100));
+        std::uint64_t arp1 = 0;
+        std::uint64_t delivered = 0;
+        for (Probe& p : storm) {
+          p.tx->stop();
+          delivered += p.rx->packets_received();
+        }
+        for (std::size_t e = 0; e < static_cast<std::size_t>(k / 2); ++e) {
+          for (std::size_t h = 0; h < static_cast<std::size_t>(k / 2); ++h) {
+            arp1 += fabric.host_at(pod, e, h).arp_requests_sent();
+          }
+        }
+        std::printf(
+            "  q%-3d arp-storm    fork %6.2f ms  answer %7.2f ms  "
+            "pod %zu: %zu hosts, %llu ARP requests, %llu control msgs, "
+            "%llu probe pkts delivered\n",
+            q, fork_ms, ms_since(wall0), pod, storm.size(),
+            static_cast<unsigned long long>(arp1 - arp0),
+            static_cast<unsigned long long>(fabric.control().messages_sent() -
+                                            ctl0),
+            static_cast<unsigned long long>(delivered));
+        break;
+      }
+      default: {  // Path audit: E13's per-packet loop-freedom invariants.
+        core::PathAuditor auditor(fabric);
+        std::vector<Probe> probes = make_probes(fabric, rng, 8, 7200);
+        fabric.sim().run_until(t0 + millis(150));
+        const ProbeReport rep = finish_probes(fabric, probes, t0);
+        std::size_t max_hops = 0;
+        for (const auto& [hops, count] : auditor.hop_histogram()) {
+          max_hops = std::max(max_hops, hops);
+        }
+        std::printf(
+            "  q%-3d path-audit   fork %6.2f ms  answer %7.2f ms  "
+            "%llu packets audited, %zu violations, max %zu switch hops, "
+            "probe %llu/%llu recv\n",
+            q, fork_ms, ms_since(wall0),
+            static_cast<unsigned long long>(auditor.packets_completed()),
+            auditor.violations().size(), max_hops,
+            static_cast<unsigned long long>(rep.recv),
+            static_cast<unsigned long long>(rep.sent));
+        break;
+      }
+    }
+    fork_total_ms += fork_ms;
+    answer_total_ms += ms_since(wall0);
+  }
+  const double avg_answer = answer_total_ms / args.serve;
+  std::printf("serve: answered %d queries, avg fork %.2f ms, avg answer "
+              "%.2f ms (cold converge alone: %.1f ms, %.1fx)\n",
+              args.serve, fork_total_ms / args.serve, avg_answer,
+              converge_wall_ms,
+              avg_answer > 0 ? converge_wall_ms / avg_answer : 0.0);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -193,7 +475,7 @@ int main(int argc, char** argv) {
   options.burst = args.burst;
   options.config.ecmp_mode = args.ecmp;
   options.obs.flight_recorder = want_trace;
-  options.obs.engine_trace = want_trace;
+  options.obs.engine_trace = want_trace && args.trace_engine;
   options.obs.trace_frames = static_cast<std::uint64_t>(args.trace_frames);
   core::PortlandFabric fabric(options);
   std::printf("fabric: k=%d, %zu switches, %zu hosts, seed=%llu, ecmp=%s\n",
@@ -208,12 +490,62 @@ int main(int argc, char** argv) {
               fabric.options().workers,
               fabric.options().workers == 0 ? "classic" : "parallel",
               args.burst ? "on" : "off");
-  if (!fabric.run_until_converged()) {
-    std::printf("discovery did not converge\n");
-    return 1;
+  double converge_wall_ms = 0;
+  std::vector<std::uint8_t> image;
+  if (!args.snapshot_in.empty()) {
+    if (!read_file(args.snapshot_in, image)) {
+      std::fprintf(stderr, "scenario_cli: cannot read %s\n",
+                   args.snapshot_in.c_str());
+      return 1;
+    }
+    const auto wall0 = std::chrono::steady_clock::now();
+    std::string err;
+    if (!fabric.restore_snapshot(image, &err)) {
+      std::fprintf(stderr, "scenario_cli: restore failed: %s\n", err.c_str());
+      return 1;
+    }
+    std::printf("snapshot: restored %zu bytes from %s in %.2f ms "
+                "(sim time %s)\n",
+                image.size(), args.snapshot_in.c_str(), ms_since(wall0),
+                format_time(fabric.sim().now()).c_str());
+  } else {
+    const auto wall0 = std::chrono::steady_clock::now();
+    if (!fabric.run_until_converged()) {
+      std::printf("discovery did not converge\n");
+      return 1;
+    }
+    converge_wall_ms = ms_since(wall0);
+    std::printf("discovery converged at %s (%.1f ms wall)\n",
+                format_time(fabric.sim().now()).c_str(), converge_wall_ms);
   }
-  std::printf("discovery converged at %s\n",
-              format_time(fabric.sim().now()).c_str());
+  if (!args.snapshot_out.empty() || args.serve > 0) {
+    const auto wall0 = std::chrono::steady_clock::now();
+    image.clear();
+    std::string err;
+    if (!fabric.save_snapshot(image, &err)) {
+      std::fprintf(stderr, "scenario_cli: save failed: %s\n", err.c_str());
+      return 1;
+    }
+    const double save_ms = ms_since(wall0);
+    if (!args.snapshot_out.empty()) {
+      if (!write_file(args.snapshot_out, image)) {
+        std::fprintf(stderr, "scenario_cli: cannot write %s\n",
+                     args.snapshot_out.c_str());
+        return 1;
+      }
+      std::printf("snapshot: %zu bytes -> %s (%.2f ms, %.0f bytes/host)\n",
+                  image.size(), args.snapshot_out.c_str(), save_ms,
+                  static_cast<double>(image.size()) /
+                      static_cast<double>(fabric.hosts().size()));
+    }
+    // Post-save traces must evolve identically in this process and in
+    // any process that restores the image (which clears rings and keeps
+    // trace-id counters): drop the pre-save ring records here too.
+    if (obs::FlightRecorder* rec = fabric.flight_recorder()) rec->clear();
+  }
+  if (args.serve > 0) {
+    return run_serve(fabric, image, args, converge_wall_ms);
+  }
   const SimTime t0 = fabric.sim().now();
 
   // Flows.

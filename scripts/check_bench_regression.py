@@ -121,11 +121,39 @@ def check_e19(base):
           f'{ratio_min} (at k={e19.get("ratio_k", "?")})')
 
 
+def check_e20(base):
+    """Checkpoint/fork serving floors (E20). Snapshot bytes per host are
+    near-deterministic, so the ceiling is a real format guard; the
+    fork-latency ceiling and speedup floor are deliberately loose
+    wall-clock bounds that catch a fork degenerating into a cold rebuild,
+    not percent-level drift."""
+    e20 = load("BENCH_e20.json")
+    check("e20 fork latency",
+          e20["fork_ms"] <= base["e20"]["fork_ms_max"],
+          f'{e20["fork_ms"]:.2f} ms <= {base["e20"]["fork_ms_max"]} ms '
+          f'(k={e20["headline_k"]})')
+    check("e20 snapshot bytes/host",
+          e20["snapshot_bytes_per_host"] <=
+          base["e20"]["snapshot_bytes_per_host_max"],
+          f'{e20["snapshot_bytes_per_host"]:.1f} <= '
+          f'{base["e20"]["snapshot_bytes_per_host_max"]}')
+    check("e20 fork+answer speedup vs cold",
+          e20["speedup_vs_cold"] >= base["e20"]["speedup_vs_cold_min"],
+          f'{e20["speedup_vs_cold"]:.1f}x >= '
+          f'{base["e20"]["speedup_vs_cold_min"]}x')
+    for row in e20["rows"]:
+        check(f'e20 k={row["k"]} what-if observable',
+              row["faults"] > 0 and (row["flows"] == 0 or
+                                     row["probe_rx"] > 0),
+              f'faults={row["faults"]} probe_rx={row["probe_rx"]}')
+
+
 SECTIONS = {
     "e14": check_e14,
     "e15": check_e15,
     "e18": check_e18,
     "e19": check_e19,
+    "e20": check_e20,
 }
 
 

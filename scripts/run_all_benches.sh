@@ -68,6 +68,7 @@ E16_ARGS=""
 E17_ARGS=""
 E18_ARGS=""
 E19_ARGS=""
+E20_ARGS=""
 if [ "$SMOKE" = 1 ]; then
   E14_ARGS="--k 4 --flows-per-host 1"
   E15_ARGS="--k 4 --threads 2 --reps 1 --measure-ms 50"
@@ -75,12 +76,19 @@ if [ "$SMOKE" = 1 ]; then
   E17_ARGS="--k 4 --reps 1 --measure-ms 50"
   E18_ARGS="--k 4 --cap-k 4 --reps 2 --measure-us 4000 --interval-us 4000 --burst 32"
   E19_ARGS="--ks 8 --flows 64 --measure-ms 20 --warm-ms 10"
+  E20_ARGS="--ks 4 --queries 2 --flows 16 --warm-ms 20"
+fi
+# Slow CI boxes gate e19 convergence on simulated-time budget, not
+# wall-clock: export E19_CONVERGE_BUDGET_S to override the bench default.
+if [ -n "${E19_CONVERGE_BUDGET_S:-}" ]; then
+  E19_ARGS="$E19_ARGS --converge-budget-s $E19_CONVERGE_BUDGET_S"
 fi
 
 # shellcheck disable=SC2086
 for spec in "e14_fastpath:$E14_ARGS" "e15_parallel:$E15_ARGS" \
             "e16_event_queue:$E16_ARGS" "e17_observability:$E17_ARGS" \
-            "e18_burst:$E18_ARGS" "e19_scale:$E19_ARGS"; do
+            "e18_burst:$E18_ARGS" "e19_scale:$E19_ARGS" \
+            "e20_snapshot:$E20_ARGS"; do
   n="${spec%%:*}"
   extra="${spec#*:}"
   b="build/bench/bench_$n"
@@ -101,7 +109,8 @@ for pair in e1:e1_convergence e2:e2_tcp_convergence \
             e8:e8_baseline_ethernet e9:e9_ecmp_loopfree e10:e10_micro \
             e11:e11_ecmp_ablation e12:e12_ldp_scale e13:e13_path_audit \
             e14:e14_fastpath e15:e15_parallel e16:e16_event_queue \
-            e17:e17_observability e18:e18_burst e19:e19_scale; do
+            e17:e17_observability e18:e18_burst e19:e19_scale \
+            e20:e20_snapshot; do
   short="${pair%%:*}"
   f="build/BENCH_${short}.json"
   if [ ! -s "$f" ]; then

@@ -10,8 +10,10 @@ BUILD=build-asan
 cmake -S . -B "$BUILD" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DPORTLAND_SANITIZE=address >/dev/null
 cmake --build "$BUILD" --parallel \
-      --target test_sim test_net test_host test_fabric test_fastpath
-for t in test_sim test_net test_host test_fabric test_fastpath; do
+      --target test_sim test_net test_host test_fabric test_fastpath \
+      test_snapshot
+for t in test_sim test_net test_host test_fabric test_fastpath \
+         test_snapshot; do
   echo
   echo "################  $t (ASan)  ################"
   "$BUILD/tests/$t"

@@ -29,4 +29,13 @@ std::string ByteReader::str() {
   return s;
 }
 
+std::string_view ByteReader::str_view() {
+  const std::uint16_t n = u16();
+  if (!check(n)) return {};
+  const std::string_view v(reinterpret_cast<const char*>(data_.data() + pos_),
+                           n);
+  pos_ += n;
+  return v;
+}
+
 }  // namespace portland

@@ -11,13 +11,55 @@
 // parsing rather than after every field.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <cstddef>
+#include <cstring>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace portland {
+
+namespace detail {
+
+/// Host value -> network byte order (and back; the swap is symmetric).
+inline std::uint16_t to_net(std::uint16_t v) {
+  if constexpr (std::endian::native == std::endian::little) {
+#if defined(__GNUC__) || defined(__clang__)
+    return __builtin_bswap16(v);
+#else
+    return static_cast<std::uint16_t>((v >> 8) | (v << 8));
+#endif
+  }
+  return v;
+}
+inline std::uint32_t to_net(std::uint32_t v) {
+  if constexpr (std::endian::native == std::endian::little) {
+#if defined(__GNUC__) || defined(__clang__)
+    return __builtin_bswap32(v);
+#else
+    return (v >> 24) | ((v >> 8) & 0xFF00u) | ((v << 8) & 0xFF0000u) |
+           (v << 24);
+#endif
+  }
+  return v;
+}
+inline std::uint64_t to_net(std::uint64_t v) {
+  if constexpr (std::endian::native == std::endian::little) {
+#if defined(__GNUC__) || defined(__clang__)
+    return __builtin_bswap64(v);
+#else
+    return (static_cast<std::uint64_t>(to_net(static_cast<std::uint32_t>(v)))
+            << 32) |
+           to_net(static_cast<std::uint32_t>(v >> 32));
+#endif
+  }
+  return v;
+}
+
+}  // namespace detail
 
 class ByteWriter {
  public:
@@ -25,20 +67,9 @@ class ByteWriter {
   explicit ByteWriter(std::vector<std::uint8_t>& out) : out_(&out) {}
 
   void u8(std::uint8_t v) { out_->push_back(v); }
-  void u16(std::uint16_t v) {
-    out_->push_back(static_cast<std::uint8_t>(v >> 8));
-    out_->push_back(static_cast<std::uint8_t>(v));
-  }
-  void u32(std::uint32_t v) {
-    out_->push_back(static_cast<std::uint8_t>(v >> 24));
-    out_->push_back(static_cast<std::uint8_t>(v >> 16));
-    out_->push_back(static_cast<std::uint8_t>(v >> 8));
-    out_->push_back(static_cast<std::uint8_t>(v));
-  }
-  void u64(std::uint64_t v) {
-    u32(static_cast<std::uint32_t>(v >> 32));
-    u32(static_cast<std::uint32_t>(v));
-  }
+  void u16(std::uint16_t v) { put(detail::to_net(v)); }
+  void u32(std::uint32_t v) { put(detail::to_net(v)); }
+  void u64(std::uint64_t v) { put(detail::to_net(v)); }
   void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
 
   void bytes(std::span<const std::uint8_t> data) {
@@ -52,6 +83,12 @@ class ByteWriter {
   [[nodiscard]] std::size_t size() const { return out_->size(); }
 
  private:
+  template <typename T>
+  void put(T net_order) {
+    const auto* p = reinterpret_cast<const std::uint8_t*>(&net_order);
+    out_->insert(out_->end(), p, p + sizeof(T));
+  }
+
   std::vector<std::uint8_t>* out_;
 };
 
@@ -63,25 +100,9 @@ class ByteReader {
     if (!check(1)) return 0;
     return data_[pos_++];
   }
-  [[nodiscard]] std::uint16_t u16() {
-    if (!check(2)) return 0;
-    const std::uint16_t v = static_cast<std::uint16_t>(
-        (static_cast<std::uint16_t>(data_[pos_]) << 8) | data_[pos_ + 1]);
-    pos_ += 2;
-    return v;
-  }
-  [[nodiscard]] std::uint32_t u32() {
-    if (!check(4)) return 0;
-    std::uint32_t v = 0;
-    for (int i = 0; i < 4; ++i) v = (v << 8) | data_[pos_ + static_cast<std::size_t>(i)];
-    pos_ += 4;
-    return v;
-  }
-  [[nodiscard]] std::uint64_t u64() {
-    const std::uint64_t hi = u32();
-    const std::uint64_t lo = u32();
-    return (hi << 32) | lo;
-  }
+  [[nodiscard]] std::uint16_t u16() { return get<std::uint16_t>(); }
+  [[nodiscard]] std::uint32_t u32() { return get<std::uint32_t>(); }
+  [[nodiscard]] std::uint64_t u64() { return get<std::uint64_t>(); }
   [[nodiscard]] std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
 
   /// Reads exactly `n` bytes into `out`; on underflow fails and zero-fills.
@@ -89,6 +110,10 @@ class ByteReader {
 
   /// Reads a length-prefixed (u16) string.
   [[nodiscard]] std::string str();
+
+  /// Reads a length-prefixed (u16) string as a view into the buffer
+  /// (valid while the buffer lives). Empty view on underflow.
+  [[nodiscard]] std::string_view str_view();
 
   /// Skips `n` bytes.
   void skip(std::size_t n) {
@@ -107,6 +132,15 @@ class ByteReader {
     return r;
   }
 
+  /// Consumes exactly `n` bytes and returns them as a view (valid while
+  /// the underlying buffer lives). Empty view + failed state on underflow.
+  [[nodiscard]] std::span<const std::uint8_t> view(std::size_t n) {
+    if (!check(n)) return {};
+    auto r = data_.subspan(pos_, n);
+    pos_ += n;
+    return r;
+  }
+
   [[nodiscard]] std::size_t position() const { return pos_; }
   [[nodiscard]] std::size_t remaining_size() const { return data_.size() - pos_; }
 
@@ -120,6 +154,17 @@ class ByteReader {
       return false;
     }
     return true;
+  }
+
+  /// One bulk load + byte swap instead of a per-byte assembly loop —
+  /// parse-heavy paths (frame decode, snapshot restore) live here.
+  template <typename T>
+  [[nodiscard]] T get() {
+    if (!check(sizeof(T))) return 0;
+    T v;
+    std::memcpy(&v, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return detail::to_net(v);
   }
 
   std::span<const std::uint8_t> data_;

@@ -6,6 +6,7 @@
 // SplitMix64 as its authors recommend.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -57,6 +58,19 @@ class Rng {
   /// Derives an independent child generator (for subsystems that must not
   /// perturb each other's streams).
   [[nodiscard]] Rng fork();
+
+  /// Raw generator state, for checkpoint/restore. A generator with its
+  /// state restored continues the exact sequence the saved one would have
+  /// produced.
+  [[nodiscard]] std::array<std::uint64_t, 4> state() const {
+    return {s_[0], s_[1], s_[2], s_[3]};
+  }
+  void set_state(const std::array<std::uint64_t, 4>& s) {
+    s_[0] = s[0];
+    s_[1] = s[1];
+    s_[2] = s[2];
+    s_[3] = s[3];
+  }
 
  private:
   std::uint64_t s_[4];

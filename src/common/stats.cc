@@ -29,7 +29,7 @@ double Accumulator::stddev() const { return std::sqrt(variance()); }
 void Accumulator::reset() { *this = Accumulator(); }
 
 void CounterSet::add(const std::string& name, std::uint64_t delta) {
-  counters_[name] += delta;
+  cell(name) += delta;
 }
 
 std::uint64_t CounterSet::get(const std::string& name) const {

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace portland {
@@ -47,7 +48,7 @@ class CounterSet {
   /// the CounterSet's lifetime (the map is node-based and reset() zeroes
   /// values instead of erasing them).
   [[nodiscard]] std::uint64_t* handle(const std::string& name) {
-    return &counters_[name];
+    return &cell(name);
   }
 
   /// Current value; zero if the counter has never been touched.
@@ -58,10 +59,87 @@ class CounterSet {
     return counters_;
   }
 
+  [[nodiscard]] std::size_t size() const { return counters_.size(); }
+
+  /// Order-independent fingerprint of the key *set* (sum of per-name
+  /// FNV-1a hashes; keys are only ever inserted, never erased). Two sets
+  /// with equal size and equal fingerprint hold the same names in the
+  /// same (sorted) order, which lets snapshot restore skip per-name
+  /// matching entirely and assign values positionally.
+  [[nodiscard]] std::uint64_t key_fingerprint() const {
+    return key_fingerprint_;
+  }
+
+  /// Stable cell pointers in key (sorted) order, built lazily and reused
+  /// until the key set grows. Snapshot restore walks this flat array for
+  /// positional value assignment instead of chasing map nodes.
+  [[nodiscard]] const std::vector<std::uint64_t*>& cells_in_order() {
+    if (!flat_valid_) {
+      flat_.clear();
+      flat_.reserve(counters_.size());
+      for (auto& [name, value] : counters_) flat_.push_back(&value);
+      flat_valid_ = true;
+    }
+    return flat_;
+  }
+
   void reset();
 
+  /// Snapshot-restore cursor: assigns saved values back in sorted-name
+  /// order. Restored sets almost always carry exactly the names already
+  /// present (same code paths ran), so the common case is a pure cursor
+  /// walk with no per-name lookup and no string allocation; a name the
+  /// set has never seen falls back to an ordinary keyed insert. The
+  /// caller reset()s first; names absent from the image stay zero.
+  class RestoreCursor {
+   public:
+    explicit RestoreCursor(CounterSet& c) : c_(&c), it_(c.counters_.begin()) {}
+    void set(std::string_view name, std::uint64_t value) {
+      while (it_ != c_->counters_.end() && it_->first < name) ++it_;
+      if (it_ != c_->counters_.end() && it_->first == name) {
+        it_->second = value;
+        ++it_;
+      } else {
+        // Inserting before it_ never invalidates it (node-based map).
+        c_->counters_.emplace_hint(it_, std::string(name), value);
+        c_->key_fingerprint_ += name_hash(name);
+        c_->flat_valid_ = false;
+      }
+    }
+
+   private:
+    CounterSet* c_;
+    std::map<std::string, std::uint64_t>::iterator it_;
+  };
+
  private:
+  friend class RestoreCursor;
+
+  /// FNV-1a; stable across processes and builds (snapshot images embed
+  /// these via key_fingerprint()).
+  [[nodiscard]] static std::uint64_t name_hash(std::string_view name) {
+    std::uint64_t h = 1469598103934665603ull;
+    for (const char c : name) {
+      h ^= static_cast<std::uint8_t>(c);
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+
+  /// Find-or-insert keeping the key fingerprint in sync — every key
+  /// insertion funnels through here (or RestoreCursor::set).
+  [[nodiscard]] std::uint64_t& cell(const std::string& name) {
+    const auto it = counters_.lower_bound(name);
+    if (it != counters_.end() && it->first == name) return it->second;
+    key_fingerprint_ += name_hash(name);
+    flat_valid_ = false;
+    return counters_.emplace_hint(it, name, 0)->second;
+  }
+
   std::map<std::string, std::uint64_t> counters_;
+  std::uint64_t key_fingerprint_ = 0;
+  std::vector<std::uint64_t*> flat_;  // see cells_in_order()
+  bool flat_valid_ = false;
 };
 
 /// Computes the p-th percentile (0..100) of `values` by sorting a copy.

@@ -1,6 +1,7 @@
 #include "core/control_plane.h"
 
 #include "common/logging.h"
+#include "sim/snapshot.h"
 
 namespace portland::core {
 
@@ -18,26 +19,49 @@ void ControlPlane::send(SwitchId to, const ControlMessage& msg,
 
   // Deliver on the destination endpoint's shard: with the 500µs control
   // latency far above the engine lookahead, the arrival always lands in a
-  // later window, so the handler runs race-free on its own shard.
+  // later window, so the handler runs race-free on its own shard. The
+  // delivery is a data event (bytes carry the wire message, arg the
+  // address), so in-flight control traffic serializes into a snapshot.
   const auto hint = shard_hints_.find(to);
   const sim::ShardId dst =
       hint == shard_hints_.end() ? sim::kNoShard : hint->second;
-  sim_->at_shard(dst, sim_->now() + latency_ + extra_delay,
-                 [this, to, bytes = std::move(bytes)] {
-    const auto it = endpoints_.find(to);
-    if (it == endpoints_.end()) {
-      std::lock_guard<std::mutex> lk(mutex_);
-      counters_.add("undeliverable");
-      return;
-    }
-    const auto parsed = parse_control(bytes);
-    if (!parsed.has_value()) {
-      std::lock_guard<std::mutex> lk(mutex_);
-      counters_.add("parse_error");
-      return;
-    }
-    it->second(*parsed);
-  });
+  sim_->at_shard_data(dst, sim_->now() + latency_ + extra_delay, this,
+                      /*kind=*/0, /*arg=*/to, nullptr, std::move(bytes));
+}
+
+void ControlPlane::execute_data_event(std::uint32_t kind, std::uint64_t arg,
+                                      const sim::FramePtr& frame,
+                                      const sim::FrameBytes& bytes) {
+  (void)kind;
+  (void)frame;
+  const auto to = static_cast<SwitchId>(arg);
+  const auto it = endpoints_.find(to);
+  if (it == endpoints_.end()) {
+    std::lock_guard<std::mutex> lk(mutex_);
+    counters_.add("undeliverable");
+    return;
+  }
+  const auto parsed = parse_control(bytes);
+  if (!parsed.has_value()) {
+    std::lock_guard<std::mutex> lk(mutex_);
+    counters_.add("parse_error");
+    return;
+  }
+  it->second(*parsed);
+}
+
+void ControlPlane::save_state(sim::SnapshotWriter& w) const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  w.u64(messages_sent_);
+  w.u64(bytes_sent_);
+  sim::save_counters(w, counters_);
+}
+
+void ControlPlane::restore_state(sim::SnapshotReader& r) {
+  std::lock_guard<std::mutex> lk(mutex_);
+  messages_sent_ = r.u64();
+  bytes_sent_ = r.u64();
+  sim::restore_counters(r, counters_);
 }
 
 }  // namespace portland::core

@@ -19,12 +19,17 @@
 
 namespace portland::core {
 
-class ControlPlane {
+class ControlPlane : public sim::DataEventOwner {
  public:
   using Handler = std::function<void(const ControlMessage&)>;
 
   ControlPlane(sim::Simulator& sim, SimDuration one_way_latency)
-      : sim_(&sim), latency_(one_way_latency) {}
+      : sim_(&sim), latency_(one_way_latency) {
+    // Deterministic registration: the control plane is constructed at the
+    // same point of fabric setup in any process, so its data-owner id
+    // resolves serialized in-flight control messages across a restore.
+    sim_->register_data_owner(this);
+  }
 
   /// Registers the endpoint for control address `id` (a switch id or
   /// kFabricManagerId). Re-registering replaces the handler.
@@ -55,6 +60,18 @@ class ControlPlane {
   /// are counted and dropped.
   void send(SwitchId to, const ControlMessage& msg,
             SimDuration extra_delay = 0);
+
+  /// Delivers one in-flight control message (arg = destination id, bytes
+  /// = the serialized message). Scheduled by send(); serializable, so
+  /// pending control traffic survives a snapshot.
+  void execute_data_event(std::uint32_t kind, std::uint64_t arg,
+                          const sim::FramePtr& frame,
+                          const sim::FrameBytes& bytes) override;
+
+  /// Checkpoint: totals and per-type counters. Handlers and shard hints
+  /// are construction-time wiring and are not serialized.
+  void save_state(sim::SnapshotWriter& w) const;
+  void restore_state(sim::SnapshotReader& r);
 
   [[nodiscard]] std::uint64_t messages_sent() const {
     std::lock_guard<std::mutex> lk(mutex_);

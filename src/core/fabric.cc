@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
+#include <cstdlib>
 #include <thread>
 
 #include "common/logging.h"
@@ -273,6 +275,127 @@ PortlandSwitch::TableBytes PortlandFabric::total_table_bytes() const {
     total.other += b.other;
   }
   return total;
+}
+
+namespace {
+/// Image header magic: "PLFS" (PortLand Fabric Snapshot).
+constexpr std::uint32_t kSnapshotMagic = 0x504C4653;
+constexpr std::uint32_t kSnapshotVersion = 2;
+}  // namespace
+
+bool PortlandFabric::save_snapshot(std::vector<std::uint8_t>& out,
+                                   std::span<sim::Snapshotable* const> extras,
+                                   std::string* error) {
+  sim::SnapshotWriter w(out);
+  w.u32(kSnapshotMagic);
+  w.u32(kSnapshotVersion);
+  w.u32(static_cast<std::uint32_t>(options_.k));
+  w.u64(options_.seed);
+  w.u32(static_cast<std::uint32_t>(tree_.shard_count()));
+  w.u32(static_cast<std::uint32_t>(net_.devices().size()));
+  w.u32(static_cast<std::uint32_t>(net_.links().size()));
+  w.u32(static_cast<std::uint32_t>(extras.size()));
+
+  // 1. Engine: pending events in (time, seq) order. Refuses on plain
+  //    closures — nothing else in this walk can fail.
+  if (!sim().save_engine(w, error)) return false;
+
+  // 2. Links (network construction order): queue occupancy, in-flight
+  //    trains, epochs, down state.
+  for (sim::Link* link : net_.links()) link->save_state(w);
+
+  // 3. Devices (construction order): generic counters, then the device's
+  //    own state (tables, FIBs, protocol timers, TCP stacks, ...).
+  for (sim::Device* dev : net_.devices()) {
+    sim::save_counters(w, dev->counters());
+    dev->save_state(w);
+  }
+
+  // 4. Central services + observability.
+  fm_->save_state(w);
+  control_->save_state(w);
+  w.u8(recorder_ != nullptr ? 1 : 0);
+  if (recorder_ != nullptr) recorder_->save_state(w);
+
+  // 5. App-level extras, in caller order.
+  for (sim::Snapshotable* s : extras) s->save_state(w);
+  return true;
+}
+
+bool PortlandFabric::restore_snapshot(std::span<const std::uint8_t> image,
+                                      std::span<sim::Snapshotable* const>
+                                          extras,
+                                      std::string* error) {
+  auto fail = [&](const std::string& msg) {
+    if (error != nullptr) *error = msg;
+    return false;
+  };
+  sim::SnapshotReader r(image);
+  if (r.u32() != kSnapshotMagic) return fail("snapshot: bad magic");
+  if (r.u32() != kSnapshotVersion) return fail("snapshot: version mismatch");
+  if (r.u32() != static_cast<std::uint32_t>(options_.k)) {
+    return fail("snapshot: fabric k mismatch");
+  }
+  if (r.u64() != options_.seed) return fail("snapshot: seed mismatch");
+  if (r.u32() != static_cast<std::uint32_t>(tree_.shard_count())) {
+    return fail("snapshot: shard count mismatch");
+  }
+  if (r.u32() != static_cast<std::uint32_t>(net_.devices().size())) {
+    return fail("snapshot: device count mismatch");
+  }
+  if (r.u32() != static_cast<std::uint32_t>(net_.links().size())) {
+    return fail("snapshot: link count mismatch");
+  }
+  if (r.u32() != static_cast<std::uint32_t>(extras.size())) {
+    return fail("snapshot: extras count mismatch");
+  }
+  if (!r.ok()) return fail("snapshot: truncated header");
+
+  // Drop whatever this fabric is currently doing; the image replaces it.
+  const auto tprint = [](const char* what, auto& t0) {
+    if (std::getenv("PORTLAND_SNAPSHOT_TIMING") == nullptr) return;
+    const auto t1 = std::chrono::steady_clock::now();
+    std::fprintf(stderr, "  [restore] %-10s %7.2f ms\n", what,
+                 std::chrono::duration<double, std::milli>(t1 - t0).count());
+    t0 = t1;
+  };
+  auto t0 = std::chrono::steady_clock::now();
+  sim().snapshot_clear();
+  tprint("clear", t0);
+  if (!sim().restore_engine(r, error)) return false;
+  tprint("engine", t0);
+
+  for (sim::Link* link : net_.links()) link->restore_state(r);
+  tprint("links", t0);
+
+  for (sim::Device* dev : net_.devices()) {
+    // Device restores run as the owning shard: re-armed timers and
+    // re-anchored state must land in that shard's queues.
+    sim::ShardGuard guard(sim(), dev->shard());
+    sim::restore_counters(r, dev->counters());
+    dev->restore_state(r);
+  }
+  tprint("devices", t0);
+
+  fm_->restore_state(r);
+  tprint("fm", t0);
+  control_->restore_state(r);
+  const bool had_recorder = r.u8() != 0;
+  if (had_recorder && recorder_ != nullptr) {
+    recorder_->restore_state(r);
+  } else if (had_recorder && recorder_ == nullptr) {
+    // Image traced, this fabric doesn't: skip the section by replaying it
+    // into a throwaway recorder of the right shape.
+    obs::FlightRecorder scratch(tree_.shard_count(), {});
+    scratch.restore_state(r);
+  } else if (!had_recorder && recorder_ != nullptr) {
+    recorder_->clear();
+  }
+
+  for (sim::Snapshotable* s : extras) s->restore_state(r);
+
+  if (!r.ok()) return fail("snapshot: image truncated or corrupt");
+  return sim().finish_restore(error);
 }
 
 void PortlandFabric::snapshot_metrics(obs::MetricsRegistry& registry) {

@@ -17,6 +17,8 @@
 #include <memory>
 #include <optional>
 #include <set>
+#include <span>
+#include <string>
 #include <vector>
 
 #include "core/config.h"
@@ -29,6 +31,7 @@
 #include "obs/trace_export.h"
 #include "sim/failure.h"
 #include "sim/network.h"
+#include "sim/snapshot.h"
 #include "topo/fat_tree.h"
 
 namespace portland::core {
@@ -160,6 +163,40 @@ class PortlandFabric {
   /// time. Quiescent-only: call between run_until chunks, never from an
   /// event. Purely observational — drives no events, consumes no RNG.
   void snapshot_metrics(obs::MetricsRegistry& registry);
+
+  // --- checkpoint/fork serving --------------------------------------------
+  /// Serializes the complete simulation state — pending events, links,
+  /// every device, the fabric manager, control plane, flight recorder —
+  /// into `out`. Quiescent-only (between run_until chunks). Refuses
+  /// (returns false, sets *error) if any pending event is a plain closure
+  /// (barrier task / sim().after), since closures cannot serialize; a
+  /// converged fabric between chunks has none. `extras` are app-level
+  /// objects (traffic generators, scenario timers) appended to the image
+  /// in span order.
+  bool save_snapshot(std::vector<std::uint8_t>& out,
+                     std::span<sim::Snapshotable* const> extras,
+                     std::string* error = nullptr);
+  bool save_snapshot(std::vector<std::uint8_t>& out,
+                     std::string* error = nullptr) {
+    return save_snapshot(out, {}, error);
+  }
+
+  /// Restores a save_snapshot image into this fabric. The fabric must
+  /// have been constructed with the same k, seed, shard count, and
+  /// topology options (host/link layout); scheduler, burst mode, and
+  /// worker count may differ — the engine schedules the identical event
+  /// sequence either way. Works both for in-memory forks (restore a
+  /// warmed fabric back to the checkpoint) and fresh processes (construct
+  /// the fabric, then restore; app callbacks installed by extras/hosts
+  /// must be re-wired by the caller). `extras` must match the saving
+  /// span's order.
+  bool restore_snapshot(std::span<const std::uint8_t> image,
+                        std::span<sim::Snapshotable* const> extras,
+                        std::string* error = nullptr);
+  bool restore_snapshot(std::span<const std::uint8_t> image,
+                        std::string* error = nullptr) {
+    return restore_snapshot(image, {}, error);
+  }
 
  private:
   Options options_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "sim/snapshot.h"
 
 namespace portland::core {
 
@@ -71,12 +72,16 @@ void FabricManager::on_hello(SwitchId sender, const SwitchHello& m) {
       static_cast<std::uint16_t>(m.self.pod + 1) > next_pod_) {
     next_pod_ = static_cast<std::uint16_t>(m.self.pod + 1);
   }
-  if (!graph_.apply_hello(sender, m)) return;
-  // Adjacency or location changed. Re-derive any routing state built on
-  // the old view: a repair's FaultNotify can arrive before the hellos
-  // that restore the adjacency it needs, so prune withdrawal must also
-  // run here. (No-op while nothing is installed, i.e. all of bootstrap.)
-  if (!installed_prunes_.empty()) {
+  const HelloDelta delta = graph_.apply_hello(sender, m);
+  if (!delta.changed) return;
+  // Effective reachability (locator, or adjacency ∧ fault matrix) changed.
+  // Re-derive any routing state built on the old view: a repair's
+  // FaultNotify can arrive before the hellos that restore the adjacency it
+  // needs, so prune withdrawal must also run here. The common carrier-loss
+  // ordering (FaultNotify already killed the link, this hello merely
+  // withdraws its adjacency) is a routing no-op and is skipped.
+  // (No-op while nothing is installed, i.e. all of bootstrap.)
+  if (delta.routing_changed && !installed_prunes_.empty()) {
     recompute_prunes({}, config_.fm_fault_processing);
   }
   if (!groups_.empty()) {
@@ -280,6 +285,169 @@ std::optional<MulticastTree> FabricManager::installed_tree(
   const auto it = installed_trees_.find(group);
   if (it == installed_trees_.end()) return std::nullopt;
   return it->second;
+}
+
+namespace {
+
+void save_port_map(sim::SnapshotWriter& w,
+                   const std::map<SwitchId, std::set<std::uint16_t>>& m) {
+  w.u32(static_cast<std::uint32_t>(m.size()));
+  for (const auto& [id, ports] : m) {
+    w.u64(id);
+    w.u32(static_cast<std::uint32_t>(ports.size()));
+    for (const std::uint16_t p : ports) w.u16(p);
+  }
+}
+
+void restore_port_map(sim::SnapshotReader& r,
+                      std::map<SwitchId, std::set<std::uint16_t>>& m) {
+  m.clear();
+  const std::uint32_t n = r.u32();
+  for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
+    const SwitchId id = r.u64();
+    std::set<std::uint16_t>& ports =
+        m.emplace_hint(m.end(), id, std::set<std::uint16_t>{})->second;
+    const std::uint32_t np = r.u32();
+    for (std::uint32_t p = 0; p < np && r.ok(); ++p) {
+      ports.emplace_hint(ports.end(), r.u16());
+    }
+  }
+}
+
+}  // namespace
+
+void FabricManager::save_state(sim::SnapshotWriter& w) const {
+  graph_.save_state(w);
+  w.u16(next_pod_);
+  w.u32(static_cast<std::uint32_t>(pod_by_requester_.size()));
+  for (const auto& [id, pod] : pod_by_requester_) {
+    w.u64(id);
+    w.u16(pod);
+  }
+  w.u32(static_cast<std::uint32_t>(synced_switches_.size()));
+  for (const SwitchId id : synced_switches_) w.u64(id);
+
+  // hosts_ is unordered; sort by IP for a deterministic image.
+  std::vector<std::pair<Ipv4Address, HostRecord>> hosts(hosts_.begin(),
+                                                        hosts_.end());
+  std::sort(hosts.begin(), hosts.end(), [](const auto& a, const auto& b) {
+    return a.first.value() < b.first.value();
+  });
+  w.u32(static_cast<std::uint32_t>(hosts.size()));
+  for (const auto& [ip, rec] : hosts) {
+    w.u32(ip.value());
+    w.u64(rec.pmac.to_u64());
+    w.u64(rec.amac.to_u64());
+    w.u64(rec.edge);
+    w.u16(rec.edge_port);
+  }
+
+  w.u32(static_cast<std::uint32_t>(installed_prunes_.size()));
+  for (const auto& [key, prunes] : installed_prunes_) {
+    w.u16(key.pod);
+    w.u8(key.position);
+    w.u32(static_cast<std::uint32_t>(prunes.size()));
+    for (const auto& [sw, avoid] : prunes) {
+      w.u64(sw);
+      w.u32(static_cast<std::uint32_t>(avoid.size()));
+      for (const SwitchId a : avoid) w.u64(a);
+    }
+  }
+
+  w.u32(static_cast<std::uint32_t>(groups_.size()));
+  for (const auto& [group, state] : groups_) {
+    w.u32(group.value());
+    save_port_map(w, state.receivers);
+    w.u32(static_cast<std::uint32_t>(state.senders.size()));
+    for (const SwitchId s : state.senders) w.u64(s);
+  }
+
+  w.u32(static_cast<std::uint32_t>(installed_trees_.size()));
+  for (const auto& [group, tree] : installed_trees_) {
+    w.u32(group.value());
+    w.u32(tree.group.value());
+    w.u64(tree.core);
+    save_port_map(w, tree.ports);
+  }
+
+  sim::save_counters(w, counters_);
+}
+
+void FabricManager::restore_state(sim::SnapshotReader& r) {
+  graph_.restore_state(r);
+  next_pod_ = r.u16();
+
+  pod_by_requester_.clear();
+  const std::uint32_t n_pods = r.u32();
+  for (std::uint32_t i = 0; i < n_pods && r.ok(); ++i) {
+    const SwitchId id = r.u64();
+    pod_by_requester_.emplace_hint(pod_by_requester_.end(), id, r.u16());
+  }
+
+  synced_switches_.clear();
+  const std::uint32_t n_synced = r.u32();
+  for (std::uint32_t i = 0; i < n_synced && r.ok(); ++i) {
+    synced_switches_.emplace_hint(synced_switches_.end(), r.u64());
+  }
+
+  hosts_.clear();
+  const std::uint32_t n_hosts = r.u32();
+  hosts_.reserve(n_hosts);
+  for (std::uint32_t i = 0; i < n_hosts && r.ok(); ++i) {
+    const Ipv4Address ip(r.u32());
+    HostRecord rec;
+    rec.pmac = MacAddress::from_u64(r.u64());
+    rec.amac = MacAddress::from_u64(r.u64());
+    rec.edge = r.u64();
+    rec.edge_port = r.u16();
+    hosts_.emplace(ip, rec);
+  }
+
+  installed_prunes_.clear();
+  const std::uint32_t n_prunes = r.u32();
+  for (std::uint32_t i = 0; i < n_prunes && r.ok(); ++i) {
+    DstKey key;
+    key.pod = r.u16();
+    key.position = r.u8();
+    PruneMap& prunes =
+        installed_prunes_
+            .emplace_hint(installed_prunes_.end(), key, PruneMap{})
+            ->second;
+    const std::uint32_t n_sw = r.u32();
+    for (std::uint32_t s = 0; s < n_sw && r.ok(); ++s) {
+      const SwitchId sw = r.u64();
+      std::set<SwitchId>& avoid =
+          prunes.emplace_hint(prunes.end(), sw, std::set<SwitchId>{})->second;
+      const std::uint32_t n_avoid = r.u32();
+      for (std::uint32_t a = 0; a < n_avoid && r.ok(); ++a) {
+        avoid.emplace_hint(avoid.end(), r.u64());
+      }
+    }
+  }
+
+  groups_.clear();
+  const std::uint32_t n_groups = r.u32();
+  for (std::uint32_t i = 0; i < n_groups && r.ok(); ++i) {
+    const Ipv4Address group(r.u32());
+    GroupState& state = groups_[group];
+    restore_port_map(r, state.receivers);
+    const std::uint32_t n_senders = r.u32();
+    for (std::uint32_t s = 0; s < n_senders && r.ok(); ++s) {
+      state.senders.insert(r.u64());
+    }
+  }
+
+  installed_trees_.clear();
+  const std::uint32_t n_trees = r.u32();
+  for (std::uint32_t i = 0; i < n_trees && r.ok(); ++i) {
+    const Ipv4Address group(r.u32());
+    MulticastTree& tree = installed_trees_[group];
+    tree.group = Ipv4Address(r.u32());
+    tree.core = r.u64();
+    restore_port_map(r, tree.ports);
+  }
+
+  sim::restore_counters(r, counters_);
 }
 
 }  // namespace portland::core

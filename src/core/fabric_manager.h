@@ -87,6 +87,12 @@ class FabricManager {
   /// survive the old incarnation.
   void simulate_failover();
 
+  /// Checkpoint: the complete soft state — topology view, pod allocations,
+  /// host registry, installed prunes, multicast groups/trees, counters.
+  /// The control-plane endpoint registration is construction wiring.
+  void save_state(sim::SnapshotWriter& w) const;
+  void restore_state(sim::SnapshotReader& r);
+
  private:
   void on_hello(SwitchId sender, const SwitchHello& m);
   void on_pod_request(SwitchId sender);

@@ -30,6 +30,7 @@
 #include "common/memsize.h"
 #include "core/pmac.h"
 #include "sim/device.h"
+#include "sim/snapshot.h"
 
 namespace portland::core {
 
@@ -149,6 +150,61 @@ class HostTable {
     if (legacy_) return map_bytes(map_) + map_bytes(pmac_to_amac_);
     return vector_bytes(slots_) + vector_bytes(by_amac_) +
            vector_bytes(by_pmac_);
+  }
+
+  /// Checkpoint: the compact build serializes slots and both index
+  /// vectors verbatim (slot order is state — erase back-fills from the
+  /// end); the legacy build serializes map entries and rebuilds the
+  /// PMAC index.
+  void save_state(sim::SnapshotWriter& w) const {
+    const auto save_entry = [&w](const HostEntry& e) {
+      w.u64(e.amac.to_u64());
+      w.u64(e.pmac.to_mac().to_u64());
+      w.u32(e.ip.value());
+      w.u64(e.port);
+    };
+    if (legacy_) {
+      w.u32(static_cast<std::uint32_t>(map_.size()));
+      for (const auto& [amac, e] : map_) save_entry(e);
+      return;
+    }
+    w.u32(static_cast<std::uint32_t>(slots_.size()));
+    for (const HostEntry& e : slots_) save_entry(e);
+    for (const std::uint32_t slot : by_amac_) w.u32(slot);
+    for (const std::uint32_t slot : by_pmac_) w.u32(slot);
+  }
+
+  void restore_state(sim::SnapshotReader& r) {
+    const auto read_entry = [&r] {
+      HostEntry e;
+      e.amac = MacAddress::from_u64(r.u64());
+      e.pmac = Pmac::from_mac(MacAddress::from_u64(r.u64()));
+      e.ip = Ipv4Address(r.u32());
+      e.port = r.u64();
+      return e;
+    };
+    const std::uint32_t n = r.u32();
+    if (legacy_) {
+      map_.clear();
+      pmac_to_amac_.clear();
+      for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
+        const HostEntry e = read_entry();
+        map_[e.amac] = e;
+        pmac_to_amac_[e.pmac.to_mac()] = e.amac;
+      }
+      return;
+    }
+    slots_.clear();
+    by_amac_.clear();
+    by_pmac_.clear();
+    slots_.reserve(n);
+    by_amac_.reserve(n);
+    by_pmac_.reserve(n);
+    for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
+      slots_.push_back(read_entry());
+    }
+    for (std::uint32_t i = 0; i < n && r.ok(); ++i) by_amac_.push_back(r.u32());
+    for (std::uint32_t i = 0; i < n && r.ok(); ++i) by_pmac_.push_back(r.u32());
   }
 
  private:

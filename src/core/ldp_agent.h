@@ -107,6 +107,12 @@ class LdpAgent {
   /// Neighbor table for SwitchHello reports.
   [[nodiscard]] std::vector<NeighborEntry> neighbor_entries() const;
 
+  /// Checkpoint: discovered location, per-port neighbor/liveness state,
+  /// position negotiation, pending protocol timers, rng stream, stats.
+  /// The port-list caches are rebuilt lazily after restore.
+  void save_state(sim::SnapshotWriter& w) const;
+  void restore_state(sim::SnapshotReader& r);
+
   // --- stats --------------------------------------------------------------
   [[nodiscard]] std::uint64_t ldms_sent() const { return ldms_sent_; }
   [[nodiscard]] std::uint64_t ldms_received() const { return ldms_received_; }

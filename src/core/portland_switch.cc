@@ -7,6 +7,7 @@
 #include "common/memsize.h"
 #include "net/igmp.h"
 #include "obs/flight_recorder.h"
+#include "sim/snapshot.h"
 
 namespace portland::core {
 
@@ -908,6 +909,356 @@ void PortlandSwitch::on_neighbor_event(sim::PortId port, SwitchId neighbor,
                            /*link_up=*/true});
   }
   schedule_hello();
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void save_ports(sim::SnapshotWriter& w, const std::vector<sim::PortId>& v) {
+  w.u32(static_cast<std::uint32_t>(v.size()));
+  for (const sim::PortId p : v) w.u64(p);
+}
+
+void restore_ports(sim::SnapshotReader& r, std::vector<sim::PortId>& v) {
+  v.clear();
+  const std::uint32_t n = r.u32();
+  v.reserve(n);
+  for (std::uint32_t i = 0; i < n && r.ok(); ++i) v.push_back(r.u64());
+}
+
+void save_port_set(sim::SnapshotWriter& w, const PortSet& s) {
+  w.u32(static_cast<std::uint32_t>(s.size()));
+  s.for_each([&w](std::size_t p) { w.u64(p); });
+}
+
+PortSet restore_port_set(sim::SnapshotReader& r) {
+  PortSet s;
+  const std::uint32_t n = r.u32();
+  for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
+    s.insert(static_cast<std::size_t>(r.u64()));
+  }
+  return s;
+}
+
+}  // namespace
+
+void PortlandSwitch::save_state(sim::SnapshotWriter& w) const {
+  ldp_.save_state(w);
+  const auto rng = rng_.state();
+  for (const std::uint64_t word : rng) w.u64(word);
+
+  host_table_.save_state(w);
+  if (legacy_tables_) {
+    w.u32(static_cast<std::uint32_t>(next_vmid_map_.size()));
+    for (const auto& [port, vmid] : next_vmid_map_) {
+      w.u64(port);
+      w.u16(vmid);
+    }
+  } else {
+    w.u32(static_cast<std::uint32_t>(next_vmid_.size()));
+    for (const std::uint16_t vmid : next_vmid_) w.u16(vmid);
+  }
+
+  w.u32(static_cast<std::uint32_t>(redirects_.size()));
+  for (const auto& [old_pmac, redirect] : redirects_) {
+    w.u64(old_pmac.to_u64());
+    w.u64(redirect.new_pmac.to_u64());
+    w.u32(redirect.ip.value());
+    w.u32(static_cast<std::uint32_t>(redirect.garp_sent_to.size()));
+    for (const MacAddress sender : redirect.garp_sent_to) {
+      w.u64(sender.to_u64());
+    }
+  }
+
+  w.u32(static_cast<std::uint32_t>(pending_arps_.size()));
+  for (const auto& [query_id, pending] : pending_arps_) {
+    w.u32(query_id);
+    w.u64(pending.host_port);
+    w.u64(pending.requester_amac.to_u64());
+    w.u64(pending.requester_pmac.to_u64());
+    w.u32(pending.requester_ip.value());
+    w.u32(pending.target.value());
+    w.frame(pending.original);
+    pending.timer->save_state(w);
+  }
+  w.u32(next_query_id_);
+
+  w.u32(static_cast<std::uint32_t>(prunes_.size()));
+  for (const auto& [key, avoid] : prunes_) {
+    w.u16(key.pod);
+    w.u8(key.position);
+    w.u32(static_cast<std::uint32_t>(avoid.size()));
+    for (const SwitchId id : avoid) w.u64(id);
+  }
+  w.u64(prune_generation_);
+
+  // Precomputed FIB: logically derived, but a flow-cache hit stamps
+  // fib_.generation into hop records, so it must restore bit-exactly
+  // rather than rebuild (a rebuild would also bump fib_rebuilds_).
+  w.u64(fib_.ldp_gen);
+  w.u64(fib_.prune_gen);
+  w.u64(fib_.generation);
+  save_ports(w, fib_.base_up);
+  w.u32(static_cast<std::uint32_t>(fib_.pruned_up.size()));
+  for (const PrunedRoute& route : fib_.pruned_up) {
+    w.u32(route.key);
+    save_ports(w, route.ports);
+  }
+  w.u32(static_cast<std::uint32_t>(fib_.pruned_up_map.size()));
+  for (const auto& [key, ports] : fib_.pruned_up_map) {
+    w.u16(key.pod);
+    w.u8(key.position);
+    save_ports(w, ports);
+  }
+  w.u32(static_cast<std::uint32_t>(fib_.down_by_position.size()));
+  for (const std::int32_t p : fib_.down_by_position) {
+    w.u32(static_cast<std::uint32_t>(p));
+  }
+  w.u32(static_cast<std::uint32_t>(fib_.down_by_pod.size()));
+  for (const std::int32_t p : fib_.down_by_pod) {
+    w.u32(static_cast<std::uint32_t>(p));
+  }
+
+  // Flow cache, compact build: sparse — only slots live for the current
+  // FIB generation behave differently from empty ones (stale and empty
+  // slots are both "miss + preferred victim"), so only they are saved.
+  // The allocated flag is kept so the lazy assign happens at the same
+  // point either way.
+  w.u8(flow_slots_.empty() ? 0 : 1);
+  std::uint32_t live_slots = 0;
+  for (const FlowSlot& slot : flow_slots_) {
+    if (slot.generation == fib_.generation) ++live_slots;
+  }
+  w.u32(live_slots);
+  for (std::size_t i = 0; i < flow_slots_.size(); ++i) {
+    if (flow_slots_[i].generation != fib_.generation) continue;
+    w.u32(static_cast<std::uint32_t>(i));
+    w.u64(flow_slots_[i].dst);
+    w.u64(flow_slots_[i].flow_hash);
+    w.u64(flow_slots_[i].port);
+  }
+  // Legacy build: all entries count toward the overflow-clear threshold,
+  // so every one is saved (sorted for a deterministic image).
+  {
+    std::vector<std::pair<FlowCacheKey, FlowCacheEntry>> entries(
+        flow_cache_.begin(), flow_cache_.end());
+    std::sort(entries.begin(), entries.end(),
+              [](const auto& a, const auto& b) {
+                return a.first.dst != b.first.dst
+                           ? a.first.dst < b.first.dst
+                           : a.first.flow_hash < b.first.flow_hash;
+              });
+    w.u32(static_cast<std::uint32_t>(entries.size()));
+    for (const auto& [key, entry] : entries) {
+      w.u64(key.dst);
+      w.u64(key.flow_hash);
+      w.u64(entry.port);
+      w.u64(entry.generation);
+    }
+  }
+  w.u64(flow_cache_hits_);
+  w.u64(flow_cache_misses_);
+  w.u64(fib_rebuilds_);
+
+  w.u32(static_cast<std::uint32_t>(mcast_ports_.size()));
+  for (const auto& [group, ports] : mcast_ports_) {
+    w.u32(group.value());
+    save_port_set(w, ports);
+  }
+  w.u32(static_cast<std::uint32_t>(local_members_.size()));
+  for (const auto& [group, ports] : local_members_) {
+    w.u32(group.value());
+    save_port_set(w, ports);
+  }
+  w.u32(static_cast<std::uint32_t>(mcast_sender_reported_.size()));
+  for (const Ipv4Address group : mcast_sender_reported_) {
+    w.u32(group.value());
+  }
+
+  w.u32(static_cast<std::uint32_t>(reported_down_.size()));
+  for (const PortFault& fault : reported_down_) {
+    w.u64(fault.port);
+    w.u64(fault.neighbor);
+  }
+
+  hello_timer_.save_state(w);
+  hello_periodic_.save_state(w);
+  refresh_periodic_.save_state(w);
+  w.u8(hello_pending_ ? 1 : 0);
+  w.u64(spray_counter_);
+}
+
+void PortlandSwitch::restore_state(sim::SnapshotReader& r) {
+  ldp_.restore_state(r);
+  std::array<std::uint64_t, 4> rng{};
+  for (std::uint64_t& word : rng) word = r.u64();
+  rng_.set_state(rng);
+
+  host_table_.restore_state(r);
+  if (legacy_tables_) {
+    next_vmid_map_.clear();
+    const std::uint32_t n = r.u32();
+    for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
+      const sim::PortId port = r.u64();
+      next_vmid_map_[port] = r.u16();
+    }
+  } else {
+    const std::uint32_t n = r.u32();
+    next_vmid_.assign(n, 0);
+    for (std::uint32_t i = 0; i < n && r.ok(); ++i) next_vmid_[i] = r.u16();
+  }
+
+  redirects_.clear();
+  const std::uint32_t n_redirects = r.u32();
+  for (std::uint32_t i = 0; i < n_redirects && r.ok(); ++i) {
+    const MacAddress old_pmac = MacAddress::from_u64(r.u64());
+    Redirect redirect;
+    redirect.new_pmac = MacAddress::from_u64(r.u64());
+    redirect.ip = Ipv4Address(r.u32());
+    const std::uint32_t n_senders = r.u32();
+    for (std::uint32_t j = 0; j < n_senders && r.ok(); ++j) {
+      redirect.garp_sent_to.insert(MacAddress::from_u64(r.u64()));
+    }
+    redirects_.emplace(old_pmac, std::move(redirect));
+  }
+
+  pending_arps_.clear();
+  const std::uint32_t n_arps = r.u32();
+  for (std::uint32_t i = 0; i < n_arps && r.ok(); ++i) {
+    const std::uint32_t query_id = r.u32();
+    PendingArp pending;
+    pending.host_port = r.u64();
+    pending.requester_amac = MacAddress::from_u64(r.u64());
+    pending.requester_pmac = MacAddress::from_u64(r.u64());
+    pending.requester_ip = Ipv4Address(r.u32());
+    pending.target = Ipv4Address(r.u32());
+    pending.original = r.frame();
+    pending.timer = std::make_unique<sim::Timer>(sim());
+    pending.timer->restore_at(
+        r, [this, query_id] { flood_arp_fallback(query_id); });
+    pending_arps_.emplace(query_id, std::move(pending));
+  }
+  next_query_id_ = r.u32();
+
+  prunes_.clear();
+  const std::uint32_t n_prunes = r.u32();
+  for (std::uint32_t i = 0; i < n_prunes && r.ok(); ++i) {
+    DstKey key;
+    key.pod = r.u16();
+    key.position = r.u8();
+    std::set<SwitchId>& avoid = prunes_[key];
+    const std::uint32_t n_avoid = r.u32();
+    for (std::uint32_t j = 0; j < n_avoid && r.ok(); ++j) {
+      avoid.insert(r.u64());
+    }
+  }
+  prune_generation_ = r.u64();
+
+  fib_.ldp_gen = r.u64();
+  fib_.prune_gen = r.u64();
+  fib_.generation = r.u64();
+  restore_ports(r, fib_.base_up);
+  fib_.pruned_up.clear();
+  const std::uint32_t n_routes = r.u32();
+  fib_.pruned_up.reserve(n_routes);
+  for (std::uint32_t i = 0; i < n_routes && r.ok(); ++i) {
+    PrunedRoute route;
+    route.key = r.u32();
+    restore_ports(r, route.ports);
+    fib_.pruned_up.push_back(std::move(route));
+  }
+  fib_.pruned_up_map.clear();
+  const std::uint32_t n_route_map = r.u32();
+  for (std::uint32_t i = 0; i < n_route_map && r.ok(); ++i) {
+    DstKey key;
+    key.pod = r.u16();
+    key.position = r.u8();
+    restore_ports(r, fib_.pruned_up_map[key]);
+  }
+  const std::uint32_t n_by_pos = r.u32();
+  fib_.down_by_position.assign(n_by_pos, -1);
+  for (std::uint32_t i = 0; i < n_by_pos && r.ok(); ++i) {
+    fib_.down_by_position[i] = static_cast<std::int32_t>(r.u32());
+  }
+  const std::uint32_t n_by_pod = r.u32();
+  fib_.down_by_pod.assign(n_by_pod, -1);
+  for (std::uint32_t i = 0; i < n_by_pod && r.ok(); ++i) {
+    fib_.down_by_pod[i] = static_cast<std::int32_t>(r.u32());
+  }
+
+  const bool slots_allocated = r.u8() != 0;
+  flow_slots_.clear();
+  if (slots_allocated && !legacy_tables_) {
+    flow_slots_.assign(flow_slot_mask_ + 1, {});
+  }
+  const std::uint32_t n_live = r.u32();
+  for (std::uint32_t i = 0; i < n_live && r.ok(); ++i) {
+    const std::uint32_t idx = r.u32();
+    FlowSlot slot;
+    slot.dst = r.u64();
+    slot.flow_hash = r.u64();
+    slot.generation = fib_.generation;
+    slot.port = r.u64();
+    if (idx < flow_slots_.size()) flow_slots_[idx] = slot;
+  }
+  flow_cache_.clear();
+  const std::uint32_t n_cache = r.u32();
+  for (std::uint32_t i = 0; i < n_cache && r.ok(); ++i) {
+    FlowCacheKey key;
+    key.dst = r.u64();
+    key.flow_hash = r.u64();
+    FlowCacheEntry entry;
+    entry.port = r.u64();
+    entry.generation = r.u64();
+    flow_cache_.emplace(key, entry);
+  }
+  flow_cache_hits_ = r.u64();
+  flow_cache_misses_ = r.u64();
+  fib_rebuilds_ = r.u64();
+
+  mcast_ports_.clear();
+  const std::uint32_t n_mcast = r.u32();
+  for (std::uint32_t i = 0; i < n_mcast && r.ok(); ++i) {
+    const Ipv4Address group(r.u32());
+    mcast_ports_[group] = restore_port_set(r);
+  }
+  local_members_.clear();
+  const std::uint32_t n_members = r.u32();
+  for (std::uint32_t i = 0; i < n_members && r.ok(); ++i) {
+    const Ipv4Address group(r.u32());
+    local_members_[group] = restore_port_set(r);
+  }
+  mcast_sender_reported_.clear();
+  const std::uint32_t n_senders = r.u32();
+  for (std::uint32_t i = 0; i < n_senders && r.ok(); ++i) {
+    mcast_sender_reported_.insert(Ipv4Address(r.u32()));
+  }
+
+  reported_down_.clear();
+  const std::uint32_t n_faults = r.u32();
+  reported_down_.reserve(n_faults);
+  for (std::uint32_t i = 0; i < n_faults && r.ok(); ++i) {
+    PortFault fault;
+    fault.port = r.u64();
+    fault.neighbor = r.u64();
+    reported_down_.push_back(fault);
+  }
+
+  hello_timer_.restore_at(r, [this] {
+    hello_pending_ = false;
+    send_hello();
+  });
+  hello_periodic_.restore_state(r);
+  refresh_periodic_.restore_state(r);
+  hello_pending_ = r.u8() != 0;
+  spray_counter_ = r.u64();
+
+  // The control-plane endpoint registration from start() survives in a
+  // forked image (same object); a fresh fabric restores after its own
+  // start(), which re-registered it. Nothing to redo here.
 }
 
 // ---------------------------------------------------------------------------

@@ -56,6 +56,13 @@ class PortlandSwitch : public sim::Device {
   void handle_frame(sim::PortId in_port, const sim::FramePtr& frame) override;
   void handle_link_status(sim::PortId port, bool up) override;
 
+  /// Checkpoint: LDP state, host/redirect/prune/multicast tables, the
+  /// precomputed FIB and flow cache (a cache hit records the FIB
+  /// generation in hop traces, so even derived state restores exactly),
+  /// pending ARP queries with their timers, fault reports, rng.
+  void save_state(sim::SnapshotWriter& w) const override;
+  void restore_state(sim::SnapshotReader& r) override;
+
   // --- inspection --------------------------------------------------------
   [[nodiscard]] SwitchId id() const { return id_; }
   [[nodiscard]] const SwitchLocator& locator() const { return ldp_.self(); }

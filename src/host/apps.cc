@@ -31,6 +31,16 @@ void UdpFlowSender::tick() {
   }
 }
 
+void UdpFlowSender::save_state(sim::SnapshotWriter& w) const {
+  w.u64(next_seq_);
+  timer_.save_state(w);
+}
+
+void UdpFlowSender::restore_state(sim::SnapshotReader& r) {
+  next_seq_ = r.u64();
+  timer_.restore_state(r);
+}
+
 UdpFlowReceiver::UdpFlowReceiver(Host& host, std::uint16_t port, bool record) {
   host.bind_udp(port, [this, &host, record](Ipv4Address, std::uint16_t,
                                             std::uint16_t,
@@ -64,6 +74,30 @@ std::vector<std::pair<SimTime, SimDuration>> UdpFlowReceiver::gaps_over(
     if (gap > threshold) out.emplace_back(arrivals_[i - 1].time, gap);
   }
   return out;
+}
+
+void UdpFlowReceiver::save_state(sim::SnapshotWriter& w) const {
+  w.u64(count_);
+  w.i64(last_time_);
+  w.u32(static_cast<std::uint32_t>(arrivals_.size()));
+  for (const Arrival& a : arrivals_) {
+    w.i64(a.time);
+    w.u64(a.seq);
+  }
+}
+
+void UdpFlowReceiver::restore_state(sim::SnapshotReader& r) {
+  count_ = r.u64();
+  last_time_ = r.i64();
+  arrivals_.clear();
+  const std::uint32_t n = r.u32();
+  arrivals_.reserve(n);
+  for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
+    Arrival a;
+    a.time = r.i64();
+    a.seq = r.u64();
+    arrivals_.push_back(a);
+  }
 }
 
 std::uint64_t UdpFlowReceiver::unique_sequences() const {

@@ -14,10 +14,11 @@
 #include "common/units.h"
 #include "host/host.h"
 #include "sim/simulator.h"
+#include "sim/snapshot.h"
 
 namespace portland::host {
 
-class UdpFlowSender {
+class UdpFlowSender : public sim::Snapshotable {
  public:
   struct Config {
     Ipv4Address dst;
@@ -41,6 +42,10 @@ class UdpFlowSender {
 
   [[nodiscard]] std::uint64_t packets_sent() const { return next_seq_; }
 
+  /// Checkpoint (extras hook): sequence counter + pending tick.
+  void save_state(sim::SnapshotWriter& w) const override;
+  void restore_state(sim::SnapshotReader& r) override;
+
  private:
   void tick();
 
@@ -50,7 +55,7 @@ class UdpFlowSender {
   sim::PeriodicTimer timer_;
 };
 
-class UdpFlowReceiver {
+class UdpFlowReceiver : public sim::Snapshotable {
  public:
   /// Binds `port` on `host` and records every arrival. Throughput benches
   /// pass `record = false` to keep only counters (no per-packet vector
@@ -80,6 +85,11 @@ class UdpFlowReceiver {
 
   /// Count of distinct sequence numbers seen (duplicates excluded).
   [[nodiscard]] std::uint64_t unique_sequences() const;
+
+  /// Checkpoint (extras hook): the arrival trace and counters. The UDP
+  /// bind installed at construction is wiring and survives in place.
+  void save_state(sim::SnapshotWriter& w) const override;
+  void restore_state(sim::SnapshotReader& r) override;
 
  private:
   std::vector<Arrival> arrivals_;

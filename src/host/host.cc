@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "net/igmp.h"
 #include "obs/flight_recorder.h"
+#include "sim/snapshot.h"
 
 namespace portland::host {
 
@@ -296,6 +297,92 @@ void Host::arp_retry_tick(Ipv4Address target) {
   send_arp_request(target);
   p.timer->schedule_after(config_.arp_retry_interval,
                           [this, target] { arp_retry_tick(target); });
+}
+
+// --------------------------------------------------------------------------
+// Checkpoint
+// --------------------------------------------------------------------------
+
+void Host::save_state(sim::SnapshotWriter& w) const {
+  arp_cache_.save_state(w);
+
+  // Unresolved sends: sorted by destination IP (the map is unordered and
+  // only keyed lookups matter, so sorting is free determinism).
+  std::vector<const std::pair<const Ipv4Address, Pending>*> pending;
+  pending.reserve(pending_.size());
+  for (const auto& kv : pending_) pending.push_back(&kv);
+  std::sort(pending.begin(), pending.end(), [](const auto* a, const auto* b) {
+    return a->first.value() < b->first.value();
+  });
+  w.u32(static_cast<std::uint32_t>(pending.size()));
+  for (const auto* kv : pending) {
+    w.u32(kv->first.value());
+    w.u32(static_cast<std::uint32_t>(kv->second.retries));
+    w.u32(static_cast<std::uint32_t>(kv->second.frames.size()));
+    for (const std::vector<std::uint8_t>& frame : kv->second.frames) {
+      w.blob(frame);
+    }
+    kv->second.timer->save_state(w);
+  }
+
+  w.u16(next_ephemeral_port_);
+  w.u64(arp_requests_sent_);
+
+  w.u32(static_cast<std::uint32_t>(connections_.size()));
+  for (const auto& [key, conn] : connections_) {
+    w.u32(key.remote_ip.value());
+    w.u16(key.remote_port);
+    w.u16(key.local_port);
+    conn->save_state(w);
+  }
+  // Written after connections: a fresh-process restore creates missing
+  // connections through make_connection, which advances isn_state_ — the
+  // exact value is reapplied last either way.
+  w.u64(isn_state_);
+}
+
+void Host::restore_state(sim::SnapshotReader& r) {
+  arp_cache_.restore_state(r);
+
+  pending_.clear();
+  const std::uint32_t n_pending = r.u32();
+  for (std::uint32_t i = 0; i < n_pending && r.ok(); ++i) {
+    const Ipv4Address dst(r.u32());
+    Pending& p = pending_[dst];
+    p.retries = static_cast<int>(r.u32());
+    const std::uint32_t n_frames = r.u32();
+    for (std::uint32_t j = 0; j < n_frames && r.ok(); ++j) {
+      p.frames.push_back(r.blob());
+    }
+    p.timer = std::make_unique<sim::Timer>(sim());
+    p.timer->restore_at(r, [this, dst] { arp_retry_tick(dst); });
+  }
+
+  next_ephemeral_port_ = r.u16();
+  arp_requests_sent_ = r.u64();
+
+  const std::uint32_t n_conns = r.u32();
+  std::vector<TcpEndpointKey> restored;
+  restored.reserve(n_conns);
+  for (std::uint32_t i = 0; i < n_conns && r.ok(); ++i) {
+    TcpEndpointKey key;
+    key.remote_ip = Ipv4Address(r.u32());
+    key.remote_port = r.u16();
+    key.local_port = r.u16();
+    auto it = connections_.find(key);
+    TcpConnection& conn =
+        it != connections_.end() ? *it->second : make_connection(key);
+    conn.restore_state(r);
+    restored.push_back(key);
+  }
+  // Drop connections the image does not know about (a fork target that
+  // had diverged before restore).
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    const bool keep = std::find(restored.begin(), restored.end(),
+                                it->first) != restored.end();
+    it = keep ? std::next(it) : connections_.erase(it);
+  }
+  isn_state_ = r.u64();
 }
 
 void Host::flush_pending(Ipv4Address dst, MacAddress mac) {

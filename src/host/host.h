@@ -48,6 +48,14 @@ class Host : public sim::Device {
   void handle_frame(sim::PortId in_port, const sim::FramePtr& frame) override;
   void start() override;
 
+  /// Checkpoint: ARP cache, unresolved sends with their retry timers, TCP
+  /// connections (created on demand for keys missing after a fresh-
+  /// process restore; app deliver/finished callbacks must be re-installed
+  /// by the application — in-place forks keep them automatically), ISN
+  /// state. UDP/listener handler maps are construction wiring.
+  void save_state(sim::SnapshotWriter& w) const override;
+  void restore_state(sim::SnapshotReader& r) override;
+
   [[nodiscard]] MacAddress mac() const { return mac_; }
   [[nodiscard]] Ipv4Address ip() const { return ip_; }
 

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "common/logging.h"
+#include "sim/snapshot.h"
 
 namespace portland::host {
 
@@ -421,6 +422,103 @@ void TcpConnection::handle_segment(const TcpHeader& h,
       }
       return;
   }
+}
+
+void TcpConnection::save_state(sim::SnapshotWriter& w) const {
+  w.u8(static_cast<std::uint8_t>(state_));
+
+  w.u32(isn_);
+  w.u32(snd_una_);
+  w.u32(snd_nxt_);
+  w.u32(snd_max_);
+  w.u64(stream_len_);
+  w.u64(snd_offset_base_);
+  w.u8(fin_queued_ ? 1 : 0);
+  w.u8(fin_sent_ ? 1 : 0);
+  w.u8(fin_ever_sent_ ? 1 : 0);
+  w.u32(fin_wire_seq_);
+  w.u32(cwnd_);
+  w.u32(ssthresh_);
+  w.u16(peer_window_);
+  w.u32(static_cast<std::uint32_t>(dup_acks_));
+  w.u8(in_recovery_ ? 1 : 0);
+  w.u32(recovery_point_);
+  w.i64(rto_);
+  w.u32(static_cast<std::uint32_t>(backoff_));
+  w.f64(srtt_);
+  w.f64(rttvar_);
+  w.u8(rtt_valid_ ? 1 : 0);
+  w.u32(timed_seq_);
+  w.i64(timed_sent_at_);
+  rto_timer_.save_state(w);
+  w.u32(static_cast<std::uint32_t>(syn_retries_));
+
+  w.u32(irs_);
+  w.u32(rcv_nxt_);
+  w.u8(peer_fin_seen_ ? 1 : 0);
+  w.u32(peer_fin_seq_);
+  w.u32(static_cast<std::uint32_t>(ooo_.size()));
+  for (const auto& [seq, payload] : ooo_) {
+    w.u32(seq);
+    w.blob(payload);
+  }
+
+  w.u64(bytes_acked_);
+  w.u64(bytes_delivered_);
+  w.u64(ooo_segments_);
+  w.u64(segments_sent_);
+  w.u64(retransmissions_);
+  w.u64(timeouts_);
+  w.u8(payload_corruption_ ? 1 : 0);
+}
+
+void TcpConnection::restore_state(sim::SnapshotReader& r) {
+  state_ = static_cast<State>(r.u8());
+
+  isn_ = r.u32();
+  snd_una_ = r.u32();
+  snd_nxt_ = r.u32();
+  snd_max_ = r.u32();
+  stream_len_ = r.u64();
+  snd_offset_base_ = r.u64();
+  fin_queued_ = r.u8() != 0;
+  fin_sent_ = r.u8() != 0;
+  fin_ever_sent_ = r.u8() != 0;
+  fin_wire_seq_ = r.u32();
+  cwnd_ = r.u32();
+  ssthresh_ = r.u32();
+  peer_window_ = r.u16();
+  dup_acks_ = static_cast<int>(r.u32());
+  in_recovery_ = r.u8() != 0;
+  recovery_point_ = r.u32();
+  rto_ = r.i64();
+  backoff_ = static_cast<int>(r.u32());
+  srtt_ = r.f64();
+  rttvar_ = r.f64();
+  rtt_valid_ = r.u8() != 0;
+  timed_seq_ = r.u32();
+  timed_sent_at_ = r.i64();
+  rto_timer_.restore_at(r, [this] { on_rto(); });
+  syn_retries_ = static_cast<int>(r.u32());
+
+  irs_ = r.u32();
+  rcv_nxt_ = r.u32();
+  peer_fin_seen_ = r.u8() != 0;
+  peer_fin_seq_ = r.u32();
+  ooo_.clear();
+  const std::uint32_t n_ooo = r.u32();
+  for (std::uint32_t i = 0; i < n_ooo && r.ok(); ++i) {
+    const std::uint32_t seq = r.u32();
+    ooo_[seq] = r.blob();
+  }
+
+  bytes_acked_ = r.u64();
+  bytes_delivered_ = r.u64();
+  ooo_segments_ = r.u64();
+  segments_sent_ = r.u64();
+  retransmissions_ = r.u64();
+  timeouts_ = r.u64();
+  payload_corruption_ = r.u8() != 0;
 }
 
 }  // namespace portland::host

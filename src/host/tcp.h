@@ -129,6 +129,14 @@ class TcpConnection {
     return static_cast<std::uint8_t>((offset * 131) ^ (offset >> 7));
   }
 
+  /// Checkpoint: full protocol state (send/receive windows, congestion
+  /// control, RTT estimator, out-of-order store, pending RTO timer). The
+  /// segment sink and app callbacks are construction wiring and survive
+  /// in-place; a fresh-process restore re-creates the sink but app
+  /// callbacks must be re-installed by the application.
+  void save_state(sim::SnapshotWriter& w) const;
+  void restore_state(sim::SnapshotReader& r);
+
  private:
   void send_segment(std::uint32_t seq_wire, std::uint32_t len, bool fin,
                     bool syn, bool is_retransmission);

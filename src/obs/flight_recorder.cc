@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/snapshot.h"
+
 namespace portland::obs {
 
 FlightRecorder::FlightRecorder(std::size_t shard_count, Options options)
@@ -144,6 +146,38 @@ void FlightRecorder::clear() {
     log.drop_total = 0;
     log.by_reason.fill(0);
     // trace_ids is intentionally preserved: ids stay unique run-wide.
+  }
+}
+
+void FlightRecorder::save_state(sim::SnapshotWriter& w) const {
+  w.u32(static_cast<std::uint32_t>(logs_.size()));
+  for (const ShardLog& log : logs_) {
+    w.u64(log.captured);
+    w.u64(log.trace_ids);
+    w.u64(log.drop_total);
+    for (const std::uint64_t n : log.by_reason) w.u64(n);
+  }
+}
+
+void FlightRecorder::restore_state(sim::SnapshotReader& r) {
+  const std::uint32_t n = r.u32();
+  if (n != logs_.size()) return;  // shard-count mismatch; caller validates
+  for (ShardLog& log : logs_) {
+    log.ring.clear();
+    log.drops.clear();
+    // Only the trace-id allocators carry over: fresh ids must never
+    // collide with ids burned before the save. Capture/drop counting
+    // restarts at zero, exactly like clear() — the ring's lazy-growth
+    // placement keys off `captured`, so a restored recorder and a
+    // save-side clear()ed recorder must agree on it or their rings
+    // retain different records once a shard wraps.
+    (void)r.u64();  // captured at save time; reporting only, not restored
+    log.captured = 0;
+    log.trace_ids = r.u64();
+    (void)r.u64();  // drop_total at save time
+    log.drop_total = 0;
+    log.by_reason.fill(0);
+    for (std::size_t i = 0; i < log.by_reason.size(); ++i) (void)r.u64();
   }
 }
 

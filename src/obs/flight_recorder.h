@@ -28,6 +28,11 @@
 #include "common/units.h"
 #include "obs/drop_reason.h"
 
+namespace portland::sim {
+class SnapshotWriter;
+class SnapshotReader;
+}  // namespace portland::sim
+
 namespace portland::obs {
 
 /// What happened to a frame at one hop.
@@ -121,6 +126,17 @@ class FlightRecorder {
       const;
 
   void clear();
+
+  /// Checkpoint: per-shard counter state — most importantly the trace-id
+  /// allocators, so a restored fabric keeps handing out fresh ids that
+  /// never collide with ids already burned before the save. Hop records
+  /// hold `const char*` device names owned by the *saving* process, so
+  /// rings and drop logs are not serialized; restore clears them and
+  /// restarts capture/drop counting at zero (the same state clear()
+  /// leaves behind, so a saver that clear()s at the checkpoint and a
+  /// restorer retain bit-identical rings from then on).
+  void save_state(sim::SnapshotWriter& w) const;
+  void restore_state(sim::SnapshotReader& r);
 
  private:
   struct Stamped {

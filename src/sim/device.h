@@ -50,6 +50,15 @@ class Device {
   /// their timers here.
   virtual void start() {}
 
+  /// Checkpoint hooks: serialize/rebuild everything beyond construction —
+  /// tables, caches, pending timers, protocol state. The base counters
+  /// are saved by the fabric around these calls, so a device with no
+  /// state beyond its counters needs no override. Restores run inside a
+  /// ShardGuard for the device's shard, so re-armed timers land on the
+  /// owning shard's queue.
+  virtual void save_state(SnapshotWriter& w) const { (void)w; }
+  virtual void restore_state(SnapshotReader& r) { (void)r; }
+
   /// Adds one port; returns its id (ids are dense, starting at 0).
   PortId add_port();
 

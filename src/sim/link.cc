@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "obs/flight_recorder.h"
+#include "sim/snapshot.h"
 
 namespace portland::sim {
 
@@ -18,7 +19,13 @@ Link::Link(Simulator& sim, Device& a, PortId port_a, Device& b, PortId port_b,
     train_[side].ctx = this;
     train_[side].deliver = &Link::deliver_train_entry;
     train_[side].from_side = side;
+    train_[side].owner = this;
+    train_[side].owner_kind = static_cast<std::uint32_t>(side);
   }
+  // Deterministic registration: links are constructed in the same order
+  // in any process building the same fabric, so the id this assigns
+  // resolves serialized in-flight deliveries across a snapshot restore.
+  sim_->register_data_owner(this);
 }
 
 std::size_t Link::side_index(int side) {
@@ -33,6 +40,7 @@ SimDuration Link::serialization_time(std::size_t bytes) const {
 }
 
 void Link::transmit(int from_side, const FramePtr& frame) {
+  snap_clean_ = false;  // counters/queue/train all move below
   Direction& dir = dir_[side_index(from_side)];
   // transmit() always runs on the sender's shard, so the sender's
   // recorder log is safe to write here.
@@ -84,25 +92,37 @@ void Link::transmit(int from_side, const FramePtr& frame) {
     return;
   }
 
-  // Delivery runs on the receiver's shard. In the parallel engine a
-  // cross-shard arrival parks in the (src,dst) mailbox until the window
-  // barrier; the lambda's reads of the *sending* direction (up, epoch)
-  // are race-free because those fields only change in barrier tasks.
-  sim_->at_shard(receiver->shard(), arrival,
-                 [this, from_side, epoch, receiver, rx_port, frame] {
-    Direction& d = dir_[side_index(from_side)];
-    // Frames in flight when the direction failed are lost.
-    if (!d.up || d.epoch != epoch) return;
-    ++*receiver->rx_frames_cell();
-    *receiver->rx_bytes_cell() += frame->size();
-    if (tap_ != nullptr && *tap_) (*tap_)(*this, 1 - from_side, frame);
-    receiver->handle_frame(rx_port, frame);
-  });
+  // Delivery runs on the receiver's shard, scheduled as a *data event*
+  // (serializable — a checkpoint can save and rebuild it) rather than a
+  // closure. In the parallel engine a cross-shard arrival parks in the
+  // (src,dst) mailbox until the window barrier; execute_data_event's
+  // reads of the *sending* direction (up, epoch) are race-free because
+  // those fields only change in barrier tasks.
+  (void)rx_port;
+  sim_->at_shard_data(receiver->shard(), arrival, this,
+                      static_cast<std::uint32_t>(from_side), epoch, frame,
+                      FrameBytes{});
+}
+
+void Link::execute_data_event(std::uint32_t kind, std::uint64_t arg,
+                              const FramePtr& frame,
+                              const FrameBytes& bytes) {
+  (void)bytes;
+  const int from_side = static_cast<int>(kind);
+  Direction& d = dir_[side_index(from_side)];
+  // Frames in flight when the direction failed are lost.
+  if (!d.up || d.epoch != arg) return;
+  Device* receiver = end_[side_index(1 - from_side)].device;
+  ++*receiver->rx_frames_cell();
+  *receiver->rx_bytes_cell() += frame->size();
+  if (tap_ != nullptr && *tap_) (*tap_)(*this, 1 - from_side, frame);
+  receiver->handle_frame(end_[side_index(1 - from_side)].port, frame);
 }
 
 void Link::deliver_train_entry(void* ctx, int from_side,
                                const TrainEntry& entry) {
   auto* self = static_cast<Link*>(ctx);
+  self->snap_clean_ = false;  // the engine is draining this train's deque
   Direction& d = self->dir_[side_index(from_side)];
   // Frames in flight when the direction failed are lost — the entry's
   // epoch snapshot makes this check identical to the classic lambda's.
@@ -115,6 +135,99 @@ void Link::deliver_train_entry(void* ctx, int from_side,
   }
   receiver->handle_frame(self->end_[side_index(1 - from_side)].port,
                          entry.frame);
+}
+
+void Link::save_state(SnapshotWriter& w) {
+  const SimTime now = sim_->now();
+  thread_local std::vector<std::uint8_t> scratch;
+  scratch.clear();
+  SnapshotWriter bw(scratch);
+  for (int side = 0; side < 2; ++side) {
+    Direction& d = dir_[side_index(side)];
+    // Settling here is idempotent: queued_bytes is only ever read
+    // post-settle, so the saved state equals what the next transmit()
+    // would have observed anyway.
+    d.settle(now);
+    bw.u8(d.up ? 1 : 0);
+    bw.i64(d.busy_until);
+    bw.u64(d.queued_bytes);
+    bw.u64(d.tx_frames);
+    bw.u64(d.tx_bytes);
+    bw.u64(d.dropped);
+    bw.u64(d.epoch);
+    bw.u32(static_cast<std::uint32_t>(d.drains.size() - d.drain_head));
+    for (std::size_t i = d.drain_head; i < d.drains.size(); ++i) {
+      bw.i64(d.drains[i].done);
+      bw.u32(d.drains[i].bytes);
+    }
+    const Train& tr = train_[side_index(side)];
+    bw.u32(static_cast<std::uint32_t>(tr.entries.size()));
+    for (const TrainEntry& e : tr.entries) {
+      bw.i64(e.time);
+      bw.u64(e.seq);
+      bw.u64(e.epoch);
+      bw.frame(e.frame);
+    }
+  }
+  w.u64(content_hash(scratch));
+  w.blob(scratch);
+  // The settle above may have drifted the drain bookkeeping off whatever
+  // section this link last restored; be conservative.
+  snap_clean_ = false;
+}
+
+void Link::restore_state(SnapshotReader& r) {
+  const std::uint64_t hash = r.u64();
+  const std::uint32_t len = r.u32();
+  if (snap_clean_ && hash == snap_hash_) {
+    // Unchanged since we last restored this exact section (and, by the
+    // clean invariant, our trains are empty, so there is nothing to
+    // re-anchor): skip it wholesale.
+    r.skip(len);
+    return;
+  }
+  for (int side = 0; side < 2; ++side) {
+    Direction& d = dir_[side_index(side)];
+    d.up = r.u8() != 0;
+    d.busy_until = r.i64();
+    d.queued_bytes = r.u64();
+    d.tx_frames = r.u64();
+    d.tx_bytes = r.u64();
+    d.dropped = r.u64();
+    d.epoch = r.u64();
+    d.drains.clear();
+    d.drain_head = 0;
+    const std::uint32_t n_drains = r.u32();
+    for (std::uint32_t i = 0; i < n_drains && r.ok(); ++i) {
+      const SimTime done = r.i64();
+      const std::uint32_t bytes = r.u32();
+      d.drains.push_back(Direction::PendingDrain{done, bytes});
+    }
+    Train& tr = train_[side_index(side)];
+    tr.entries.clear();
+    tr.scheduled = false;
+    const std::uint32_t n_entries = r.u32();
+    for (std::uint32_t i = 0; i < n_entries && r.ok(); ++i) {
+      TrainEntry e;
+      e.time = r.i64();
+      e.seq = r.u64();
+      e.epoch = r.u64();
+      e.frame = r.frame();
+      tr.entries.push_back(std::move(e));
+    }
+    if (!r.ok()) return;
+    if (!tr.entries.empty()) {
+      // Re-anchor the train node in the *receiver's* shard queue at the
+      // front entry's exact saved (time, seq).
+      Device* receiver = end_[side_index(1 - side)].device;
+      sim_->restore_train_anchor(receiver->shard(), tr);
+    }
+  }
+  snap_hash_ = hash;
+  // Only an empty-train link may claim cleanliness: snapshot_clear wipes
+  // anchored trains without going through this object.
+  snap_clean_ =
+      train_[0].entries.empty() && train_[1].entries.empty();
 }
 
 void Link::set_up(bool up) {
@@ -134,6 +247,7 @@ void Link::set_up(bool up) {
 void Link::set_direction_up(int from_side, bool up) {
   Direction& dir = dir_[side_index(from_side)];
   if (dir.up == up) return;
+  snap_clean_ = false;
   dir.up = up;
   if (!up) {
     ++dir.epoch;  // voids all in-flight frames in this direction

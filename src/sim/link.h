@@ -29,7 +29,7 @@ class Link;
 using FrameTap = std::function<void(const Link&, int rx_side,
                                     const FramePtr&)>;
 
-class Link {
+class Link : public DataEventOwner {
  public:
   struct Config {
     /// Link speed in bits per second. Default 1 Gb/s, as in the testbed.
@@ -91,9 +91,29 @@ class Link {
   /// drain bookkeeping).
   [[nodiscard]] std::size_t queued_bytes_now(int from_side) {
     Direction& dir = dir_[side_index(from_side)];
+    snap_clean_ = false;  // settling mutates the drain bookkeeping
     dir.settle(sim_->now());
     return dir.queued_bytes;
   }
+
+  /// Classic (non-burst) frame delivery, dispatched as a serializable
+  /// data event: kind = transmitting side, arg = the direction's failure
+  /// epoch at transmit time. Replays exactly the per-frame delivery
+  /// (epoch/up filter, rx counters, tap, handle_frame).
+  void execute_data_event(std::uint32_t kind, std::uint64_t arg,
+                          const FramePtr& frame,
+                          const FrameBytes& bytes) override;
+
+  /// Checkpoint: per-direction transmitter state (up/busy/queue/epoch/
+  /// counters, un-settled drains) plus the in-flight train deques. The
+  /// restore re-anchors non-empty trains in the receiver's shard queue at
+  /// their exact saved (time, seq).
+  ///
+  /// The section is content-addressed: an idle link being re-forked from
+  /// the image it already matches (no mutation since the last restore)
+  /// skips its section wholesale instead of re-parsing it.
+  void save_state(SnapshotWriter& w);
+  void restore_state(SnapshotReader& r);
 
  private:
   struct Endpoint {
@@ -150,6 +170,13 @@ class Link {
   std::array<Direction, 2> dir_;
   /// One train per direction: the batched in-flight frames a->b and b->a.
   std::array<Train, 2> train_;
+
+  /// True while this link's state is bit-identical to the section it last
+  /// restored (hash below). Every mutation path clears it; restore only
+  /// sets it when the restored trains are empty, because snapshot_clear
+  /// wipes anchored trains behind the link's back.
+  bool snap_clean_ = false;
+  std::uint64_t snap_hash_ = 0;
 };
 
 }  // namespace portland::sim

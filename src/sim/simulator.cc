@@ -110,6 +110,7 @@ void Simulator::schedule_timer_local(Shard& sh, ShardId id, SimTime t,
   const std::uint32_t slot = acquire_slot(sh);
   sh.slots[slot].timer = std::move(core);
   sh.slots[slot].timer_gen = generation;
+  const std::uint64_t seq = sh.next_seq;
   const std::uint32_t handle = push_node(sh, t, slot);
   ++sh.live;
   // Record where the live shot sits so cancel/rearm can erase it in O(1).
@@ -119,7 +120,77 @@ void Simulator::schedule_timer_local(Shard& sh, ShardId id, SimTime t,
   if (raw->generation == generation && raw->pending) {
     raw->shard = id;
     raw->handle = handle;
+    raw->seq = seq;
   }
+}
+
+void Simulator::schedule_data_local(Shard& sh, SimTime t,
+                                    DataEventOwner* owner, std::uint32_t kind,
+                                    std::uint64_t arg, FramePtr frame,
+                                    FrameBytes bytes) {
+  assert(t >= sh.now);
+  const std::uint32_t slot = acquire_slot(sh);
+  EventPayload& p = sh.slots[slot];
+  p.data_owner = owner;
+  p.data_kind = kind;
+  p.data_arg = arg;
+  p.data_frame = std::move(frame);
+  p.data_bytes = std::move(bytes);
+  push_node(sh, t, slot);
+  ++sh.live;
+}
+
+std::uint32_t Simulator::register_data_owner(DataEventOwner* owner) {
+  const auto id = static_cast<std::uint32_t>(data_owners_.size());
+  data_owners_.push_back(owner);
+  data_owner_ids_.emplace(owner, id);
+  return id;
+}
+
+void Simulator::at_shard_data(ShardId dst, SimTime t, DataEventOwner* owner,
+                              std::uint32_t kind, std::uint64_t arg,
+                              FramePtr frame, FrameBytes bytes) {
+  if (!configured_) {
+    schedule_data_local(*shards_[0], t, owner, kind, arg, std::move(frame),
+                        std::move(bytes));
+    return;
+  }
+  if (dst == kNoShard) {
+    // Unhinted destination: globally-serialized barrier execution, same
+    // as at_shard's fallback. The closure wrapper is not serializable —
+    // a snapshot with one pending refuses, which is fine because hinted
+    // fabrics never take this path.
+    at_barrier(t, [owner, kind, arg, frame = std::move(frame),
+                   bytes = std::move(bytes)] {
+      owner->execute_data_event(kind, arg, frame, bytes);
+    });
+    return;
+  }
+  assert(dst < shards_.size());
+  const ShardId ctx = context_shard();
+  if (ctx == dst) {
+    schedule_data_local(*shards_[dst], t, owner, kind, arg, std::move(frame),
+                        std::move(bytes));
+    return;
+  }
+  if (in_window_ && ctx != kNoShard) {
+    // Mid-window cross-shard send: park in the (src,dst) mailbox, merged
+    // at the barrier in canonical order exactly like plain mail.
+    Shard& src = *shards_[ctx];
+    auto& box = src.outbox[dst];
+    box.emplace_back();
+    Mail& m = box.back();
+    m.time = t;
+    m.payload.data_owner = owner;
+    m.payload.data_kind = kind;
+    m.payload.data_arg = arg;
+    m.payload.data_frame = std::move(frame);
+    m.payload.data_bytes = std::move(bytes);
+    if (t + lookahead_ < src.send_cap) src.send_cap = t + lookahead_;
+    return;
+  }
+  schedule_data_local(*shards_[dst], t, owner, kind, arg, std::move(frame),
+                      std::move(bytes));
 }
 
 void Simulator::train_append_local(Shard& sh, Train& tr, SimTime t,
@@ -384,7 +455,8 @@ SimTime Simulator::peek_time(Shard& sh) {
   while (!sh.queue.empty()) {
     const QNode& top = sh.queue.top();
     EventPayload& slot = sh.slots[top.slot];
-    if (slot.fn || slot.timer != nullptr || slot.train != nullptr) {
+    if (slot.fn || slot.timer != nullptr || slot.train != nullptr ||
+        slot.data_owner != nullptr) {
       return top.time;
     }
     release_slot(sh, top.slot);
@@ -450,6 +522,20 @@ void Simulator::dispatch_one(Shard& sh, SimTime bound) {
         return;  // tr->scheduled stays true
       }
     }
+  }
+  if (slot.data_owner != nullptr) {
+    DataEventOwner* owner = slot.data_owner;
+    const std::uint32_t kind = slot.data_kind;
+    const std::uint64_t arg = slot.data_arg;
+    FramePtr frame = std::move(slot.data_frame);
+    FrameBytes bytes = std::move(slot.data_bytes);
+    slot.data_owner = nullptr;
+    release_slot(sh, payload);
+    --sh.live;
+    sh.now = time;
+    ++sh.executed;
+    owner->execute_data_event(kind, arg, frame, bytes);
+    return;
   }
   if (slot.timer != nullptr) {
     const std::shared_ptr<TimerCore> timer = std::move(slot.timer);
@@ -700,10 +786,14 @@ void Simulator::merge_mailboxes() {
             (tr.entries.empty() || m.time > tr.entries.back().time);
         if (fits) {
           train_append_local(d, tr, m.time, m.epoch, m.frame);
-        } else {
+        } else if (tr.owner != nullptr) {
           // Cap reached (or a propagation change broke arrival
-          // monotonicity): deliver this one frame classically through
-          // the train's thunk.
+          // monotonicity): deliver this one frame classically as a data
+          // event against the train's owner — same semantics as the
+          // thunk below, but serializable if a snapshot catches it.
+          schedule_data_local(d, m.time, tr.owner, tr.owner_kind, m.epoch,
+                              std::move(m.frame), FrameBytes{});
+        } else {
           Train* trp = m.train;
           schedule_local(d, m.time,
                          [trp, time = m.time, epoch = m.epoch,
@@ -717,6 +807,11 @@ void Simulator::merge_mailboxes() {
         }
         m.frame.reset();
         m.train = nullptr;
+      } else if (m.payload.data_owner != nullptr) {
+        schedule_data_local(d, m.time, m.payload.data_owner,
+                            m.payload.data_kind, m.payload.data_arg,
+                            std::move(m.payload.data_frame),
+                            std::move(m.payload.data_bytes));
       } else if (m.payload.timer != nullptr) {
         schedule_timer_local(d, static_cast<ShardId>(dst), m.time,
                              std::move(m.payload.timer), m.payload.timer_gen);

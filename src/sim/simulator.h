@@ -64,8 +64,10 @@
 #include <mutex>
 #include <new>
 #include <queue>
+#include <string>
 #include <thread>
 #include <type_traits>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -82,6 +84,8 @@ namespace portland::sim {
 
 struct Train;
 struct TrainEntry;
+class SnapshotWriter;
+class SnapshotReader;
 
 /// Identifies an event shard. Devices created before `configure_shards`
 /// (and everything in classic mode) live on shard 0.
@@ -187,6 +191,21 @@ class SmallFn {
   const VTable* vtable_ = nullptr;
 };
 
+/// Implemented by components whose scheduled deliveries must survive
+/// checkpointing. A *data event* is the serializable alternative to a
+/// SmallFn closure: the queue stores (owner, kind, arg, frame, bytes) and
+/// dispatch calls `execute_data_event` — so a snapshot can write the
+/// event as plain data and a restore can rebuild it, provided the owner
+/// was registered (register_data_owner) in the same deterministic
+/// construction order in both processes. `kind` and `arg` are
+/// owner-defined (Link: side + epoch; ControlPlane: destination id).
+struct DataEventOwner {
+  virtual ~DataEventOwner() = default;
+  virtual void execute_data_event(std::uint32_t kind, std::uint64_t arg,
+                                  const FramePtr& frame,
+                                  const FrameBytes& bytes) = 0;
+};
+
 /// Shared state behind a Timer. Events reference the core, never the
 /// Timer object, so destroying an armed Timer is safe. The callback lives
 /// here so a rearm does not rebuild it. `shard`/`handle` locate the
@@ -200,6 +219,10 @@ struct TimerCore {
   bool pending = false;
   ShardId shard = kNoShard;
   std::uint32_t handle = kNilHandle;
+  /// Sequence number of the pending shot (recorded alongside `handle`).
+  /// A checkpoint saves it so a restore can re-insert the shot at the
+  /// exact (time, seq) rank it held, preserving same-instant tie order.
+  std::uint64_t seq = 0;
   std::function<void()> fn;
 };
 
@@ -278,6 +301,68 @@ class Simulator {
   /// cross-cutting mutations: link up/down, migration rewiring. In classic
   /// mode this is plain at().
   void at_barrier(SimTime t, SmallFn fn);
+
+  /// Registers a data-event owner and returns its stable id. Ids are
+  /// assigned by call order, so two processes that construct the same
+  /// fabric register the same owners under the same ids — the property
+  /// snapshot restore relies on to resolve serialized events.
+  std::uint32_t register_data_owner(DataEventOwner* owner);
+
+  /// Schedules a serializable *data event* on shard `dst` at `t`: at
+  /// dispatch the engine calls `owner->execute_data_event(kind, arg,
+  /// frame, bytes)`. Routing (same-shard direct / mid-window mailbox /
+  /// quiescent direct / unhinted barrier) mirrors at_shard exactly, so a
+  /// component can switch a closure-based delivery to this path without
+  /// perturbing the schedule. Events scheduled via the unhinted barrier
+  /// fallback (dst == kNoShard in sharded mode) are NOT serializable.
+  void at_shard_data(ShardId dst, SimTime t, DataEventOwner* owner,
+                     std::uint32_t kind, std::uint64_t arg, FramePtr frame,
+                     FrameBytes bytes);
+
+  // --- checkpoint/restore (implemented in sim/snapshot.cc) ---------------
+
+  /// Serializes the engine: global clocks/counters, per-shard scalars and
+  /// RNG streams, and every pending event. Must be called at quiescence
+  /// (between run_until calls, no window executing). Timer shots and
+  /// train anchors are written as per-shard census counts only — their
+  /// contents are saved by their owning Timer / Link — while data events
+  /// are written in full. Returns false (with `error`) if the queue holds
+  /// unserializable state: a pending barrier task, unmerged mailbox
+  /// entries, or an opaque SmallFn event. The walk drains and rebuilds
+  /// each scheduler but leaves the running engine bit-identical.
+  bool save_engine(SnapshotWriter& w, std::string* error);
+
+  /// Drains every shard queue in preparation for a restore: timer shots
+  /// are neutralized on their cores (so later cancels cannot touch freed
+  /// nodes), trains are unscheduled and emptied, all payload slots are
+  /// released, and the barrier queue is cleared. Clocks and counters are
+  /// left for restore_engine to overwrite.
+  void snapshot_clear();
+
+  /// Restores engine scalars and data events from `r` (inverse of
+  /// save_engine's direct writes). Must run on a snapshot_clear'ed engine
+  /// whose shard count matches the image. Timer shots and train anchors
+  /// are re-inserted afterwards by component restores via
+  /// restore_timer_at / restore_train_anchor; finish_restore then
+  /// validates the census.
+  bool restore_engine(SnapshotReader& r, std::string* error);
+
+  /// Re-inserts a pending timer shot at its exact saved (time, seq) and
+  /// records the new scheduler handle on `core`. Counted against the
+  /// image's per-shard timer census.
+  void restore_timer_at(ShardId shard, SimTime t, std::uint64_t seq,
+                        std::shared_ptr<TimerCore> core,
+                        std::uint64_t generation);
+
+  /// Re-anchors a restored (non-empty) train in shard `shard`'s scheduler
+  /// at its front entry's (time, seq). Counted against the image's
+  /// per-shard train census.
+  void restore_train_anchor(ShardId shard, Train& tr);
+
+  /// Validates the restore against the image's census (timer/train/live
+  /// counts per shard) and applies the deferred scalar fixups
+  /// (nodes_pushed, wheel stats) that the re-insertions perturbed.
+  bool finish_restore(std::string* error);
 
   /// Burst path for link deliveries: appends one frame arrival to `tr`
   /// (a per-link-direction train) on shard `dst` at time `t`, consuming
@@ -433,16 +518,22 @@ class Simulator {
     void reserve(std::size_t n) { c.reserve(n); }
   };
 
-  /// One of the three is set: a plain callback, a timer shot, or a train
-  /// node (the slot anchors the train's scheduler presence; the frames
-  /// live in the train's own deque). A slot with none (a cancelled heap
-  /// shot whose QNode is still sifting) is a husk: purged at the next
-  /// peek, never executed.
+  /// One of four is set: a plain callback, a timer shot, a train node
+  /// (the slot anchors the train's scheduler presence; the frames live in
+  /// the train's own deque), or a data event (owner + kind/arg/frame/
+  /// bytes — the serializable closure replacement). A slot with none (a
+  /// cancelled heap shot whose QNode is still sifting) is a husk: purged
+  /// at the next peek, never executed.
   struct EventPayload {
     SmallFn fn;
     std::shared_ptr<TimerCore> timer;
     std::uint64_t timer_gen = 0;
     Train* train = nullptr;
+    DataEventOwner* data_owner = nullptr;
+    std::uint32_t data_kind = 0;
+    std::uint64_t data_arg = 0;
+    FramePtr data_frame;
+    FrameBytes data_bytes;
   };
 
   /// A cross-shard event parked until the next window barrier: either a
@@ -528,6 +619,9 @@ class Simulator {
   void schedule_timer_local(Shard& sh, ShardId id, SimTime t,
                             std::shared_ptr<TimerCore> core,
                             std::uint64_t generation);
+  void schedule_data_local(Shard& sh, SimTime t, DataEventOwner* owner,
+                           std::uint32_t kind, std::uint64_t arg,
+                           FramePtr frame, FrameBytes bytes);
   /// Appends one arrival to `tr` on shard `sh`, consuming the next seq,
   /// and anchors the train in the scheduler if it is not already.
   void train_append_local(Shard& sh, Train& tr, SimTime t,
@@ -561,6 +655,21 @@ class Simulator {
   [[nodiscard]] SimTime earliest_shard_event();
   [[nodiscard]] SimTime earliest_barrier_task() const;
 
+  /// Bookkeeping alive between restore_engine and finish_restore: the
+  /// image's per-shard census, the counts actually re-inserted, and the
+  /// scalar values (nodes_pushed, wheel stats) whose final application is
+  /// deferred until every component has re-inserted its events.
+  struct RestorePending {
+    bool active = false;
+    std::vector<std::uint32_t> expect_timers;
+    std::vector<std::uint32_t> expect_trains;
+    std::vector<std::uint32_t> got_timers;
+    std::vector<std::uint32_t> got_trains;
+    std::vector<std::uint64_t> expect_live;
+    std::vector<std::uint64_t> nodes_pushed;
+    std::vector<TimingWheel::Stats> wheel_stats;
+  };
+
   // --- Shards. Classic mode is exactly shards_[0]. -----------------------
   std::vector<std::unique_ptr<Shard>> shards_;
   SchedulerKind scheduler_ = SchedulerKind::kWheel;
@@ -588,6 +697,11 @@ class Simulator {
   std::uint64_t last_total_executed_ = 0;
   obs::EngineTracer* tracer_ = nullptr;
   std::atomic<bool> stopped_{false};
+
+  // --- Data-event owner registry (construction-order ids). ---------------
+  std::vector<DataEventOwner*> data_owners_;
+  std::unordered_map<const DataEventOwner*, std::uint32_t> data_owner_ids_;
+  RestorePending restore_pending_;
 
   // --- Barrier task queue (mutex-protected: any thread may schedule). ----
   mutable std::mutex barrier_mutex_;
@@ -661,6 +775,14 @@ class Timer {
   /// Absolute time of the pending shot (meaningful only when pending()).
   [[nodiscard]] SimTime deadline() const { return deadline_; }
 
+  /// Checkpoint support (sim/snapshot.cc). save_state writes the shot's
+  /// {armed, shard, deadline, seq}; restore_at re-installs `fn` as the
+  /// retained callback (closures do not serialize — the owner rebuilds
+  /// its own) and, if the image had a pending shot, re-inserts it at its
+  /// exact saved rank via Simulator::restore_timer_at.
+  void save_state(SnapshotWriter& w) const;
+  void restore_at(SnapshotReader& r, std::function<void()> fn);
+
  private:
   Simulator* sim_;
   std::shared_ptr<TimerCore> state_;
@@ -680,6 +802,14 @@ class PeriodicTimer {
   void stop() { timer_.cancel(); }
   [[nodiscard]] bool running() const { return timer_.pending(); }
   [[nodiscard]] SimDuration period() const { return period_; }
+
+  /// Checkpoint support: the periodic callback itself is owner state (it
+  /// was supplied at construction in both processes), so only the inner
+  /// timer's shot needs saving.
+  void save_state(SnapshotWriter& w) const { timer_.save_state(w); }
+  void restore_state(SnapshotReader& r) {
+    timer_.restore_at(r, [this] { tick(); });
+  }
 
  private:
   void tick();

@@ -11,6 +11,20 @@ TimingWheel::TimingWheel() {
 
 void TimingWheel::reserve(std::size_t capacity) { nodes_.reserve(capacity); }
 
+void TimingWheel::reset(SimTime cursor) {
+  nodes_.clear();
+  free_head_ = kNilIndex;
+  for (auto& level : heads_) level.fill(kNilIndex);
+  for (auto& level : occ_) level.fill(0);
+  overflow_.clear();
+  staging_.clear();
+  due_pos_ = 0;
+  due_time_ = 0;
+  cursor_ = cursor;
+  size_ = 0;
+  cache_valid_ = false;
+}
+
 std::uint32_t TimingWheel::alloc_node() {
   if (free_head_ != kNilIndex) {
     const std::uint32_t n = free_head_;
@@ -254,7 +268,7 @@ TimingWheel::PopResult TimingWheel::pop() {
       occ_[0][slot >> 6] &= ~(1ull << (slot & 63));
       cache_valid_ = false;
       const Node& node = nodes_[head];
-      const PopResult result{node.time, node.payload, true};
+      const PopResult result{node.time, node.payload, node.seq, true};
       free_node(head);
       --size_;
       return result;
@@ -267,7 +281,8 @@ TimingWheel::PopResult TimingWheel::pop() {
     due_pos_ = 0;
   }
   const Node& node = nodes_[n];
-  const PopResult result{node.time, node.payload, node.where == kStaged};
+  const PopResult result{node.time, node.payload, node.seq,
+                         node.where == kStaged};
   free_node(n);
   --size_;
   return result;

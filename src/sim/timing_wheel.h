@@ -46,6 +46,9 @@ class TimingWheel {
   struct PopResult {
     SimTime time = 0;
     std::uint32_t payload = kNilIndex;
+    /// The node's tie-break rank, echoed back so a checkpoint's
+    /// drain-and-rebuild walk can re-insert at the identical (time, seq).
+    std::uint64_t seq = 0;
     /// False for a node cancelled while staged: its payload was already
     /// released by erase(); the caller just discards it.
     bool live = false;
@@ -85,6 +88,16 @@ class TimingWheel {
 
   /// Pre-sizes the node pool.
   void reserve(std::size_t capacity);
+
+  /// Empties the wheel (all nodes freed, payloads abandoned) and re-anchors
+  /// the cursor at `cursor`: afterwards any time >= `cursor` is insertable.
+  /// Used by checkpoint restore, which rebuilds the event population from
+  /// an image; counters in stats() are preserved.
+  void reset(SimTime cursor);
+
+  /// Overwrites the lifetime counters (checkpoint restore: a save's
+  /// drain-and-rebuild walk must not look like real scheduler activity).
+  void restore_stats(const Stats& s) { stats_ = s; }
 
   /// True while any node (including cancelled-while-staged residue that
   /// pop() has not yet discarded) remains.

@@ -30,6 +30,8 @@
 
 namespace portland::sim {
 
+struct DataEventOwner;
+
 /// One pending frame delivery inside a train. `seq` is the owning
 /// shard's sequence number, consumed at append exactly where the classic
 /// engine would have consumed it. `epoch` snapshots the link direction's
@@ -56,6 +58,11 @@ struct Train {
   int from_side = 0;
   bool scheduled = false;
   std::deque<TrainEntry> entries;
+  /// Serializable identity of `deliver`: when set, per-frame fallbacks
+  /// (mailbox cap/monotonicity misses) schedule a data event against this
+  /// owner instead of an opaque closure, keeping the queue checkpointable.
+  DataEventOwner* owner = nullptr;
+  std::uint32_t owner_kind = 0;
 };
 
 }  // namespace portland::sim

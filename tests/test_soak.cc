@@ -509,5 +509,214 @@ TEST(Soak, CompactTablesAreInvisibleToExecution) {
   expect_same_sim(compact1, legacy4, "compact vs legacy tables, 4 workers");
 }
 
+// ---------------------------------------------------------------------------
+// Checkpoint/fork serving: saving a mid-chaos fabric and restoring it in
+// place must be invisible to execution — the post-save frame trace, event
+// counts, and per-flow delivery must be bit-identical to the uninterrupted
+// run, for every engine configuration (worker count × scheduler × burst
+// mode). This is the headline snapshot invariant under full load: probe
+// flows ticking, a TCP transfer mid-flight, multicast streaming, with a
+// link failure + repair in the replayed window.
+// ---------------------------------------------------------------------------
+
+/// Adapts a PeriodicTimer in test scope into an extras entry.
+struct TimerExtra : sim::Snapshotable {
+  explicit TimerExtra(sim::PeriodicTimer& t) : timer(&t) {}
+  void save_state(sim::SnapshotWriter& w) const override {
+    timer->save_state(w);
+  }
+  void restore_state(sim::SnapshotReader& r) override {
+    timer->restore_state(r);
+  }
+  sim::PeriodicTimer* timer;
+};
+
+struct SnapshotSoakResult {
+  std::uint64_t executed = 0;
+  SimTime final_now = 0;
+  std::vector<std::uint64_t> probe_sent;
+  std::vector<std::uint64_t> probe_received;
+  std::uint64_t tcp_delivered = 0;
+  bool tcp_corrupt = true;
+  std::uint64_t link_tx_frames = 0;
+  std::uint64_t link_dropped = 0;
+  /// Post-save deliveries only: the part a snapshot must replay exactly.
+  std::vector<std::tuple<SimTime, std::string, std::size_t>> trace;
+  std::size_t image_bytes = 0;
+};
+
+SnapshotSoakResult run_snapshot_soak(unsigned workers,
+                                     sim::SchedulerKind scheduler, bool burst,
+                                     bool snapshot) {
+  PortlandFabric::Options options;
+  options.k = 4;
+  options.seed = 20260808;
+  options.workers = workers;
+  options.scheduler = scheduler;
+  options.burst = burst;
+  PortlandFabric fabric(options);
+
+  SnapshotSoakResult result;
+  std::mutex trace_mutex;
+  std::vector<std::tuple<SimTime, std::string, std::size_t>> full_trace;
+  fabric.network().set_frame_tap(
+      [&](const sim::Link& link, int rx_side, const sim::FramePtr& frame) {
+        std::lock_guard<std::mutex> lock(trace_mutex);
+        full_trace.emplace_back(fabric.sim().now(),
+                                link.device(rx_side).name(),
+                                frame->bytes.size());
+      });
+  EXPECT_TRUE(fabric.run_until_converged());
+
+  // Probe flows across pods.
+  struct Probe {
+    std::unique_ptr<host::UdpFlowReceiver> rx;
+    std::unique_ptr<host::UdpFlowSender> tx;
+  };
+  std::vector<Probe> probes;
+  const std::pair<std::array<std::size_t, 3>, std::array<std::size_t, 3>>
+      pairs[3] = {
+          {{0, 0, 1}, {1, 0, 0}},
+          {{1, 1, 0}, {2, 0, 1}},
+          {{2, 1, 1}, {0, 1, 0}},
+      };
+  std::uint16_t port = 7600;
+  for (const auto& [src, dst] : pairs) {
+    Probe p;
+    host::Host& a = fabric.host_at(src[0], src[1], src[2]);
+    host::Host& b = fabric.host_at(dst[0], dst[1], dst[2]);
+    p.rx = std::make_unique<host::UdpFlowReceiver>(b, port);
+    host::UdpFlowSender::Config cfg;
+    cfg.dst = b.ip();
+    cfg.src_port = cfg.dst_port = port;
+    cfg.interval = millis(2);
+    p.tx = std::make_unique<host::UdpFlowSender>(a, cfg);
+    {
+      sim::ShardGuard guard(fabric.sim(), a.shard());
+      p.tx->start();
+    }
+    probes.push_back(std::move(p));
+    ++port;
+  }
+
+  // A TCP transfer, mid-flight at the save point. The connect runs under
+  // the sender's shard context so the connection's timers live in that
+  // shard's queue (a barrier-queue timer would make the save refuse).
+  host::Host& tcp_rx = fabric.host_at(3, 0, 0);
+  host::Host& tcp_tx = fabric.host_at(2, 0, 0);
+  host::TcpConnection* accepted = nullptr;
+  tcp_rx.tcp_listen(5001, [&](host::TcpConnection& c) { accepted = &c; });
+  const std::uint64_t kTcpBytes = 1'000'000;
+  fabric.sim().run_until(fabric.sim().now() + millis(5));
+  {
+    sim::ShardGuard guard(fabric.sim(), tcp_tx.shard());
+    tcp_tx.tcp_connect(tcp_rx.ip(), 5001)->send(kTcpBytes);
+  }
+
+  // Multicast streaming through a fabric-manager-installed tree.
+  const Ipv4Address group(224, 9, 9, 9);
+  for (host::Host* r : {&fabric.host_at(1, 1, 1), &fabric.host_at(3, 0, 1)}) {
+    r->join_group(group, [](Ipv4Address, std::uint16_t, std::uint16_t,
+                            std::span<const std::uint8_t>) {});
+  }
+  host::Host& mcast_sender = fabric.host_at(0, 1, 1);
+  sim::PeriodicTimer mcast_stream(fabric.sim(), millis(5), [&] {
+    mcast_sender.send_udp_multicast(group, 8000, 8001, {0});
+  });
+  {
+    sim::ShardGuard guard(fabric.sim(), mcast_sender.shard());
+    mcast_stream.start(millis(20));
+  }
+
+  // Warm phase: TCP connect fires, queues fill, timers stagger.
+  fabric.sim().run_until(fabric.sim().now() + millis(150));
+  const SimTime t_save = fabric.sim().now();
+
+  if (snapshot) {
+    TimerExtra mcast_extra(mcast_stream);
+    std::vector<sim::Snapshotable*> extras;
+    for (auto& p : probes) {
+      extras.push_back(p.tx.get());
+      extras.push_back(p.rx.get());
+    }
+    extras.push_back(&mcast_extra);
+    std::vector<std::uint8_t> image;
+    std::string error;
+    EXPECT_TRUE(fabric.save_snapshot(image, extras, &error)) << error;
+    result.image_bytes = image.size();
+    EXPECT_TRUE(fabric.restore_snapshot(image, extras, &error)) << error;
+  }
+
+  // Replayed window: a link failure + repair mid-traffic.
+  sim::Link* victim = fabric.fabric_links()[4];
+  fabric.failures().fail_link_at(*victim, t_save + millis(40));
+  fabric.failures().repair_link_at(*victim, t_save + millis(250));
+  fabric.sim().run_until(t_save + millis(600));
+  for (auto& p : probes) p.tx->stop();
+  mcast_stream.stop();
+  fabric.sim().run_until(fabric.sim().now() + millis(50));
+
+  result.executed = fabric.sim().executed_events();
+  result.final_now = fabric.sim().now();
+  for (const auto& p : probes) {
+    result.probe_sent.push_back(p.tx->packets_sent());
+    result.probe_received.push_back(p.rx->packets_received());
+  }
+  if (accepted != nullptr) {
+    result.tcp_delivered = accepted->bytes_delivered();
+    result.tcp_corrupt = accepted->payload_corruption_seen();
+  }
+  for (const auto& link : fabric.network().links()) {
+    for (int side = 0; side < 2; ++side) {
+      result.link_tx_frames += link->tx_frames(side);
+      result.link_dropped += link->dropped_frames(side);
+    }
+  }
+  for (const auto& rec : full_trace) {
+    if (std::get<0>(rec) > t_save) result.trace.push_back(rec);
+  }
+  std::sort(result.trace.begin(), result.trace.end());
+  return result;
+}
+
+TEST(Soak, SnapshotRestoreIsInvisibleToExecution) {
+  const SnapshotSoakResult reference =
+      run_snapshot_soak(1, sim::SchedulerKind::kWheel, true, false);
+  EXPECT_GT(reference.trace.size(), 5'000u);  // the scenario really ran
+  EXPECT_EQ(reference.tcp_delivered, 1'000'000u);
+  EXPECT_FALSE(reference.tcp_corrupt);
+
+  const auto expect_same = [&](const SnapshotSoakResult& b,
+                               const char* label) {
+    EXPECT_EQ(reference.executed, b.executed) << label;
+    EXPECT_EQ(reference.final_now, b.final_now) << label;
+    EXPECT_EQ(reference.probe_sent, b.probe_sent) << label;
+    EXPECT_EQ(reference.probe_received, b.probe_received) << label;
+    EXPECT_EQ(reference.tcp_delivered, b.tcp_delivered) << label;
+    EXPECT_EQ(reference.tcp_corrupt, b.tcp_corrupt) << label;
+    EXPECT_EQ(reference.link_tx_frames, b.link_tx_frames) << label;
+    EXPECT_EQ(reference.link_dropped, b.link_dropped) << label;
+    ASSERT_EQ(reference.trace.size(), b.trace.size()) << label;
+    EXPECT_TRUE(reference.trace == b.trace) << label << ": traces diverged";
+  };
+
+  for (const unsigned workers : {1u, 4u}) {
+    for (const sim::SchedulerKind sched :
+         {sim::SchedulerKind::kHeap, sim::SchedulerKind::kWheel}) {
+      for (const bool burst : {true, false}) {
+        const SnapshotSoakResult snap =
+            run_snapshot_soak(workers, sched, burst, true);
+        EXPECT_GT(snap.image_bytes, 0u);
+        const std::string label =
+            std::string("snapshot round trip, workers=") +
+            std::to_string(workers) +
+            (sched == sim::SchedulerKind::kHeap ? ", heap" : ", wheel") +
+            (burst ? ", burst on" : ", burst off");
+        expect_same(snap, label.c_str());
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace portland::core
