@@ -12,6 +12,8 @@
 //   $ ./scenario_cli --k 16 --snapshot-out warm.plfs      # warm + save
 //   $ ./scenario_cli --k 16 --snapshot-in warm.plfs       # resume, no converge
 //   $ ./scenario_cli --k 16 --serve 8                     # 8 forked what-ifs
+#include <algorithm>
+#include <array>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
@@ -19,11 +21,13 @@
 #include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/fabric.h"
 #include "core/path_audit.h"
 #include "host/apps.h"
+#include "obs/http_exporter.h"
 #include "obs/metrics.h"
 #include "obs/trace_export.h"
 
@@ -55,6 +59,9 @@ struct Args {
   std::string snapshot_out;
   std::string snapshot_in;
   int serve = 0;
+  // HTTP exporter (serve mode only); -1 = off, 0 = ephemeral port.
+  int http_port = -1;
+  long long http_linger_ms = 0;
 };
 
 void print_usage(std::FILE* to) {
@@ -108,6 +115,18 @@ void print_usage(std::FILE* to) {
       "                         ARP storm, path audit), forking the warm "
       "image per\n"
       "                         query and reporting reaction metrics\n"
+      "  --http-port N          with --serve: answer GET /metrics "
+      "(Prometheus\n"
+      "                         text), /timelines (JSONL failure "
+      "timelines), and\n"
+      "                         /healthz on 127.0.0.1:N (0 = pick an "
+      "ephemeral\n"
+      "                         port), sampled between queries\n"
+      "  --http-linger-ms T     keep answering HTTP for T ms after the "
+      "last\n"
+      "                         query (default 0), so scrapers can collect "
+      "the\n"
+      "                         final state\n"
       "  --help                 this text\n");
 }
 
@@ -212,6 +231,10 @@ Args parse_args(int argc, char** argv) {
       out.snapshot_in = value();
     } else if (!std::strcmp(flag, "--serve")) {
       out.serve = static_cast<int>(int_value(1, 1000000));
+    } else if (!std::strcmp(flag, "--http-port")) {
+      out.http_port = static_cast<int>(int_value(0, 65535));
+    } else if (!std::strcmp(flag, "--http-linger-ms")) {
+      out.http_linger_ms = int_value(0, 86400000);
     } else if (!std::strcmp(flag, "--ecmp")) {
       const char* mode = value();
       if (!std::strcmp(mode, "spray")) {
@@ -224,6 +247,9 @@ Args parse_args(int argc, char** argv) {
     } else {
       die_usage("unknown flag '%s'", flag);
     }
+  }
+  if (out.http_port >= 0 && out.serve == 0) {
+    die_usage("flag %s requires --serve", "--http-port");
   }
   return out;
 }
@@ -319,6 +345,25 @@ int run_serve(core::PortlandFabric& fabric,
   const int k = args.k;
   double fork_total_ms = 0;
   double answer_total_ms = 0;
+  obs::ConvergenceMonitor* monitor = fabric.convergence_monitor();
+  const obs::FlightRecorder* recorder = fabric.flight_recorder();
+  obs::MetricsRegistry registry;
+  // Timelines accumulate across queries for /timelines; the monitor
+  // itself is cleared by every fork (timelines never cross a restore).
+  std::string all_timelines;
+  std::unique_ptr<obs::HttpExporter> exporter;
+  if (args.http_port >= 0) {
+    exporter = std::make_unique<obs::HttpExporter>(
+        static_cast<std::uint16_t>(args.http_port));
+    std::string err;
+    if (!exporter->start(&err)) {
+      std::fprintf(stderr, "scenario_cli: http exporter: %s\n", err.c_str());
+      return 1;
+    }
+    std::printf("http: listening on 127.0.0.1:%u "
+                "(/metrics /timelines /healthz)\n",
+                exporter->port());
+  }
   std::printf("\nserve: %d what-if queries against a %zu-byte warm image "
               "(cold converge: %.1f ms wall)\n",
               args.serve, image.size(), converge_wall_ms);
@@ -335,6 +380,11 @@ int run_serve(core::PortlandFabric& fabric,
     const std::uint64_t faults0 = fm.counters().get("fault_notifications");
     const std::uint64_t reroutes0 = fm.counters().get("prune_updates_sent");
     const std::uint64_t ctl0 = fabric.control().messages_sent();
+    // Drop-reason baseline for this query (the fork clears the recorder,
+    // but diffing against an explicit snapshot stays correct even if that
+    // ever changes).
+    std::array<std::uint64_t, obs::kDropReasonCount> drops0{};
+    if (recorder != nullptr) drops0 = recorder->drops_by_reason();
     switch (q % 4) {
       case 0: {  // Kill 3 random fabric links.
         std::vector<Probe> probes = make_probes(fabric, rng, 8, 7200);
@@ -449,6 +499,62 @@ int run_serve(core::PortlandFabric& fabric,
         break;
       }
     }
+    // Per-query DropReason deltas from the flight recorder.
+    if (recorder != nullptr) {
+      const auto drops1 = recorder->drops_by_reason();
+      std::string line;
+      for (std::size_t i = 1; i < obs::kDropReasonCount; ++i) {
+        const std::uint64_t delta = drops1[i] - drops0[i];
+        if (delta == 0) continue;
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), " %s=%llu",
+                      obs::drop_reason_name(static_cast<obs::DropReason>(i)),
+                      static_cast<unsigned long long>(delta));
+        line += buf;
+      }
+      if (!line.empty()) std::printf("        drops:%s\n", line.c_str());
+    }
+    // Per-failure reaction timelines observed during this query.
+    if (monitor != nullptr) {
+      monitor->finalize();
+      const auto& done = monitor->completed();
+      if (!done.empty() || monitor->loop_violations() > 0) {
+        std::vector<double> conv;
+        double worst_blackhole = 0;
+        for (const auto& tl : done) {
+          if (tl.convergence() != 0) {
+            conv.push_back(static_cast<double>(tl.convergence()) / 1e6);
+          }
+          for (const auto& w : tl.blackholes) {
+            if (w.closed()) {
+              worst_blackhole = std::max(
+                  worst_blackhole, static_cast<double>(w.duration()) / 1e6);
+            }
+          }
+        }
+        std::sort(conv.begin(), conv.end());
+        std::printf(
+            "        timelines: %zu completed, convergence p50 %.2f ms "
+            "max %.2f ms, worst blackhole %.2f ms, %llu loop violations\n",
+            done.size(), conv.empty() ? 0.0 : conv[conv.size() / 2],
+            conv.empty() ? 0.0 : conv.back(), worst_blackhole,
+            static_cast<unsigned long long>(monitor->loop_violations()));
+      }
+      std::string jsonl;
+      monitor->write_timelines_jsonl(&jsonl);
+      all_timelines += jsonl;
+    }
+    if (exporter != nullptr) {
+      fabric.snapshot_metrics(registry);
+      std::string prom = registry.render_prometheus();
+      if (monitor != nullptr) monitor->render_prometheus(&prom);
+      exporter->publish_metrics(std::move(prom));
+      exporter->publish_timelines(all_timelines);
+      exporter->poll();
+    }
+    // A lingering server is usually watched through a redirected log;
+    // flush per query so reports survive an external kill mid-linger.
+    std::fflush(stdout);
     fork_total_ms += fork_ms;
     answer_total_ms += ms_since(wall0);
   }
@@ -458,6 +564,22 @@ int run_serve(core::PortlandFabric& fabric,
               args.serve, fork_total_ms / args.serve, avg_answer,
               converge_wall_ms,
               avg_answer > 0 ? converge_wall_ms / avg_answer : 0.0);
+  if (exporter != nullptr && args.http_linger_ms > 0) {
+    std::printf("http: lingering %lld ms on 127.0.0.1:%u\n",
+                args.http_linger_ms, exporter->port());
+    std::fflush(stdout);
+    const auto until = std::chrono::steady_clock::now() +
+                       std::chrono::milliseconds(args.http_linger_ms);
+    while (std::chrono::steady_clock::now() < until) {
+      exporter->poll();
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+  if (exporter != nullptr) {
+    std::printf("http: served %llu requests\n",
+                static_cast<unsigned long long>(
+                    exporter->requests_served()));
+  }
   return 0;
 }
 
@@ -477,6 +599,10 @@ int main(int argc, char** argv) {
   options.obs.flight_recorder = want_trace;
   options.obs.engine_trace = want_trace && args.trace_engine;
   options.obs.trace_frames = static_cast<std::uint64_t>(args.trace_frames);
+  // Serve mode runs the convergence observatory: per-failure reaction
+  // timelines plus streaming loop-freedom checks, sampled between queries.
+  options.obs.convergence_monitor = args.serve > 0;
+  options.obs.check_invariants = args.serve > 0;
   core::PortlandFabric fabric(options);
   std::printf("fabric: k=%d, %zu switches, %zu hosts, seed=%llu, ecmp=%s\n",
               args.k, fabric.switches().size(), fabric.hosts().size(),

@@ -1,9 +1,10 @@
 #!/usr/bin/env python3
 """Bench regression floors for CI.
 
-Compares the smoke-mode bench reports (build/BENCH_e14.json,
-BENCH_e15.json, BENCH_e18.json — written by run_all_benches.sh --smoke)
-against the committed floors in bench/baseline.json. Two kinds of check:
+Compares the smoke-mode bench reports (build/BENCH_e*.json for the
+sections listed in SECTIONS — written by run_all_benches.sh --smoke)
+against the committed floors in bench/baseline.json. Run with --list to
+print the guarded keys per section. Two kinds of check:
 
 * Throughput floors: fail when frames/s drops more than 10% below the
   baseline value. The baselines are deliberately conservative (roughly
@@ -148,13 +149,49 @@ def check_e20(base):
               f'faults={row["faults"]} probe_rx={row["probe_rx"]}')
 
 
+def check_e21(base):
+    """Convergence-observatory guards (E21). Reaction times are measured
+    in simulated time, so they are deterministic per seed; the ceiling is
+    generous (full run: 45-57 ms vs paper ~65 ms) and only trips when
+    detection or rerouting structurally breaks. The overhead and
+    loop-violation counts are exact invariants, checked with zero
+    tolerance."""
+    e21 = load("BENCH_e21.json")
+    check("e21 convergence ceiling",
+          e21["convergence_ms_max"] <= base["e21"]["convergence_ms_max"],
+          f'{e21["convergence_ms_max"]:.1f} ms <= '
+          f'{base["e21"]["convergence_ms_max"]} ms')
+    check("e21 monitor overhead",
+          e21["monitor_overhead_events"] <=
+          base["e21"]["monitor_overhead_events_max"],
+          f'{e21["monitor_overhead_events"]} executed-event delta '
+          f'(monitor on vs off) <= '
+          f'{base["e21"]["monitor_overhead_events_max"]}')
+    check("e21 loop violations",
+          e21["loop_violations"] <= base["e21"]["loop_violations_max"],
+          f'{e21["loop_violations"]} <= {base["e21"]["loop_violations_max"]}')
+    for row in e21["rows"]:
+        check(f'e21 k={row["k"]} faults={row["faults"]} timelines',
+              row["timelines"] >= row["faults"],
+              f'{row["timelines"]} timelines >= {row["faults"]} failed links')
+
+
 SECTIONS = {
     "e14": check_e14,
     "e15": check_e15,
     "e18": check_e18,
     "e19": check_e19,
     "e20": check_e20,
+    "e21": check_e21,
 }
+
+
+def list_floors(base):
+    """Print every known floor/ceiling key per bench section, so a reader
+    can see what is guarded without digging through baseline.json."""
+    for name in sorted(SECTIONS):
+        keys = [k for k in base.get(name, {}) if not k.startswith("comment")]
+        print(f"{name}: {', '.join(keys) if keys else '(no baseline keys)'}")
 
 
 def main():
@@ -162,11 +199,18 @@ def main():
     parser.add_argument("--only", action="append", choices=sorted(SECTIONS),
                         help="check only these sections (repeatable); "
                              "default: all")
+    parser.add_argument("--list", action="store_true",
+                        help="print the known floor keys per bench section "
+                             "and exit")
     args = parser.parse_args()
     selected = args.only if args.only else sorted(SECTIONS)
 
     with open(ROOT / "bench" / "baseline.json") as f:
         base = json.load(f)
+
+    if args.list:
+        list_floors(base)
+        return
 
     for name in selected:
         SECTIONS[name](base)

@@ -69,6 +69,7 @@ E17_ARGS=""
 E18_ARGS=""
 E19_ARGS=""
 E20_ARGS=""
+E21_ARGS=""
 if [ "$SMOKE" = 1 ]; then
   E14_ARGS="--k 4 --flows-per-host 1"
   E15_ARGS="--k 4 --threads 2 --reps 1 --measure-ms 50"
@@ -77,6 +78,7 @@ if [ "$SMOKE" = 1 ]; then
   E18_ARGS="--k 4 --cap-k 4 --reps 2 --measure-us 4000 --interval-us 4000 --burst 32"
   E19_ARGS="--ks 8 --flows 64 --measure-ms 20 --warm-ms 10"
   E20_ARGS="--ks 4 --queries 2 --flows 16 --warm-ms 20"
+  E21_ARGS="4 8 1,3"
 fi
 # Slow CI boxes gate e19 convergence on simulated-time budget, not
 # wall-clock: export E19_CONVERGE_BUDGET_S to override the bench default.
@@ -88,7 +90,7 @@ fi
 for spec in "e14_fastpath:$E14_ARGS" "e15_parallel:$E15_ARGS" \
             "e16_event_queue:$E16_ARGS" "e17_observability:$E17_ARGS" \
             "e18_burst:$E18_ARGS" "e19_scale:$E19_ARGS" \
-            "e20_snapshot:$E20_ARGS"; do
+            "e20_snapshot:$E20_ARGS" "e21_convergence:$E21_ARGS"; do
   n="${spec%%:*}"
   extra="${spec#*:}"
   b="build/bench/bench_$n"
@@ -110,7 +112,7 @@ for pair in e1:e1_convergence e2:e2_tcp_convergence \
             e11:e11_ecmp_ablation e12:e12_ldp_scale e13:e13_path_audit \
             e14:e14_fastpath e15:e15_parallel e16:e16_event_queue \
             e17:e17_observability e18:e18_burst e19:e19_scale \
-            e20:e20_snapshot; do
+            e20:e20_snapshot e21:e21_convergence; do
   short="${pair%%:*}"
   f="build/BENCH_${short}.json"
   if [ ! -s "$f" ]; then

@@ -11,9 +11,9 @@ cmake -S . -B "$BUILD" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DPORTLAND_SANITIZE=address >/dev/null
 cmake --build "$BUILD" --parallel \
       --target test_sim test_net test_host test_fabric test_fastpath \
-      test_snapshot
+      test_snapshot test_convergence
 for t in test_sim test_net test_host test_fabric test_fastpath \
-         test_snapshot; do
+         test_snapshot test_convergence; do
   echo
   echo "################  $t (ASan)  ################"
   "$BUILD/tests/$t"

@@ -55,6 +55,9 @@ PortlandFabric::PortlandFabric(Options options)
     net_.sim().set_workers(options_.workers);
   }
 
+  // The convergence monitor derives per-flow blackhole windows from the
+  // flight recorder's hop/drop streams, so asking for it implies tracing.
+  if (options_.obs.convergence_monitor) options_.obs.flight_recorder = true;
   if (options_.obs.flight_recorder) {
     obs::FlightRecorder::Options ro;
     ro.ring_capacity = options_.obs.ring_capacity;
@@ -72,6 +75,13 @@ PortlandFabric::PortlandFabric(Options options)
     tracer_ = std::make_unique<obs::EngineTracer>(tree_.shard_count());
     net_.sim().set_tracer(tracer_.get());
   }
+  if (options_.obs.convergence_monitor) {
+    obs::ConvergenceMonitor::Options mo;
+    mo.check_invariants = options_.obs.check_invariants;
+    monitor_ = std::make_unique<obs::ConvergenceMonitor>(
+        tree_.shard_count(), mo);
+    net_.set_convergence_monitor(monitor_.get());
+  }
 
   control_ = std::make_unique<ControlPlane>(net_.sim(),
                                             options_.config.control_latency);
@@ -79,6 +89,10 @@ PortlandFabric::PortlandFabric(Options options)
                                         options_.config);
   // The fabric manager handles its messages on the core shard.
   control_->set_endpoint_shard(kFabricManagerId, tree_.core_shard());
+  if (monitor_ != nullptr) {
+    fm_->set_convergence_monitor(
+        monitor_.get(), static_cast<std::uint32_t>(tree_.core_shard()));
+  }
 
   const std::size_t half = static_cast<std::size_t>(options_.k) / 2;
   const std::size_t cores_per_group =
@@ -391,6 +405,10 @@ bool PortlandFabric::restore_snapshot(std::span<const std::uint8_t> image,
   } else if (!had_recorder && recorder_ != nullptr) {
     recorder_->clear();
   }
+  // Timelines never cross a fork: the monitor is passive state derived
+  // from one run's event stream, so a restore starts it fresh (mirrors
+  // the recorder's ring semantics).
+  if (monitor_ != nullptr) monitor_->clear();
 
   for (sim::Snapshotable* s : extras) s->restore_state(r);
 

@@ -26,6 +26,7 @@
 #include "core/fabric_manager.h"
 #include "core/portland_switch.h"
 #include "host/host.h"
+#include "obs/convergence_monitor.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace_export.h"
@@ -91,6 +92,13 @@ class PortlandFabric {
       std::size_t ring_capacity = 4096;
       /// Attach an EngineTracer (wall-clock window/dispatch profiling).
       bool engine_trace = false;
+      /// Attach a ConvergenceMonitor (per-failure reaction timelines).
+      /// Implies flight_recorder: the monitor derives blackhole windows
+      /// from the recorder's hop/drop streams.
+      bool convergence_monitor = false;
+      /// Streaming loop-freedom checking inside the monitor (costs
+      /// per-ingress table work; only meaningful with the monitor on).
+      bool check_invariants = false;
     } obs;
   };
 
@@ -157,6 +165,11 @@ class PortlandFabric {
   [[nodiscard]] obs::EngineTracer* engine_tracer() const {
     return tracer_.get();
   }
+  /// The attached convergence monitor, or nullptr when Options::obs left
+  /// it off.
+  [[nodiscard]] obs::ConvergenceMonitor* convergence_monitor() const {
+    return monitor_.get();
+  }
 
   /// Captures one metrics snapshot (engine, parser, every device's
   /// counters, every link direction) into `registry` at the current sim
@@ -216,6 +229,7 @@ class PortlandFabric {
   sim::FailureInjector injector_;
   std::unique_ptr<obs::FlightRecorder> recorder_;
   std::unique_ptr<obs::EngineTracer> tracer_;
+  std::unique_ptr<obs::ConvergenceMonitor> monitor_;
 };
 
 }  // namespace portland::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/convergence_monitor.h"
 #include "sim/snapshot.h"
 
 namespace portland::core {
@@ -150,6 +151,12 @@ std::optional<FabricManager::HostRecord> FabricManager::host(
 
 void FabricManager::on_fault_notify(SwitchId sender, const FaultNotify& m) {
   counters_.add(m.link_up ? "fault_repairs" : "fault_notifications");
+  if (monitor_ != nullptr) {
+    // Recorded before the dedup below: the timeline's notify stage is
+    // "the FM heard about the fault", which the first report satisfies
+    // (the state machine keeps the earliest time).
+    monitor_->on_fault_notify(monitor_shard_, sim_->now(), m.link_up);
+  }
   if (!graph_.set_link_state(sender, m.neighbor, m.link_up)) {
     return;  // both endpoints report; second notification is a no-op
   }

@@ -28,6 +28,10 @@
 #include "core/multicast.h"
 #include "sim/simulator.h"
 
+namespace portland::obs {
+class ConvergenceMonitor;
+}  // namespace portland::obs
+
 namespace portland::core {
 
 class FabricManager {
@@ -93,6 +97,15 @@ class FabricManager {
   void save_state(sim::SnapshotWriter& w) const;
   void restore_state(sim::SnapshotReader& r);
 
+  /// Attaches the convergence monitor (nullptr = off). The FM is not a
+  /// Device, so the fabric tells it which shard its handlers run on (the
+  /// core shard hosting the control-plane endpoint).
+  void set_convergence_monitor(obs::ConvergenceMonitor* monitor,
+                               std::uint32_t shard) {
+    monitor_ = monitor;
+    monitor_shard_ = shard;
+  }
+
  private:
   void on_hello(SwitchId sender, const SwitchHello& m);
   void on_pod_request(SwitchId sender);
@@ -138,6 +151,9 @@ class FabricManager {
   std::map<Ipv4Address, MulticastTree> installed_trees_;
 
   CounterSet counters_;
+
+  obs::ConvergenceMonitor* monitor_ = nullptr;
+  std::uint32_t monitor_shard_ = 0;
 };
 
 }  // namespace portland::core

@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "common/memsize.h"
 #include "net/igmp.h"
+#include "obs/convergence_monitor.h"
 #include "obs/flight_recorder.h"
 #include "sim/snapshot.h"
 
@@ -824,6 +825,11 @@ void PortlandSwitch::on_control(const ControlMessage& msg) {
         }
       }
       sw.counters().add("prune_updates_applied");
+      if (obs::ConvergenceMonitor* monitor = sw.convergence_monitor()) {
+        monitor->on_prune_install(
+            static_cast<std::uint32_t>(sw.shard()), sw.sim().now(),
+            sw.name().c_str());
+      }
     }
     void operator()(const McastInstall& m) {
       PortSet ports;
@@ -900,11 +906,21 @@ void PortlandSwitch::on_neighbor_event(sim::PortId port, SwitchId neighbor,
       reported_down_.insert(it, PortFault{port, neighbor});
     }
     counters().add("neighbors_lost");
+    if (obs::ConvergenceMonitor* monitor = convergence_monitor()) {
+      monitor->on_neighbor_event(static_cast<std::uint32_t>(shard()),
+                                 sim().now(), name().c_str(),
+                                 /*lost=*/true);
+    }
     send_to_fm(FaultNotify{static_cast<std::uint16_t>(port), neighbor,
                            /*link_up=*/false});
   } else if (present) {
     reported_down_.erase(it);
     counters().add("neighbors_recovered");
+    if (obs::ConvergenceMonitor* monitor = convergence_monitor()) {
+      monitor->on_neighbor_event(static_cast<std::uint32_t>(shard()),
+                                 sim().now(), name().c_str(),
+                                 /*lost=*/false);
+    }
     send_to_fm(FaultNotify{static_cast<std::uint16_t>(port), neighbor,
                            /*link_up=*/true});
   }

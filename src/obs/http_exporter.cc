@@ -1,0 +1,135 @@
+#include "obs/http_exporter.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace portland::obs {
+
+namespace {
+
+/// Writes all of `body`, tolerating short writes; best-effort (a client
+/// that hangs up mid-response is its own problem).
+void send_all(int fd, const char* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n <= 0) return;
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+void send_response(int fd, const char* status, const char* content_type,
+                   const std::string& body) {
+  char header[256];
+  const int n = std::snprintf(
+      header, sizeof(header),
+      "HTTP/1.1 %s\r\nContent-Type: %s\r\nContent-Length: %zu\r\n"
+      "Connection: close\r\n\r\n",
+      status, content_type, body.size());
+  send_all(fd, header, static_cast<std::size_t>(n));
+  send_all(fd, body.data(), body.size());
+}
+
+}  // namespace
+
+HttpExporter::~HttpExporter() { stop(); }
+
+bool HttpExporter::start(std::string* error) {
+  if (listen_fd_ >= 0) return true;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error != nullptr) *error = std::strerror(errno);
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(want_port_);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 16) != 0) {
+    if (error != nullptr) *error = std::strerror(errno);
+    ::close(fd);
+    return false;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  }
+  // Non-blocking accept: poll() returns immediately when idle.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  listen_fd_ = fd;
+  return true;
+}
+
+void HttpExporter::stop() {
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+int HttpExporter::poll(int max_requests) {
+  if (listen_fd_ < 0) return 0;
+  int handled = 0;
+  while (handled < max_requests) {
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) break;  // EAGAIN/EWOULDBLOCK: nothing pending
+    timeval tv{};
+    tv.tv_usec = 250 * 1000;
+    ::setsockopt(conn, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    answer(conn);
+    ::close(conn);
+    ++handled;
+  }
+  return handled;
+}
+
+void HttpExporter::answer(int fd) {
+  // Read until the end of the request headers (we only care about the
+  // request line) or the buffer/timeout limit.
+  char buf[2048];
+  std::size_t got = 0;
+  while (got < sizeof(buf) - 1) {
+    const ssize_t n = ::recv(fd, buf + got, sizeof(buf) - 1 - got, 0);
+    if (n <= 0) break;
+    got += static_cast<std::size_t>(n);
+    buf[got] = '\0';
+    if (std::strstr(buf, "\r\n\r\n") != nullptr) break;
+  }
+  buf[got] = '\0';
+  ++served_;
+  if (std::strncmp(buf, "GET ", 4) != 0) {
+    send_response(fd, "405 Method Not Allowed", "text/plain",
+                  "only GET is supported\n");
+    return;
+  }
+  const char* path = buf + 4;
+  const char* end = std::strchr(path, ' ');
+  const std::size_t path_len =
+      end != nullptr ? static_cast<std::size_t>(end - path) : 0;
+  const auto is = [&](const char* want) {
+    return path_len == std::strlen(want) &&
+           std::strncmp(path, want, path_len) == 0;
+  };
+  if (is("/metrics")) {
+    send_response(fd, "200 OK", "text/plain; version=0.0.4", metrics_);
+  } else if (is("/timelines")) {
+    send_response(fd, "200 OK", "application/json", timelines_);
+  } else if (is("/healthz")) {
+    send_response(fd, "200 OK", "text/plain", "ok\n");
+  } else {
+    send_response(fd, "404 Not Found", "text/plain", "not found\n");
+  }
+}
+
+}  // namespace portland::obs

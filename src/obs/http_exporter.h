@@ -1,0 +1,60 @@
+// Minimal blocking HTTP exporter for serve mode: plain POSIX sockets,
+// no dependencies, no threads.
+//
+// The exporter never touches the simulation. The driver publishes
+// pre-rendered bodies (Prometheus text for /metrics, JSONL for
+// /timelines) between queries and then calls poll(), which accepts and
+// answers any pending connections — so scraping samples the fabric at
+// deterministic points and the replay guarantee is untouched. Routes:
+//
+//   GET /metrics    text/plain Prometheus exposition (last published)
+//   GET /timelines  application/json, one completed timeline per line
+//   GET /healthz    "ok"
+//   anything else   404
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace portland::obs {
+
+class HttpExporter {
+ public:
+  /// `port` 0 binds an ephemeral port (read it back via port()).
+  explicit HttpExporter(std::uint16_t port) : want_port_(port) {}
+  ~HttpExporter();
+  HttpExporter(const HttpExporter&) = delete;
+  HttpExporter& operator=(const HttpExporter&) = delete;
+
+  /// Binds 127.0.0.1:port and starts listening (non-blocking accept).
+  /// On failure returns false and fills `error` when non-null.
+  bool start(std::string* error = nullptr);
+  void stop();
+
+  [[nodiscard]] bool running() const { return listen_fd_ >= 0; }
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] std::uint64_t requests_served() const { return served_; }
+
+  void publish_metrics(std::string text) { metrics_ = std::move(text); }
+  void publish_timelines(std::string jsonl) {
+    timelines_ = std::move(jsonl);
+  }
+
+  /// Accepts and answers up to `max_requests` pending connections, then
+  /// returns (0 when nothing was waiting). Each request blocks at most
+  /// the socket receive timeout (~250 ms), so a stalled client cannot
+  /// wedge the driver.
+  int poll(int max_requests = 32);
+
+ private:
+  void answer(int fd);
+
+  std::uint16_t want_port_ = 0;
+  std::uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  std::uint64_t served_ = 0;
+  std::string metrics_;
+  std::string timelines_;
+};
+
+}  // namespace portland::obs

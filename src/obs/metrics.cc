@@ -123,11 +123,17 @@ bool write_file(const std::string& path, const std::string& body) {
   return std::fclose(f) == 0 && ok;
 }
 
-/// Prometheus labels allow any UTF-8 but " and \ must be escaped.
+/// Prometheus label values allow any UTF-8, but the exposition format
+/// requires `\` -> `\\`, `"` -> `\"`, and newline -> the two-character
+/// sequence `\n` (a literal newline would split the sample line).
 void append_prom_label(std::string* out, const std::string& s) {
   for (const char c : s) {
-    if (c == '"' || c == '\\') out->push_back('\\');
-    out->push_back(c);
+    switch (c) {
+      case '\\': out->append("\\\\"); break;
+      case '"': out->append("\\\""); break;
+      case '\n': out->append("\\n"); break;
+      default: out->push_back(c);
+    }
   }
 }
 
@@ -146,8 +152,8 @@ bool MetricsRegistry::write_jsonl(const std::string& path) const {
   return write_file(path, out);
 }
 
-bool MetricsRegistry::write_prometheus(const std::string& path) const {
-  if (snapshots_.empty()) return true;
+std::string MetricsRegistry::render_prometheus() const {
+  if (snapshots_.empty()) return {};
   const MetricsSnapshot& s = snapshots_.back();
   std::string out;
   out.reserve(1 << 15);
@@ -223,7 +229,12 @@ bool MetricsRegistry::write_prometheus(const std::string& path) const {
     }
   }
 
-  return write_file(path, out);
+  return out;
+}
+
+bool MetricsRegistry::write_prometheus(const std::string& path) const {
+  if (snapshots_.empty()) return true;
+  return write_file(path, render_prometheus());
 }
 
 }  // namespace portland::obs

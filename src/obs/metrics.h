@@ -100,6 +100,11 @@ class MetricsRegistry {
   /// One JSON object per line, one line per snapshot.
   [[nodiscard]] bool write_jsonl(const std::string& path) const;
 
+  /// Prometheus text exposition of the most recent snapshot (empty
+  /// string when no snapshot exists). This is what the HTTP exporter
+  /// serves at /metrics.
+  [[nodiscard]] std::string render_prometheus() const;
+
   /// Prometheus text exposition format, rendered from the most recent
   /// snapshot. No-op (returns true) when no snapshot exists.
   [[nodiscard]] bool write_prometheus(const std::string& path) const;

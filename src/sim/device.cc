@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "obs/convergence_monitor.h"
 #include "obs/flight_recorder.h"
 #include "sim/link.h"
 
@@ -74,6 +75,11 @@ void Device::record_hop(obs::HopEvent event, const FramePtr& frame,
   r.event = event;
   r.detail = detail;
   recorder_->record(static_cast<std::uint32_t>(shard_), r);
+  if (monitor_ != nullptr) {
+    monitor_->on_hop(static_cast<std::uint32_t>(shard_), r.time,
+                     name_.c_str(), event, id, frame->data(),
+                     frame->size());
+  }
 }
 
 void Device::record_drop(obs::DropReason reason, const FramePtr& frame,
@@ -88,6 +94,10 @@ void Device::record_drop(obs::DropReason reason, const FramePtr& frame,
   r.reason = reason;
   r.detail = frame != nullptr ? frame->size() : 0;
   recorder_->record_drop(static_cast<std::uint32_t>(shard_), r);
+  if (monitor_ != nullptr && frame != nullptr) {
+    monitor_->on_drop(static_cast<std::uint32_t>(shard_), r.time,
+                      r.trace_id, frame->data(), frame->size());
+  }
 }
 
 void Device::attach_link(PortId port, Link* link, int side) {

@@ -18,6 +18,7 @@
 #include "sim/simulator.h"
 
 namespace portland::obs {
+class ConvergenceMonitor;
 class FlightRecorder;
 enum class HopEvent : std::uint8_t;
 enum class DropReason : std::uint8_t;
@@ -117,6 +118,15 @@ class Device {
   void record_drop(obs::DropReason reason, const FramePtr& frame,
                    PortId port = 0) const;
 
+  // --- convergence monitor (nullptr = off; fed from inside record_hop /
+  // record_drop, so it adds no hot-path branch beyond the recorder's) ---
+  void set_convergence_monitor(obs::ConvergenceMonitor* monitor) {
+    monitor_ = monitor;
+  }
+  [[nodiscard]] obs::ConvergenceMonitor* convergence_monitor() const {
+    return monitor_;
+  }
+
  private:
   /// Assigns `frame` a trace id on first transmit (send() calls this only
   /// when a recorder is attached).
@@ -131,6 +141,7 @@ class Device {
   std::string name_;
   ShardId shard_ = 0;
   obs::FlightRecorder* recorder_ = nullptr;
+  obs::ConvergenceMonitor* monitor_ = nullptr;
   std::vector<PortSlot> ports_;
   CounterSet counters_;
   std::uint64_t* tx_frames_ = counters_.handle("tx_frames");

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/convergence_monitor.h"
 #include "obs/flight_recorder.h"
 #include "sim/snapshot.h"
 
@@ -235,6 +236,16 @@ void Link::set_up(bool up) {
   set_direction_up(0, up);
   set_direction_up(1, up);
   if (was_up != up) {
+    // set_up runs in barrier context (main thread between windows), so
+    // writing the endpoint shard's monitor buffer is ordered by the
+    // window protocol; side 0 keeps the shard choice deterministic.
+    if (obs::ConvergenceMonitor* monitor =
+            end_[0].device->convergence_monitor()) {
+      monitor->on_link_event(
+          static_cast<std::uint32_t>(end_[0].device->shard()), sim_->now(),
+          end_[0].device->name().c_str(), end_[1].device->name().c_str(),
+          up);
+    }
     for (int side = 0; side < 2; ++side) {
       // Run each notification "as" the endpoint's shard so any timers or
       // frames it triggers land on the owning shard's queue.

@@ -32,6 +32,7 @@ class Network {
   T& add_device(Args&&... args) {
     T* dev = arena_.create<T>(sim_, std::forward<Args>(args)...);
     dev->set_flight_recorder(flight_recorder_);
+    dev->set_convergence_monitor(convergence_monitor_);
     by_name_[dev->name()] = dev;
     devices_.push_back(dev);
     return *dev;
@@ -57,6 +58,16 @@ class Network {
   }
   [[nodiscard]] obs::FlightRecorder* flight_recorder() const {
     return flight_recorder_;
+  }
+
+  /// Attaches (or detaches, with nullptr) a convergence monitor to every
+  /// current and future device (same ownership story as the recorder).
+  void set_convergence_monitor(obs::ConvergenceMonitor* monitor) {
+    convergence_monitor_ = monitor;
+    for (Device* dev : devices_) dev->set_convergence_monitor(monitor);
+  }
+  [[nodiscard]] obs::ConvergenceMonitor* convergence_monitor() const {
+    return convergence_monitor_;
   }
 
   /// Wires port `pa` of `a` to port `pb` of `b`.
@@ -99,6 +110,7 @@ class Network {
   Rng rng_;
   FrameTap frame_tap_;
   obs::FlightRecorder* flight_recorder_ = nullptr;
+  obs::ConvergenceMonitor* convergence_monitor_ = nullptr;
   Arena arena_;
   std::vector<Device*> devices_;
   std::vector<Link*> links_;

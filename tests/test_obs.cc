@@ -160,6 +160,48 @@ TEST(Metrics, JsonlAndPrometheusWriters) {
   EXPECT_EQ(text.find("portland_engine_executed 42"), std::string::npos);
 }
 
+// Prometheus label values must escape backslash, double-quote, and
+// newline per the text exposition format — a counter or device name
+// containing any of them must not corrupt the sample line.
+TEST(Metrics, PrometheusEscapesLabelValues) {
+  MetricsRegistry reg;
+  MetricsSnapshot& s = reg.begin_snapshot(millis(1));
+  s.devices.push_back({"dev\"quoted\"", {{"odd\\counter\nname", 3}}});
+  s.links.push_back({"a\"->\\b", true, 5, 320, 1, 64});
+
+  const std::string text = reg.render_prometheus();
+  EXPECT_NE(text.find("device=\"dev\\\"quoted\\\"\""), std::string::npos);
+  EXPECT_NE(text.find("counter=\"odd\\\\counter\\nname\""),
+            std::string::npos);
+  EXPECT_NE(text.find("link=\"a\\\"->\\\\b\""), std::string::npos);
+  // No raw newline may survive inside a label value: every line must be
+  // a complete sample or comment.
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(start, end - start);
+    if (!line.empty() && line[0] != '#') {
+      int unescaped_quotes = 0;
+      for (std::size_t i = 0; i < line.size(); ++i) {
+        if (line[i] == '\\') {
+          ++i;  // whatever follows is escaped
+        } else if (line[i] == '"') {
+          ++unescaped_quotes;
+        }
+      }
+      EXPECT_EQ(unescaped_quotes % 2, 0)
+          << "unbalanced quotes in: " << line;
+    }
+    start = end + 1;
+  }
+
+  // render_prometheus() is exactly what write_prometheus persists.
+  const std::string path = testing::TempDir() + "obs_escaped.prom";
+  ASSERT_TRUE(reg.write_prometheus(path));
+  EXPECT_EQ(read_file(path), text);
+}
+
 TEST(Metrics, EmptyRegistryWritersAreSafe) {
   MetricsRegistry reg;
   const std::string base = testing::TempDir() + "obs_empty";

@@ -182,11 +182,17 @@ struct ParallelRunResult {
   std::uint64_t rec_captured = 0;
   std::uint64_t rec_traced = 0;
   std::uint64_t rec_drops = 0;
+  /// Convergence-monitor totals (zero when it was off).
+  std::uint64_t mon_events = 0;
+  std::uint64_t mon_timelines = 0;
+  std::uint64_t mon_loops = 0;
+  std::uint64_t mon_overflow = 0;
 };
 
 ParallelRunResult run_parallel_soak(
     unsigned workers, sim::SchedulerKind scheduler = sim::SchedulerKind::kWheel,
-    bool obs_on = false, bool burst = true, bool legacy_tables = false) {
+    bool obs_on = false, bool burst = true, bool legacy_tables = false,
+    bool monitor_on = false) {
   topo::FatTree tree(4);
   PortlandFabric::Options options;
   options.k = 4;
@@ -196,6 +202,8 @@ ParallelRunResult run_parallel_soak(
   options.skip_host_indices = {tree.host_index(3, 1, 1)};  // migration slot
   options.obs.flight_recorder = obs_on;
   options.obs.engine_trace = obs_on;
+  options.obs.convergence_monitor = monitor_on;
+  options.obs.check_invariants = monitor_on;
   options.burst = burst;
   options.config.tables = legacy_tables ? PortlandConfig::Tables::kLegacyMap
                                         : PortlandConfig::Tables::kCompact;
@@ -317,6 +325,13 @@ ParallelRunResult run_parallel_soak(
     result.rec_traced = rec->traced_frames();
     result.rec_drops = rec->drops_recorded();
   }
+  if (obs::ConvergenceMonitor* monitor = fabric.convergence_monitor()) {
+    result.mon_events = monitor->events_captured();
+    monitor->finalize();
+    result.mon_timelines = monitor->timelines_total();
+    result.mon_loops = monitor->loop_violations();
+    result.mon_overflow = monitor->events_overflowed();
+  }
   std::sort(result.trace.begin(), result.trace.end());
   return result;
 }
@@ -429,6 +444,72 @@ TEST(Soak, FlightRecorderIsInvisibleToExecution) {
   EXPECT_EQ(on1.rec_drops, on4.rec_drops);
   // The untraced run recorded nothing.
   EXPECT_EQ(off1.rec_captured, 0u);
+}
+
+// The convergence monitor (timeline engine + streaming loop-freedom
+// checks) is passive like the recorder it rides on: attaching it must
+// not move a single event. The same chaos scenario — failures, repairs,
+// migration, TCP, multicast — runs with the monitor off and on, across
+// 1/4 workers and both scheduler backends, and every sim-visible
+// quantity must match the plain run bit for bit. The monitor's own
+// observations (events captured, timelines opened, loop violations)
+// must be worker-count and scheduler invariant too.
+TEST(Soak, ConvergenceMonitorIsInvisibleToExecution) {
+  const ParallelRunResult plain1 = run_parallel_soak(1);
+  const ParallelRunResult on1 =
+      run_parallel_soak(1, sim::SchedulerKind::kWheel, /*obs_on=*/true,
+                        /*burst=*/true, /*legacy_tables=*/false,
+                        /*monitor_on=*/true);
+  const ParallelRunResult on4 =
+      run_parallel_soak(4, sim::SchedulerKind::kWheel, /*obs_on=*/true,
+                        /*burst=*/true, /*legacy_tables=*/false,
+                        /*monitor_on=*/true);
+  const ParallelRunResult on1_heap =
+      run_parallel_soak(1, sim::SchedulerKind::kHeap, /*obs_on=*/true,
+                        /*burst=*/true, /*legacy_tables=*/false,
+                        /*monitor_on=*/true);
+  const ParallelRunResult on4_heap =
+      run_parallel_soak(4, sim::SchedulerKind::kHeap, /*obs_on=*/true,
+                        /*burst=*/true, /*legacy_tables=*/false,
+                        /*monitor_on=*/true);
+
+  const auto expect_same_sim = [](const ParallelRunResult& a,
+                                  const ParallelRunResult& b,
+                                  const char* label) {
+    EXPECT_EQ(a.executed, b.executed) << label;
+    EXPECT_EQ(a.final_now, b.final_now) << label;
+    EXPECT_EQ(a.probe_sent, b.probe_sent) << label;
+    EXPECT_EQ(a.probe_received, b.probe_received) << label;
+    EXPECT_EQ(a.tcp_delivered, b.tcp_delivered) << label;
+    EXPECT_EQ(a.tcp_corrupt, b.tcp_corrupt) << label;
+    EXPECT_EQ(a.mcast_rx, b.mcast_rx) << label;
+    EXPECT_EQ(a.link_tx_frames, b.link_tx_frames) << label;
+    EXPECT_EQ(a.link_dropped, b.link_dropped) << label;
+    ASSERT_EQ(a.trace.size(), b.trace.size()) << label;
+    EXPECT_TRUE(a.trace == b.trace) << label << ": traces diverged";
+  };
+  expect_same_sim(plain1, on1, "monitor off vs on, 1 worker");
+  expect_same_sim(on1, on4, "monitor on, 1 vs 4 workers");
+  expect_same_sim(on1, on1_heap, "monitor on, wheel vs heap");
+  expect_same_sim(on1, on4_heap, "monitor on, wheel vs heap, 4 workers");
+
+  // The monitor saw the chaos: 2 link failures + the migration's
+  // disconnect all open timelines...
+  EXPECT_GE(on1.mon_timelines, 3u);
+  EXPECT_GT(on1.mon_events, 1000u);
+  EXPECT_EQ(on1.mon_overflow, 0u);
+  // ...the fabric stayed loop-free throughout...
+  EXPECT_EQ(on1.mon_loops, 0u);
+  // ...and what it observed is engine-configuration invariant.
+  EXPECT_EQ(on1.mon_events, on4.mon_events);
+  EXPECT_EQ(on1.mon_events, on1_heap.mon_events);
+  EXPECT_EQ(on1.mon_events, on4_heap.mon_events);
+  EXPECT_EQ(on1.mon_timelines, on4.mon_timelines);
+  EXPECT_EQ(on1.mon_timelines, on4_heap.mon_timelines);
+  EXPECT_EQ(on1.mon_loops, on4.mon_loops);
+  // The monitor-off runs observed nothing.
+  EXPECT_EQ(plain1.mon_events, 0u);
+  EXPECT_EQ(plain1.mon_timelines, 0u);
 }
 
 // Burst/train execution is a pure scheduler-side batching optimization:
