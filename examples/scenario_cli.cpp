@@ -46,6 +46,12 @@ struct Args {
   SimDuration fm_failover_at = 0;
   core::PortlandConfig::EcmpMode ecmp =
       core::PortlandConfig::EcmpMode::kFlowHash;
+  /// Fabric-manager registry shards; 1 = the classic single endpoint,
+  /// 0 (spelled "auto") = one shard per pod.
+  std::size_t fm_shards = 1;
+  /// ARP-storm rounds before the scenario traffic: every host resolves
+  /// one fresh destination per round (0 = off).
+  int arp_storm = 0;
   unsigned workers = 0;
   bool burst = true;
   // Observability outputs; empty = off.
@@ -79,6 +85,17 @@ void print_usage(std::FILE* to) {
       "  --ecmp hash|spray      ECMP mode (default hash)\n"
       "  --fm-failover-ms T     wipe the fabric manager's soft state at T "
       "(0 = off)\n"
+      "  --fm-shards N|auto     fabric-manager registry shards (default 1 = "
+      "the\n"
+      "                         classic single endpoint; auto = one shard "
+      "per pod)\n"
+      "  --arp-storm N          before the scenario traffic, run N storm "
+      "rounds\n"
+      "                         where every host resolves one fresh "
+      "destination,\n"
+      "                         and report resolutions and the per-shard "
+      "query\n"
+      "                         spread (0 = off)\n"
       "  --workers N|auto       parallel engine worker threads (0 = classic "
       "engine;\n"
       "                         auto = one per shard, capped at core count,\n"
@@ -189,6 +206,15 @@ Args parse_args(int argc, char** argv) {
       out.duration = millis(int_value(1, INT64_MAX / 2000000));
     } else if (!std::strcmp(flag, "--fm-failover-ms")) {
       out.fm_failover_at = millis(int_value(0, INT64_MAX / 2000000));
+    } else if (!std::strcmp(flag, "--fm-shards")) {
+      const char* v = value();
+      if (!std::strcmp(v, "auto")) {
+        out.fm_shards = 0;  // resolved to one shard per pod
+      } else {
+        out.fm_shards = static_cast<std::size_t>(parse_int(flag, v, 1, 4096));
+      }
+    } else if (!std::strcmp(flag, "--arp-storm")) {
+      out.arp_storm = static_cast<int>(int_value(1, 1024));
     } else if (!std::strcmp(flag, "--workers")) {
       const char* w = value();
       if (!std::strcmp(w, "auto")) {
@@ -596,6 +622,7 @@ int main(int argc, char** argv) {
   options.workers = args.workers;
   options.burst = args.burst;
   options.config.ecmp_mode = args.ecmp;
+  options.config.fm_shards = args.fm_shards;
   options.obs.flight_recorder = want_trace;
   options.obs.engine_trace = want_trace && args.trace_engine;
   options.obs.trace_frames = static_cast<std::uint64_t>(args.trace_frames);
@@ -671,6 +698,51 @@ int main(int argc, char** argv) {
   }
   if (args.serve > 0) {
     return run_serve(fabric, image, args, converge_wall_ms);
+  }
+  // ARP storm: every host resolves one fresh destination per round, then
+  // the per-shard query spread shows how evenly the (possibly sharded)
+  // fabric manager served it.
+  if (args.arp_storm > 0) {
+    const auto& storm_hosts = fabric.hosts();
+    const std::size_t n = storm_hosts.size();
+    auto resolutions = [&] {
+      std::uint64_t total = 0;
+      for (const host::Host* h : storm_hosts) {
+        total += h->counters().get("arp_resolutions");
+      }
+      return total;
+    };
+    const std::uint64_t res0 = resolutions();
+    for (int r = 0; r < args.arp_storm; ++r) {
+      const std::size_t off =
+          1 + (static_cast<std::size_t>(r) * 2654435761ull) % (n - 1);
+      const std::uint16_t sport = static_cast<std::uint16_t>(7600 + r);
+      for (std::size_t i = 0; i < n; ++i) {
+        storm_hosts[i]->send_udp(storm_hosts[(i + off) % n]->ip(), sport,
+                                 sport, {1});
+      }
+      fabric.sim().run_until(fabric.sim().now() + millis(5));
+    }
+    fabric.sim().run_until(fabric.sim().now() + millis(20));
+    const auto& storm_fm = fabric.fabric_manager();
+    std::uint64_t total_q = 0;
+    std::uint64_t busiest = 0;
+    for (std::size_t s = 0; s < storm_fm.shard_count(); ++s) {
+      const std::uint64_t q = storm_fm.shard_counters(s).get("arp_queries");
+      total_q += q;
+      busiest = std::max(busiest, q);
+    }
+    std::printf("arp storm: %d rounds, %llu resolutions, %llu FM queries "
+                "across %zu shard(s), busiest %llu (service speedup "
+                "%.2fx)\n",
+                args.arp_storm,
+                static_cast<unsigned long long>(resolutions() - res0),
+                static_cast<unsigned long long>(total_q),
+                storm_fm.shard_count(),
+                static_cast<unsigned long long>(busiest),
+                busiest > 0 ? static_cast<double>(total_q) /
+                                  static_cast<double>(busiest)
+                            : 1.0);
   }
   const SimTime t0 = fabric.sim().now();
 

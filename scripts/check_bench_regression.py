@@ -176,6 +176,41 @@ def check_e21(base):
               f'{row["timelines"]} timelines >= {row["faults"]} failed links')
 
 
+def check_e22(base):
+    """Sharded proxy-ARP control plane guards (E22). service_speedup
+    (total ARP queries / busiest shard) and coalesce_ratio (FM-bound
+    incast queries without / with edge coalescing) are deterministic
+    structural metrics, so they get tight floors. The replica blackout is
+    simulated time (deterministic). The wall-clock resolutions/s floor is
+    deliberately loose; it is skipped when the bench reports the runner
+    as oversubscribed (<2 cores), where wall numbers measure timesharing,
+    not the control plane."""
+    e22 = load("BENCH_e22.json")
+    check("e22 service speedup",
+          e22["service_speedup"] >= base["e22"]["service_speedup_min"],
+          f'{e22["service_speedup"]:.2f}x >= '
+          f'{base["e22"]["service_speedup_min"]}x '
+          f'across {e22["fm_shards"]} shards')
+    check("e22 coalesce ratio",
+          e22["coalesce_ratio"] >= base["e22"]["coalesce_ratio_min"],
+          f'{e22["coalesce_ratio"]:.1f}x >= '
+          f'{base["e22"]["coalesce_ratio_min"]}x fewer FM-bound queries')
+    check("e22 replica blackout",
+          0 <= e22["replica_blackout_ms"] <=
+          base["e22"]["replica_blackout_ms_max"],
+          f'{e22["replica_blackout_ms"]:.1f} ms <= '
+          f'{base["e22"]["replica_blackout_ms_max"]} ms')
+    check("e22 resolution latency p99",
+          e22["arp_p99_us"] <= base["e22"]["arp_p99_us_max"],
+          f'{e22["arp_p99_us"]:.0f} us <= {base["e22"]["arp_p99_us_max"]} us')
+    if e22.get("oversubscribed") == "true":
+        print(f'skip  e22 resolutions/s floor: {e22["hw_cores"]} core(s) '
+              'on this runner')
+    else:
+        floor("e22 resolutions/s", e22["resolutions_per_sec"],
+              base["e22"]["resolutions_per_sec"])
+
+
 SECTIONS = {
     "e14": check_e14,
     "e15": check_e15,
@@ -183,6 +218,7 @@ SECTIONS = {
     "e19": check_e19,
     "e20": check_e20,
     "e21": check_e21,
+    "e22": check_e22,
 }
 
 

@@ -70,6 +70,7 @@ E18_ARGS=""
 E19_ARGS=""
 E20_ARGS=""
 E21_ARGS=""
+E22_ARGS=""
 if [ "$SMOKE" = 1 ]; then
   E14_ARGS="--k 4 --flows-per-host 1"
   E15_ARGS="--k 4 --threads 2 --reps 1 --measure-ms 50"
@@ -79,6 +80,9 @@ if [ "$SMOKE" = 1 ]; then
   E19_ARGS="--ks 8 --flows 64 --measure-ms 20 --warm-ms 10"
   E20_ARGS="--ks 4 --queries 2 --flows 16 --warm-ms 20"
   E21_ARGS="4 8 1,3"
+  # k=16 keeps hosts/edge at 8 so the coalescing ratio is still meaningful
+  # (the ratio is bounded by hosts per edge switch).
+  E22_ARGS="--ks 16 --resolutions 4000 --absent-hosts 16"
 fi
 # Slow CI boxes gate e19 convergence on simulated-time budget, not
 # wall-clock: export E19_CONVERGE_BUDGET_S to override the bench default.
@@ -90,7 +94,8 @@ fi
 for spec in "e14_fastpath:$E14_ARGS" "e15_parallel:$E15_ARGS" \
             "e16_event_queue:$E16_ARGS" "e17_observability:$E17_ARGS" \
             "e18_burst:$E18_ARGS" "e19_scale:$E19_ARGS" \
-            "e20_snapshot:$E20_ARGS" "e21_convergence:$E21_ARGS"; do
+            "e20_snapshot:$E20_ARGS" "e21_convergence:$E21_ARGS" \
+            "e22_arp_storm:$E22_ARGS"; do
   n="${spec%%:*}"
   extra="${spec#*:}"
   b="build/bench/bench_$n"
@@ -112,7 +117,7 @@ for pair in e1:e1_convergence e2:e2_tcp_convergence \
             e11:e11_ecmp_ablation e12:e12_ldp_scale e13:e13_path_audit \
             e14:e14_fastpath e15:e15_parallel e16:e16_event_queue \
             e17:e17_observability e18:e18_burst e19:e19_scale \
-            e20:e20_snapshot e21:e21_convergence; do
+            e20:e20_snapshot e21:e21_convergence e22:e22_arp_storm; do
   short="${pair%%:*}"
   f="build/BENCH_${short}.json"
   if [ ! -s "$f" ]; then

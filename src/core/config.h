@@ -52,6 +52,35 @@ struct PortlandConfig {
   /// which the request falls back to broadcast.
   SimDuration arp_query_timeout = millis(50);
 
+  // --- fabric-manager scale-out (E22) ---
+  /// Registry shards the FM splits its IP->PMAC soft state across. 1
+  /// (default): the classic single endpoint. 0: auto — one shard per pod.
+  /// N > 1: each shard answers ArpQuery/HostRegister at its own
+  /// control-plane address (kFmShardIdBase + s) pinned to its own
+  /// simulator shard, so ARP service parallelizes under the PDES engine.
+  std::size_t fm_shards = 1;
+  /// Edge-switch ARP coalescing: duplicate in-flight resolutions for one
+  /// IP ride a single FM query and fan the answer out (on by default —
+  /// the first query per IP is always issued, so resolution behavior is
+  /// unchanged; only duplicate control traffic disappears).
+  bool arp_coalescing = true;
+  /// Bounded per-edge negative ARP cache: after an FM miss, repeat
+  /// queries for the same absent IP are answered locally (with the same
+  /// broadcast fallback) until the entry expires. 0 disables.
+  std::size_t arp_negative_cache_entries = 64;
+  /// Lifetime of a negative cache entry. Matches the host ARP retry
+  /// interval by default so a retrying host is throttled to roughly one
+  /// FM-bound query per edge per interval.
+  SimDuration arp_negative_ttl = millis(200);
+  /// Hot-standby FM replica at kFmReplicaId, fed by a state-delta stream
+  /// from the primary (and every registry shard). failover_to_replica()
+  /// then restores from the last streamed deltas instead of a cold wipe,
+  /// bounding the blackout to the dirty window.
+  bool fm_replica = false;
+  /// Period between delta syncs toward the replica (per section; dirty
+  /// sections only).
+  SimDuration fm_replica_sync_interval = millis(100);
+
   // --- ECMP ablation ---
   /// kFlowHash pins each flow to one uplink (the paper's design: no
   /// intra-flow reordering). kPacketSpray round-robins every packet —

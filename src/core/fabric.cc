@@ -85,10 +85,37 @@ PortlandFabric::PortlandFabric(Options options)
 
   control_ = std::make_unique<ControlPlane>(net_.sim(),
                                             options_.config.control_latency);
+  // fm_shards == 0 means auto: one registry shard per pod, the same
+  // decomposition the PDES engine already uses.
+  if (options_.config.fm_shards == 0) {
+    options_.config.fm_shards = tree_.pods();
+  }
+  const std::size_t fm_shards =
+      std::max<std::size_t>(1, options_.config.fm_shards);
   fm_ = std::make_unique<FabricManager>(net_.sim(), *control_,
                                         options_.config);
   // The fabric manager handles its messages on the core shard.
   control_->set_endpoint_shard(kFabricManagerId, tree_.core_shard());
+  // Registry shards are pinned round-robin across the pod shards, so ARP
+  // service runs in parallel with the data plane instead of serializing
+  // on the core shard.
+  if (fm_shards > 1) {
+    for (std::size_t s = 0; s < fm_shards; ++s) {
+      control_->set_endpoint_shard(
+          static_cast<SwitchId>(kFmShardIdBase + s),
+          static_cast<sim::ShardId>(s % tree_.pods()));
+    }
+  }
+  if (options_.config.fm_replica) {
+    control_->set_endpoint_shard(kFmReplicaId, tree_.core_shard());
+    std::vector<sim::ShardId> registry_shards(fm_shards, tree_.core_shard());
+    if (fm_shards > 1) {
+      for (std::size_t s = 0; s < fm_shards; ++s) {
+        registry_shards[s] = static_cast<sim::ShardId>(s % tree_.pods());
+      }
+    }
+    fm_->start_replica_sync(registry_shards, tree_.core_shard());
+  }
   if (monitor_ != nullptr) {
     fm_->set_convergence_monitor(
         monitor_.get(), static_cast<std::uint32_t>(tree_.core_shard()));
@@ -121,7 +148,7 @@ PortlandFabric::PortlandFabric(Options options)
   hosts_.reserve(n_hosts);
   fabric_links_.reserve(n_links - n_hosts);
   fm_->reserve(n_hosts, n_switches);
-  control_->reserve(n_switches + 1);
+  control_->reserve(n_switches + 2 + fm_shards);
 
   // Switches, in FatTree order: edge, agg, core. Each is pinned to its
   // pod's event shard (cores to the shared core shard) and the control
@@ -294,7 +321,7 @@ PortlandSwitch::TableBytes PortlandFabric::total_table_bytes() const {
 namespace {
 /// Image header magic: "PLFS" (PortLand Fabric Snapshot).
 constexpr std::uint32_t kSnapshotMagic = 0x504C4653;
-constexpr std::uint32_t kSnapshotVersion = 2;
+constexpr std::uint32_t kSnapshotVersion = 3;
 }  // namespace
 
 bool PortlandFabric::save_snapshot(std::vector<std::uint8_t>& out,

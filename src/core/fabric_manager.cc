@@ -1,6 +1,7 @@
 #include "core/fabric_manager.h"
 
 #include <algorithm>
+#include <set>
 
 #include "common/logging.h"
 #include "obs/convergence_monitor.h"
@@ -11,8 +12,25 @@ namespace portland::core {
 FabricManager::FabricManager(sim::Simulator& sim, ControlPlane& control,
                              PortlandConfig config)
     : sim_(&sim), control_(&control), config_(config) {
+  shards_.resize(std::max<std::size_t>(1, config_.fm_shards));
   control_->register_endpoint(
       kFabricManagerId, [this](const ControlMessage& m) { handle_message(m); });
+  if (shards_.size() > 1) {
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      control_->register_endpoint(
+          static_cast<SwitchId>(kFmShardIdBase + s),
+          [this, s](const ControlMessage& m) { handle_shard_message(s, m); });
+    }
+  }
+  if (config_.fm_replica) {
+    replica_.resize(1 + shards_.size());
+    control_->register_endpoint(
+        kFmReplicaId, [this](const ControlMessage& m) {
+          if (const auto* d = std::get_if<FmDelta>(&m.body)) {
+            on_replica_delta(*d);
+          }
+        });
+  }
 }
 
 void FabricManager::send(SwitchId to, ControlBody body, SimDuration extra) {
@@ -26,8 +44,15 @@ void FabricManager::handle_message(const ControlMessage& msg) {
     SwitchId sender;
     void operator()(const SwitchHello& m) { fm.on_hello(sender, m); }
     void operator()(const PodRequest&) { fm.on_pod_request(sender); }
-    void operator()(const HostRegister& m) { fm.on_host_register(sender, m); }
-    void operator()(const ArpQuery& m) { fm.on_arp_query(sender, m); }
+    // Registry traffic reaching the primary is routed to the owning
+    // shard's slice, so direct sends (fm_shards == 1, benches, tests)
+    // behave identically to shard-addressed ones.
+    void operator()(const HostRegister& m) {
+      fm.on_host_register(sender, m, fm.shard_of(m.ip));
+    }
+    void operator()(const ArpQuery& m) {
+      fm.on_arp_query(sender, m, fm.shard_of(m.ip));
+    }
     void operator()(const FaultNotify& m) { fm.on_fault_notify(sender, m); }
     void operator()(const McastJoin& m) { fm.on_mcast_join(sender, m); }
     void operator()(const McastLeave& m) { fm.on_mcast_leave(sender, m); }
@@ -41,30 +66,50 @@ void FabricManager::handle_message(const ControlMessage& msg) {
     void operator()(const McastInstall&) {}
     void operator()(const McastRemove&) {}
     void operator()(const InvalidateHost&) {}
+    void operator()(const FmDelta&) {}
   };
   std::visit(Dispatcher{*this, msg.sender}, msg.body);
+}
+
+void FabricManager::handle_shard_message(std::size_t shard,
+                                         const ControlMessage& msg) {
+  shards_[shard].counters.add("rx_total");
+  if (const auto* q = std::get_if<ArpQuery>(&msg.body)) {
+    on_arp_query(msg.sender, *q, shard);
+  } else if (const auto* h = std::get_if<HostRegister>(&msg.body)) {
+    on_host_register(msg.sender, *h, shard);
+  }
 }
 
 // ---------------------------------------------------------------------------
 // Topology & pods
 // ---------------------------------------------------------------------------
 
-void FabricManager::simulate_failover() {
-  counters_.add("failovers");
+void FabricManager::wipe_soft_state() {
   graph_ = FabricGraph();
   pod_by_requester_.clear();
   next_pod_ = 0;
-  hosts_.clear();
+  for (RegistryShard& s : shards_) s.hosts.clear();
   installed_prunes_.clear();
   groups_.clear();
   installed_trees_.clear();
   synced_switches_.clear();
 }
 
+void FabricManager::simulate_failover() {
+  counters_.add("failovers");
+  wipe_soft_state();
+}
+
 void FabricManager::on_hello(SwitchId sender, const SwitchHello& m) {
   // First hello from a switch this incarnation: flush any reroute state a
   // previous FM installed — this FM will recompute what is still needed.
-  if (synced_switches_.insert(sender).second) {
+  const auto sit =
+      std::lower_bound(synced_switches_.begin(), synced_switches_.end(),
+                       sender);
+  if (sit == synced_switches_.end() || *sit != sender) {
+    synced_switches_.insert(sit, sender);
+    core_dirty_ = true;
     send(sender, PruneUpdate{/*flush=*/true, {}});
   }
   // Pod numbers are soft state too: re-learn the allocator's high-water
@@ -72,9 +117,11 @@ void FabricManager::on_hello(SwitchId sender, const SwitchHello& m) {
   if (m.self.pod != kUnknownPod &&
       static_cast<std::uint16_t>(m.self.pod + 1) > next_pod_) {
     next_pod_ = static_cast<std::uint16_t>(m.self.pod + 1);
+    core_dirty_ = true;
   }
   const HelloDelta delta = graph_.apply_hello(sender, m);
   if (!delta.changed) return;
+  core_dirty_ = true;
   // Effective reachability (locator, or adjacency ∧ fault matrix) changed.
   // Re-derive any routing state built on the old view: a repair's
   // FaultNotify can arrive before the hellos that restore the adjacency it
@@ -92,8 +139,14 @@ void FabricManager::on_hello(SwitchId sender, const SwitchHello& m) {
 
 void FabricManager::on_pod_request(SwitchId sender) {
   // Idempotent: one pod per requesting switch (the position-0 edge).
-  auto [it, inserted] = pod_by_requester_.emplace(sender, next_pod_);
-  if (inserted) ++next_pod_;
+  auto it = std::lower_bound(
+      pod_by_requester_.begin(), pod_by_requester_.end(), sender,
+      [](const auto& e, SwitchId id) { return e.first < id; });
+  if (it == pod_by_requester_.end() || it->first != sender) {
+    it = pod_by_requester_.insert(it, {sender, next_pod_});
+    ++next_pod_;
+    core_dirty_ = true;
+  }
   send(sender, PodAssignment{it->second});
 }
 
@@ -101,48 +154,147 @@ void FabricManager::on_pod_request(SwitchId sender) {
 // Hosts, proxy ARP, migration
 // ---------------------------------------------------------------------------
 
-void FabricManager::on_host_register(SwitchId sender, const HostRegister& m) {
+void FabricManager::on_host_register(SwitchId sender, const HostRegister& m,
+                                     std::size_t shard) {
   if (m.ip.is_zero()) return;
-  const auto it = hosts_.find(m.ip);
-  if (it != hosts_.end() && it->second.pmac != m.pmac) {
-    // The IP is reachable at a new PMAC: a VM migrated (paper §3.7).
-    // Invalidate the stale mapping at the previous edge switch, which will
-    // trap in-flight frames and correct stale ARP caches.
-    counters_.add("migrations_detected");
-    send(it->second.edge,
-         InvalidateHost{m.ip, it->second.pmac, m.pmac});
+  RegistryShard& sh = shards_[shard];
+  const HostRecord rec{m.pmac, m.amac, sender, m.edge_port};
+  HostRecord* existing = sh.hosts.find(m.ip);
+  if (existing != nullptr) {
+    if (*existing == rec) return;  // steady-state refresh: nothing changed
+    if (existing->pmac != m.pmac) {
+      // The IP is reachable at a new PMAC: a VM migrated (paper §3.7).
+      // Invalidate the stale mapping at the previous edge switch, which
+      // will trap in-flight frames and correct stale ARP caches.
+      sh.counters.add("migrations_detected");
+      send(existing->edge, InvalidateHost{m.ip, existing->pmac, m.pmac});
+    }
+    *existing = rec;
+  } else {
+    sh.hosts.insert_or_assign(m.ip, rec);
   }
-  hosts_[m.ip] = HostRecord{m.pmac, m.amac, sender, m.edge_port};
+  sh.dirty = true;
 }
 
-void FabricManager::on_arp_query(SwitchId sender, const ArpQuery& m) {
-  counters_.add("arp_queries");
-  const auto it = hosts_.find(m.ip);
-  if (it == hosts_.end()) {
-    counters_.add("arp_misses");
+void FabricManager::on_arp_query(SwitchId sender, const ArpQuery& m,
+                                 std::size_t shard) {
+  RegistryShard& sh = shards_[shard];
+  sh.counters.add("arp_queries");
+  const HostRecord* rec = sh.hosts.find(m.ip);
+  if (rec == nullptr) {
+    sh.counters.add("arp_misses");
     send(sender, ArpResponse{m.query_id, m.ip, MacAddress::zero(), false});
     return;
   }
-  counters_.add("arp_hits");
-  send(sender, ArpResponse{m.query_id, m.ip, it->second.pmac, true});
-}
-
-std::optional<MacAddress> FabricManager::lookup_pmac(Ipv4Address ip) const {
-  const auto it = hosts_.find(ip);
-  if (it == hosts_.end()) return std::nullopt;
-  return it->second.pmac;
+  sh.counters.add("arp_hits");
+  send(sender, ArpResponse{m.query_id, m.ip, rec->pmac, true});
 }
 
 void FabricManager::register_host_direct(Ipv4Address ip,
                                          const HostRecord& record) {
-  hosts_[ip] = record;
+  RegistryShard& sh = shards_[shard_of(ip)];
+  sh.hosts.insert_or_assign(ip, record);
+  sh.dirty = true;
 }
 
 std::optional<FabricManager::HostRecord> FabricManager::host(
     Ipv4Address ip) const {
-  const auto it = hosts_.find(ip);
-  if (it == hosts_.end()) return std::nullopt;
-  return it->second;
+  const HostRecord* rec = shards_[shard_of(ip)].hosts.find(ip);
+  if (rec == nullptr) return std::nullopt;
+  return *rec;
+}
+
+const CounterSet& FabricManager::counters() const {
+  merged_counters_.reset();
+  for (const auto& [name, value] : counters_.all()) {
+    merged_counters_.add(name, value);
+  }
+  for (const RegistryShard& s : shards_) {
+    for (const auto& [name, value] : s.counters.all()) {
+      merged_counters_.add(name, value);
+    }
+  }
+  return merged_counters_;
+}
+
+// ---------------------------------------------------------------------------
+// Hot-standby replica (FmDelta stream)
+// ---------------------------------------------------------------------------
+
+void FabricManager::start_replica_sync(
+    const std::vector<sim::ShardId>& registry_shards,
+    sim::ShardId core_shard) {
+  if (!config_.fm_replica || core_sync_timer_ != nullptr) return;
+  core_sync_timer_ = std::make_unique<sim::PeriodicTimer>(
+      *sim_, config_.fm_replica_sync_interval, [this] { sync_core_section(); });
+  {
+    // The tick must run where the primary's handlers run: it reads the
+    // topology/prune/multicast state those handlers own.
+    sim::ShardGuard guard(*sim_, core_shard);
+    core_sync_timer_->start();
+  }
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    shards_[s].sync_timer = std::make_unique<sim::PeriodicTimer>(
+        *sim_, config_.fm_replica_sync_interval,
+        [this, s] { sync_shard_section(s); });
+    // Each registry shard's tick runs on that shard's simulator shard so
+    // serializing its slice never races its handler.
+    sim::ShardGuard guard(
+        *sim_, s < registry_shards.size() ? registry_shards[s] : core_shard);
+    shards_[s].sync_timer->start();
+  }
+}
+
+void FabricManager::sync_core_section() {
+  if (!core_dirty_) return;
+  core_dirty_ = false;
+  FmDelta d;
+  d.section = 0;
+  d.version = ++core_version_;
+  sim::SnapshotWriter w(d.image);
+  save_core_state(w);
+  send(kFmReplicaId, std::move(d));
+}
+
+void FabricManager::sync_shard_section(std::size_t shard) {
+  RegistryShard& sh = shards_[shard];
+  if (!sh.dirty) return;
+  sh.dirty = false;
+  FmDelta d;
+  d.section = static_cast<std::uint32_t>(1 + shard);
+  d.version = ++sh.delta_version;
+  sim::SnapshotWriter w(d.image);
+  save_registry(w, sh);
+  send(kFmReplicaId, std::move(d));
+}
+
+void FabricManager::on_replica_delta(const FmDelta& m) {
+  if (m.section >= replica_.size()) return;
+  ReplicaSection& s = replica_[m.section];
+  if (m.version <= s.version) return;  // reordered stale image
+  s.version = m.version;
+  s.image = m.image;
+}
+
+void FabricManager::failover_to_replica() {
+  counters_.add("failovers");
+  counters_.add("replica_failovers");
+  wipe_soft_state();
+  if (!replica_.empty() && replica_[0].version > 0) {
+    sim::SnapshotReader r(replica_[0].image);
+    restore_core_state(r);
+  }
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const std::size_t section = 1 + s;
+    if (section < replica_.size() && replica_[section].version > 0) {
+      sim::SnapshotReader r(replica_[section].image);
+      restore_registry(r);
+    }
+  }
+  // Everything the new incarnation now holds is unsynced: stream it all
+  // again so a second failover isn't built on pre-takeover images.
+  core_dirty_ = true;
+  for (RegistryShard& s : shards_) s.dirty = true;
 }
 
 // ---------------------------------------------------------------------------
@@ -160,6 +312,7 @@ void FabricManager::on_fault_notify(SwitchId sender, const FaultNotify& m) {
   if (!graph_.set_link_state(sender, m.neighbor, m.link_up)) {
     return;  // both endpoints report; second notification is a no-op
   }
+  core_dirty_ = true;
   const std::vector<DstKey> keys = graph_.keys_for_link(sender, m.neighbor);
   recompute_prunes(keys, config_.fm_fault_processing);
   recompute_all_groups(config_.fm_multicast_processing);
@@ -204,6 +357,7 @@ void FabricManager::recompute_prunes(const std::vector<DstKey>& event_keys,
     }
   }
 
+  if (!keys.empty()) core_dirty_ = true;
   counters_.add("prune_updates_sent", batches.size());
   for (auto& [sw, update] : batches) {
     send(sw, std::move(update), base_delay + config_.flow_install_cost);
@@ -216,6 +370,7 @@ void FabricManager::recompute_prunes(const std::vector<DstKey>& event_keys,
 
 void FabricManager::on_mcast_join(SwitchId sender, const McastJoin& m) {
   groups_[m.group].receivers[sender].insert(m.host_port);
+  core_dirty_ = true;
   recompute_group(m.group, config_.fm_multicast_processing);
 }
 
@@ -227,6 +382,7 @@ void FabricManager::on_mcast_leave(SwitchId sender, const McastLeave& m) {
     rit->second.erase(m.host_port);
     if (rit->second.empty()) git->second.receivers.erase(rit);
   }
+  core_dirty_ = true;
   recompute_group(m.group, config_.fm_multicast_processing);
   if (git->second.empty()) groups_.erase(git);
 }
@@ -235,6 +391,7 @@ void FabricManager::on_mcast_sender_seen(SwitchId sender,
                                          const McastSenderSeen& m) {
   auto& senders = groups_[m.group].senders;
   if (senders.insert(sender).second) {
+    core_dirty_ = true;
     recompute_group(m.group, config_.fm_multicast_processing);
   }
 }
@@ -277,6 +434,7 @@ void FabricManager::recompute_group(Ipv4Address group, SimDuration base_delay) {
     installed_trees_.erase(group);
     counters_.add("mcast_trees_unavailable");
   }
+  core_dirty_ = true;
 }
 
 void FabricManager::recompute_all_groups(SimDuration base_delay) {
@@ -293,6 +451,10 @@ std::optional<MulticastTree> FabricManager::installed_tree(
   if (it == installed_trees_.end()) return std::nullopt;
   return it->second;
 }
+
+// ---------------------------------------------------------------------------
+// Checkpoint
+// ---------------------------------------------------------------------------
 
 namespace {
 
@@ -321,9 +483,13 @@ void restore_port_map(sim::SnapshotReader& r,
   }
 }
 
+/// A serialized sim::Timer image is fixed-size (armed, pending, shard,
+/// deadline, seq); consumed when the restoring FM has no matching timer.
+void skip_timer(sim::SnapshotReader& r) { r.skip(1 + 1 + 4 + 8 + 8); }
+
 }  // namespace
 
-void FabricManager::save_state(sim::SnapshotWriter& w) const {
+void FabricManager::save_core_state(sim::SnapshotWriter& w) const {
   graph_.save_state(w);
   w.u16(next_pod_);
   w.u32(static_cast<std::uint32_t>(pod_by_requester_.size()));
@@ -333,21 +499,6 @@ void FabricManager::save_state(sim::SnapshotWriter& w) const {
   }
   w.u32(static_cast<std::uint32_t>(synced_switches_.size()));
   for (const SwitchId id : synced_switches_) w.u64(id);
-
-  // hosts_ is unordered; sort by IP for a deterministic image.
-  std::vector<std::pair<Ipv4Address, HostRecord>> hosts(hosts_.begin(),
-                                                        hosts_.end());
-  std::sort(hosts.begin(), hosts.end(), [](const auto& a, const auto& b) {
-    return a.first.value() < b.first.value();
-  });
-  w.u32(static_cast<std::uint32_t>(hosts.size()));
-  for (const auto& [ip, rec] : hosts) {
-    w.u32(ip.value());
-    w.u64(rec.pmac.to_u64());
-    w.u64(rec.amac.to_u64());
-    w.u64(rec.edge);
-    w.u16(rec.edge_port);
-  }
 
   w.u32(static_cast<std::uint32_t>(installed_prunes_.size()));
   for (const auto& [key, prunes] : installed_prunes_) {
@@ -376,38 +527,25 @@ void FabricManager::save_state(sim::SnapshotWriter& w) const {
     w.u64(tree.core);
     save_port_map(w, tree.ports);
   }
-
-  sim::save_counters(w, counters_);
 }
 
-void FabricManager::restore_state(sim::SnapshotReader& r) {
+void FabricManager::restore_core_state(sim::SnapshotReader& r) {
   graph_.restore_state(r);
   next_pod_ = r.u16();
 
   pod_by_requester_.clear();
   const std::uint32_t n_pods = r.u32();
+  pod_by_requester_.reserve(n_pods);
   for (std::uint32_t i = 0; i < n_pods && r.ok(); ++i) {
     const SwitchId id = r.u64();
-    pod_by_requester_.emplace_hint(pod_by_requester_.end(), id, r.u16());
+    pod_by_requester_.emplace_back(id, r.u16());
   }
 
   synced_switches_.clear();
   const std::uint32_t n_synced = r.u32();
+  synced_switches_.reserve(n_synced);
   for (std::uint32_t i = 0; i < n_synced && r.ok(); ++i) {
-    synced_switches_.emplace_hint(synced_switches_.end(), r.u64());
-  }
-
-  hosts_.clear();
-  const std::uint32_t n_hosts = r.u32();
-  hosts_.reserve(n_hosts);
-  for (std::uint32_t i = 0; i < n_hosts && r.ok(); ++i) {
-    const Ipv4Address ip(r.u32());
-    HostRecord rec;
-    rec.pmac = MacAddress::from_u64(r.u64());
-    rec.amac = MacAddress::from_u64(r.u64());
-    rec.edge = r.u64();
-    rec.edge_port = r.u16();
-    hosts_.emplace(ip, rec);
+    synced_switches_.push_back(r.u64());
   }
 
   installed_prunes_.clear();
@@ -453,8 +591,129 @@ void FabricManager::restore_state(sim::SnapshotReader& r) {
     tree.core = r.u64();
     restore_port_map(r, tree.ports);
   }
+}
+
+void FabricManager::save_registry(sim::SnapshotWriter& w,
+                                  const RegistryShard& s) const {
+  w.u32(static_cast<std::uint32_t>(s.hosts.size()));
+  s.hosts.for_each_sorted([&w](const FmRegistry<HostRecord>::Entry& e) {
+    w.u32(e.ip.value());
+    w.u64(e.rec.pmac.to_u64());
+    w.u64(e.rec.amac.to_u64());
+    w.u64(e.rec.edge);
+    w.u16(e.rec.edge_port);
+  });
+}
+
+void FabricManager::restore_registry(sim::SnapshotReader& r) {
+  // Entries land in whichever shard owns them under the *current* shard
+  // count — a same-config restore reproduces the saved split exactly, a
+  // mismatched one redistributes gracefully.
+  const std::uint32_t n = r.u32();
+  for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
+    const Ipv4Address ip(r.u32());
+    HostRecord rec;
+    rec.pmac = MacAddress::from_u64(r.u64());
+    rec.amac = MacAddress::from_u64(r.u64());
+    rec.edge = r.u64();
+    rec.edge_port = r.u16();
+    shards_[shard_of(ip)].hosts.insert_or_assign(ip, rec);
+  }
+}
+
+void FabricManager::save_state(sim::SnapshotWriter& w) const {
+  save_core_state(w);
+
+  w.u32(static_cast<std::uint32_t>(shards_.size()));
+  for (const RegistryShard& s : shards_) {
+    save_registry(w, s);
+    w.u64(s.delta_version);
+    w.u8(s.dirty ? 1 : 0);
+    sim::save_counters(w, s.counters);
+    w.u8(s.sync_timer != nullptr ? 1 : 0);
+    if (s.sync_timer != nullptr) s.sync_timer->save_state(w);
+  }
+
+  sim::save_counters(w, counters_);
+
+  w.u8(config_.fm_replica ? 1 : 0);
+  if (config_.fm_replica) {
+    w.u32(static_cast<std::uint32_t>(replica_.size()));
+    for (const ReplicaSection& s : replica_) {
+      w.u64(s.version);
+      w.blob(s.image);
+    }
+    w.u64(core_version_);
+    w.u8(core_dirty_ ? 1 : 0);
+    w.u8(core_sync_timer_ != nullptr ? 1 : 0);
+    if (core_sync_timer_ != nullptr) core_sync_timer_->save_state(w);
+  }
+}
+
+void FabricManager::restore_state(sim::SnapshotReader& r) {
+  restore_core_state(r);
+
+  for (RegistryShard& s : shards_) {
+    s.hosts.clear();
+    s.delta_version = 0;
+    s.dirty = false;
+  }
+  const std::uint32_t n_shards = r.u32();
+  const bool same_split = n_shards == shards_.size();
+  for (std::uint32_t i = 0; i < n_shards && r.ok(); ++i) {
+    restore_registry(r);
+    const std::uint64_t version = r.u64();
+    const bool dirty = r.u8() != 0;
+    RegistryShard& target = shards_[same_split ? i : i % shards_.size()];
+    target.delta_version = std::max(target.delta_version, version);
+    target.dirty = target.dirty || dirty;
+    if (same_split) {
+      sim::restore_counters(r, target.counters);
+    } else {
+      CounterSet scratch;
+      sim::restore_counters(r, scratch);
+      for (const auto& [name, value] : scratch.all()) {
+        target.counters.add(name, value);
+      }
+    }
+    const bool had_timer = r.u8() != 0;
+    if (had_timer) {
+      if (same_split && target.sync_timer != nullptr) {
+        target.sync_timer->restore_state(r);
+      } else {
+        skip_timer(r);
+      }
+    }
+  }
 
   sim::restore_counters(r, counters_);
+
+  const bool had_replica = r.u8() != 0;
+  for (ReplicaSection& s : replica_) s = ReplicaSection{};
+  if (had_replica) {
+    const std::uint32_t n = r.u32();
+    for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
+      const std::uint64_t version = r.u64();
+      std::vector<std::uint8_t> image = r.blob();
+      if (i < replica_.size()) {
+        replica_[i].version = version;
+        replica_[i].image = std::move(image);
+      }
+    }
+    core_version_ = r.u64();
+    core_dirty_ = r.u8() != 0;
+    const bool had_timer = r.u8() != 0;
+    if (had_timer) {
+      if (core_sync_timer_ != nullptr) {
+        core_sync_timer_->restore_state(r);
+      } else {
+        skip_timer(r);
+      }
+    }
+  } else {
+    core_version_ = 0;
+    core_dirty_ = false;
+  }
 }
 
 }  // namespace portland::core

@@ -1,0 +1,181 @@
+// FmRegistry: the fabric manager's IP -> record table, rebuilt in the
+// compact-slab style of core/host_table.h but open-addressed, because the
+// FM's working set is the whole fabric (k^3/4 hosts at k=64 is 65k
+// entries) and the proxy-ARP path (E6/E22) is read-mostly: lookups must
+// be one hash + a short linear probe over a contiguous index, not a
+// node-chasing unordered_map walk.
+//
+// Layout: records live in one contiguous slab vector; a power-of-two
+// open-addressed index of u32 slot ids maps hash(ip) to slab positions.
+// Erase back-fills the slab from the end (like HostTable) and leaves a
+// tombstone in the index; the table rehashes when live + tombstone load
+// passes 3/4. Iteration order of the slab is insertion order, which is
+// NOT deterministic state by itself — callers that serialize or emit
+// messages must use for_each_sorted (ascending IP), mirroring how the
+// fabric manager has always written its host section sorted by IP.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "common/ipv4_address.h"
+#include "common/memsize.h"
+
+namespace portland::core {
+
+template <typename Record>
+class FmRegistry {
+ public:
+  struct Entry {
+    Ipv4Address ip;
+    Record rec;
+  };
+
+  /// Pre-sizes the slab and index for `hosts` entries so a boot storm
+  /// never rehashes. Lazy like HostTable::reserve: nothing allocates
+  /// until the first insert.
+  void reserve(std::size_t hosts) { hint_ = hosts; }
+
+  [[nodiscard]] std::size_t size() const { return slab_.size(); }
+  [[nodiscard]] bool empty() const { return slab_.empty(); }
+
+  [[nodiscard]] Record* find(Ipv4Address ip) {
+    if (index_.empty()) return nullptr;
+    const std::uint32_t slot = probe_find(ip);
+    return slot == kEmpty ? nullptr : &slab_[slot].rec;
+  }
+  [[nodiscard]] const Record* find(Ipv4Address ip) const {
+    return const_cast<FmRegistry*>(this)->find(ip);
+  }
+
+  /// Inserts or overwrites the record for `ip`. Returns the stored
+  /// record; the pointer is valid until the next insert or erase.
+  Record* insert_or_assign(Ipv4Address ip, const Record& rec) {
+    maybe_grow();
+    std::size_t pos = home(ip);
+    std::size_t first_tombstone = kNpos;
+    for (;; pos = (pos + 1) & mask_) {
+      const std::uint32_t slot = index_[pos];
+      if (slot == kEmpty) break;
+      if (slot == kTombstone) {
+        if (first_tombstone == kNpos) first_tombstone = pos;
+        continue;
+      }
+      if (slab_[slot].ip == ip) {
+        slab_[slot].rec = rec;
+        return &slab_[slot].rec;
+      }
+    }
+    if (first_tombstone != kNpos) {
+      pos = first_tombstone;
+      --tombstones_;
+    }
+    const auto slot = static_cast<std::uint32_t>(slab_.size());
+    slab_.push_back(Entry{ip, rec});
+    index_[pos] = slot;
+    return &slab_[slot].rec;
+  }
+
+  /// Removes `ip`'s record. Returns false when absent. Invalidates
+  /// record pointers (the vacated slab slot is back-filled from the end).
+  bool erase(Ipv4Address ip) {
+    if (index_.empty()) return false;
+    const std::size_t pos = probe_pos(ip);
+    if (pos == kNpos) return false;
+    const std::uint32_t slot = index_[pos];
+    index_[pos] = kTombstone;
+    ++tombstones_;
+    const auto last = static_cast<std::uint32_t>(slab_.size() - 1);
+    if (slot != last) {
+      const std::size_t last_pos = probe_pos(slab_[last].ip);
+      assert(last_pos != kNpos);
+      index_[last_pos] = slot;
+      slab_[slot] = slab_[last];
+    }
+    slab_.pop_back();
+    return true;
+  }
+
+  void clear() {
+    slab_.clear();
+    index_.clear();
+    mask_ = 0;
+    tombstones_ = 0;
+  }
+
+  /// Visits every entry in ascending IP order (determinism-relevant:
+  /// snapshot layout and any message emission walk this way).
+  template <typename Fn>
+  void for_each_sorted(Fn&& fn) const {
+    std::vector<std::uint32_t> order(slab_.size());
+    for (std::uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [this](std::uint32_t a, std::uint32_t b) {
+                return slab_[a].ip.value() < slab_[b].ip.value();
+              });
+    for (const std::uint32_t slot : order) fn(slab_[slot]);
+  }
+
+  [[nodiscard]] std::size_t bytes() const {
+    return vector_bytes(slab_) + vector_bytes(index_);
+  }
+
+ private:
+  static constexpr std::uint32_t kEmpty = 0xFFFF'FFFF;
+  static constexpr std::uint32_t kTombstone = 0xFFFF'FFFE;
+  static constexpr std::size_t kNpos = ~std::size_t{0};
+
+  [[nodiscard]] std::size_t home(Ipv4Address ip) const {
+    // Fibonacci-style multiplicative hash; the IP plan is dense in the
+    // low octets, so the multiply spreads consecutive addresses.
+    return (static_cast<std::size_t>(ip.value()) * 0x9E3779B9u) & mask_;
+  }
+
+  /// Index position holding `ip`, or kNpos.
+  [[nodiscard]] std::size_t probe_pos(Ipv4Address ip) const {
+    for (std::size_t pos = home(ip);; pos = (pos + 1) & mask_) {
+      const std::uint32_t slot = index_[pos];
+      if (slot == kEmpty) return kNpos;
+      if (slot != kTombstone && slab_[slot].ip == ip) return pos;
+    }
+  }
+  [[nodiscard]] std::uint32_t probe_find(Ipv4Address ip) const {
+    const std::size_t pos = probe_pos(ip);
+    return pos == kNpos ? kEmpty : index_[pos];
+  }
+
+  void maybe_grow() {
+    const std::size_t want = slab_.size() + 1 + tombstones_;
+    if (index_.empty() || want * 4 > index_.size() * 3) {
+      std::size_t cap = 16;
+      const std::size_t target =
+          std::max(slab_.size() + 1, hint_ == 0 ? std::size_t{0} : hint_);
+      while (cap * 3 < target * 4) cap <<= 1;
+      rehash(cap);
+    }
+  }
+
+  void rehash(std::size_t cap) {
+    index_.assign(cap, kEmpty);
+    mask_ = cap - 1;
+    tombstones_ = 0;
+    if (slab_.capacity() < slab_.size() + 1) {
+      slab_.reserve(std::max(hint_, slab_.size() + 1));
+    }
+    for (std::uint32_t slot = 0; slot < slab_.size(); ++slot) {
+      std::size_t pos = home(slab_[slot].ip);
+      while (index_[pos] != kEmpty) pos = (pos + 1) & mask_;
+      index_[pos] = slot;
+    }
+  }
+
+  std::size_t hint_ = 0;
+  std::vector<Entry> slab_;
+  std::vector<std::uint32_t> index_;  // power-of-two, slot ids
+  std::size_t mask_ = 0;
+  std::size_t tombstones_ = 0;
+};
+
+}  // namespace portland::core

@@ -67,6 +67,7 @@ enum class Tag : std::uint8_t {
   kMcastInstall,
   kMcastRemove,
   kInvalidateHost,
+  kFmDelta,
 };
 
 struct BodyWriter {
@@ -153,6 +154,13 @@ struct BodyWriter {
     m.ip.serialize(w);
     m.old_pmac.serialize(w);
     m.new_pmac.serialize(w);
+  }
+  void operator()(const FmDelta& m) const {
+    w.u8(static_cast<std::uint8_t>(Tag::kFmDelta));
+    w.u32(m.section);
+    w.u64(m.version);
+    w.u32(static_cast<std::uint32_t>(m.image.size()));
+    w.bytes(m.image);
   }
 };
 
@@ -287,6 +295,16 @@ std::optional<ControlMessage> parse_control(
       msg.body = m;
       break;
     }
+    case Tag::kFmDelta: {
+      FmDelta m;
+      m.section = r.u32();
+      m.version = r.u64();
+      const std::uint32_t n = r.u32();
+      const auto view = r.view(n);
+      m.image.assign(view.begin(), view.end());
+      msg.body = std::move(m);
+      break;
+    }
     default:
       return std::nullopt;
   }
@@ -320,6 +338,7 @@ const char* control_type_name(const ControlBody& body) {
     const char* operator()(const InvalidateHost&) const {
       return "invalidate_host";
     }
+    const char* operator()(const FmDelta&) const { return "fm_delta"; }
   };
   return std::visit(Namer{}, body);
 }

@@ -69,6 +69,28 @@ struct LdpMessage {
 /// Well-known control-plane address of the fabric manager.
 constexpr SwitchId kFabricManagerId = 1;
 
+/// Well-known control-plane address of the hot-standby FM replica
+/// (registered only when PortlandConfig::fm_replica is on).
+constexpr SwitchId kFmReplicaId = 2;
+
+/// First control-plane address of the FM's registry shards: shard s
+/// answers at kFmShardIdBase + s (registered only when fm_shards > 1).
+constexpr SwitchId kFmShardIdBase = 3;
+
+/// Which registry shard owns `ip`, for `shards` shards. The same
+/// Fibonacci multiplicative hash the registry itself probes with, so the
+/// shard split is uniform even though the fabric's IP plan is dense in
+/// the low octets.
+[[nodiscard]] constexpr std::size_t fm_shard_of(Ipv4Address ip,
+                                                std::size_t shards) {
+  if (shards <= 1) return 0;
+  // Keep the product's high half: the multiply mixes upward, so the low
+  // bits of (ip * phi) are still just the low bits of ip — reducing those
+  // mod a small shard count would leave shards empty under the dense plan.
+  return ((static_cast<std::uint64_t>(ip.value()) * 0x9E3779B9u) >> 24) %
+         shards;
+}
+
 /// One neighbor-table entry reported in a SwitchHello.
 struct NeighborEntry {
   std::uint16_t port = 0;
@@ -183,11 +205,23 @@ struct InvalidateHost {
   MacAddress new_pmac;
 };
 
+/// FM (primary / registry shard) -> kFmReplicaId: one section of FM state
+/// serialized with the snapshot plumbing. Section 0 is the primary's core
+/// state (topology view, pods, prunes, multicast); section 1 + s is
+/// registry shard s. `version` increments per section so the replica can
+/// discard reordered stale images (control delivery is FIFO per sender,
+/// so in practice versions only move forward).
+struct FmDelta {
+  std::uint32_t section = 0;
+  std::uint64_t version = 0;
+  std::vector<std::uint8_t> image;
+};
+
 using ControlBody =
     std::variant<SwitchHello, PodRequest, PodAssignment, HostRegister,
                  ArpQuery, ArpResponse, FaultNotify, PruneUpdate, McastJoin,
                  McastLeave, McastSenderSeen, McastInstall, McastRemove,
-                 InvalidateHost>;
+                 InvalidateHost, FmDelta>;
 
 struct ControlMessage {
   /// Control-plane address of the sender (switch id or kFabricManagerId).

@@ -643,6 +643,29 @@ void PortlandSwitch::handle_host_arp(sim::PortId port,
 
   if (arp.op == ArpOp::kRequest) {
     counters().add("arp_requests_intercepted");
+    if (config_.arp_coalescing) {
+      // Bounded negative cache: a recent FM "not found" for this target
+      // answers locally with the same fallback the miss itself took, so
+      // a retrying host costs the FM one query per TTL per edge.
+      if (negative_arp_fresh(arp.target_ip)) {
+        counters().add("arp_negative_hits");
+        net::FrameRewrite rw;
+        rw.eth_src = host.pmac.to_mac();
+        rw.arp_sender_mac = host.pmac.to_mac();
+        forward_broadcast(port, /*from_host=*/true, /*from_above=*/false,
+                          net::rewrite_frame(frame, rw));
+        return;
+      }
+      // Coalescer: a duplicate in-flight resolution rides the existing FM
+      // query; the single answer fans out to every waiter.
+      if (const auto in_flight = pending_query_for(arp.target_ip)) {
+        counters().add("arp_coalesced");
+        pending_arps_[*in_flight].waiters.push_back(
+            ArpWaiter{port, arp.sender_mac, host.pmac.to_mac(), arp.sender_ip,
+                      frame});
+        return;
+      }
+    }
     const std::uint32_t query_id = next_query_id_++;
     PendingArp pending;
     pending.host_port = port;
@@ -656,6 +679,11 @@ void PortlandSwitch::handle_host_arp(sim::PortId port,
       flood_arp_fallback(query_id);
     });
     pending_arps_.emplace(query_id, std::move(pending));
+    const auto key = std::make_pair(arp.target_ip.value(), query_id);
+    pending_by_target_.insert(
+        std::lower_bound(pending_by_target_.begin(), pending_by_target_.end(),
+                         key),
+        key);
     send_to_fm(ArpQuery{query_id, arp.target_ip});
     return;
   }
@@ -675,18 +703,16 @@ void PortlandSwitch::on_arp_response(const ArpResponse& m) {
   if (it == pending_arps_.end()) return;  // timed out already
   PendingArp pending = std::move(it->second);
   pending_arps_.erase(it);
+  unindex_pending_target(pending.target, m.query_id);
   pending.timer->cancel();
 
   if (!m.found) {
     // Fabric-manager miss: fall back to a loop-free broadcast of the
-    // original request so the owner can answer directly.
+    // original request so the owner can answer directly, and remember the
+    // miss so immediate retries stay off the FM.
     counters().add("arp_fallback_broadcasts");
-    net::FrameRewrite rw;
-    rw.eth_src = pending.requester_pmac;
-    rw.arp_sender_mac = pending.requester_pmac;
-    forward_broadcast(pending.host_port, /*from_host=*/true,
-                      /*from_above=*/false,
-                      net::rewrite_frame(pending.original, rw));
+    broadcast_pending_arp(pending);
+    note_negative_arp(pending.target);
     return;
   }
 
@@ -696,6 +722,13 @@ void PortlandSwitch::on_arp_response(const ArpResponse& m) {
   send(pending.host_port,
        sim::make_frame(net::build_arp_frame(pending.requester_amac,
                                             m.pmac, reply)));
+  for (const ArpWaiter& waiter : pending.waiters) {
+    counters().add("arp_proxied_replies");
+    const ArpMessage fanned =
+        ArpMessage::reply(m.pmac, m.ip, waiter.amac, waiter.ip);
+    send(waiter.host_port,
+         sim::make_frame(net::build_arp_frame(waiter.amac, m.pmac, fanned)));
+  }
 }
 
 void PortlandSwitch::flood_arp_fallback(std::uint32_t query_id) {
@@ -704,12 +737,89 @@ void PortlandSwitch::flood_arp_fallback(std::uint32_t query_id) {
   counters().add("arp_query_timeouts");
   PendingArp pending = std::move(it->second);
   pending_arps_.erase(it);
+  unindex_pending_target(pending.target, query_id);
+  broadcast_pending_arp(pending);
+}
+
+void PortlandSwitch::broadcast_pending_arp(const PendingArp& pending) {
   net::FrameRewrite rw;
   rw.eth_src = pending.requester_pmac;
   rw.arp_sender_mac = pending.requester_pmac;
   forward_broadcast(pending.host_port, /*from_host=*/true,
                     /*from_above=*/false,
                     net::rewrite_frame(pending.original, rw));
+  for (const ArpWaiter& waiter : pending.waiters) {
+    net::FrameRewrite wrw;
+    wrw.eth_src = waiter.pmac;
+    wrw.arp_sender_mac = waiter.pmac;
+    forward_broadcast(waiter.host_port, /*from_host=*/true,
+                      /*from_above=*/false,
+                      net::rewrite_frame(waiter.original, wrw));
+  }
+}
+
+std::optional<std::uint32_t> PortlandSwitch::pending_query_for(
+    Ipv4Address target) const {
+  const auto it = std::lower_bound(
+      pending_by_target_.begin(), pending_by_target_.end(),
+      std::make_pair(target.value(), std::uint32_t{0}));
+  if (it == pending_by_target_.end() || it->first != target.value()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+void PortlandSwitch::unindex_pending_target(Ipv4Address target,
+                                            std::uint32_t query_id) {
+  const auto it = std::lower_bound(
+      pending_by_target_.begin(), pending_by_target_.end(),
+      std::make_pair(target.value(), query_id));
+  if (it != pending_by_target_.end() && it->first == target.value() &&
+      it->second == query_id) {
+    pending_by_target_.erase(it);
+  }
+}
+
+bool PortlandSwitch::negative_arp_fresh(Ipv4Address ip) {
+  if (config_.arp_negative_cache_entries == 0) return false;
+  const auto it = std::lower_bound(
+      arp_negative_.begin(), arp_negative_.end(), ip.value(),
+      [](const NegativeArp& e, std::uint32_t v) { return e.ip < v; });
+  if (it == arp_negative_.end() || it->ip != ip.value()) return false;
+  if (it->expires <= sim().now()) {
+    arp_negative_.erase(it);
+    return false;
+  }
+  return true;
+}
+
+void PortlandSwitch::note_negative_arp(Ipv4Address ip) {
+  if (!config_.arp_coalescing || config_.arp_negative_cache_entries == 0) {
+    return;
+  }
+  const SimTime expires = sim().now() + config_.arp_negative_ttl;
+  const auto it = std::lower_bound(
+      arp_negative_.begin(), arp_negative_.end(), ip.value(),
+      [](const NegativeArp& e, std::uint32_t v) { return e.ip < v; });
+  if (it != arp_negative_.end() && it->ip == ip.value()) {
+    it->expires = expires;
+    return;
+  }
+  if (arp_negative_.size() >= config_.arp_negative_cache_entries) {
+    // Bounded: displace the entry closest to expiry (often already dead).
+    const auto victim = std::min_element(
+        arp_negative_.begin(), arp_negative_.end(),
+        [](const NegativeArp& a, const NegativeArp& b) {
+          return a.expires < b.expires;
+        });
+    arp_negative_.erase(victim);
+  }
+  arp_negative_.insert(
+      std::lower_bound(arp_negative_.begin(), arp_negative_.end(), ip.value(),
+                       [](const NegativeArp& e, std::uint32_t v) {
+                         return e.ip < v;
+                       }),
+      NegativeArp{ip.value(), expires});
 }
 
 void PortlandSwitch::send_garp_to_sender(MacAddress old_pmac,
@@ -794,7 +904,18 @@ std::optional<Pmac> PortlandSwitch::pmac_for(MacAddress amac) const {
 // ---------------------------------------------------------------------------
 
 void PortlandSwitch::send_to_fm(ControlBody body) {
-  control_->send(kFabricManagerId, ControlMessage{id_, std::move(body)});
+  // Registry traffic goes straight to the owning FM shard endpoint when
+  // the registry is sharded; everything else (and everything at shard
+  // count 1) takes the classic primary address.
+  SwitchId to = kFabricManagerId;
+  if (config_.fm_shards > 1) {
+    if (const auto* q = std::get_if<ArpQuery>(&body)) {
+      to = kFmShardIdBase + fm_shard_of(q->ip, config_.fm_shards);
+    } else if (const auto* reg = std::get_if<HostRegister>(&body)) {
+      to = kFmShardIdBase + fm_shard_of(reg->ip, config_.fm_shards);
+    }
+  }
+  control_->send(to, ControlMessage{id_, std::move(body)});
 }
 
 void PortlandSwitch::on_control(const ControlMessage& msg) {
@@ -867,6 +988,7 @@ void PortlandSwitch::on_control(const ControlMessage& msg) {
     void operator()(const McastJoin&) {}
     void operator()(const McastLeave&) {}
     void operator()(const McastSenderSeen&) {}
+    void operator()(const FmDelta&) {}  // replica-bound only
   };
   std::visit(Dispatcher{*this}, msg.body);
 }
@@ -999,8 +1121,21 @@ void PortlandSwitch::save_state(sim::SnapshotWriter& w) const {
     w.u32(pending.target.value());
     w.frame(pending.original);
     pending.timer->save_state(w);
+    w.u32(static_cast<std::uint32_t>(pending.waiters.size()));
+    for (const ArpWaiter& waiter : pending.waiters) {
+      w.u64(waiter.host_port);
+      w.u64(waiter.amac.to_u64());
+      w.u64(waiter.pmac.to_u64());
+      w.u32(waiter.ip.value());
+      w.frame(waiter.original);
+    }
   }
   w.u32(next_query_id_);
+  w.u32(static_cast<std::uint32_t>(arp_negative_.size()));
+  for (const NegativeArp& e : arp_negative_) {
+    w.u32(e.ip);
+    w.i64(e.expires);
+  }
 
   w.u32(static_cast<std::uint32_t>(prunes_.size()));
   for (const auto& [key, avoid] : prunes_) {
@@ -1155,9 +1290,35 @@ void PortlandSwitch::restore_state(sim::SnapshotReader& r) {
     pending.timer = std::make_unique<sim::Timer>(sim());
     pending.timer->restore_at(
         r, [this, query_id] { flood_arp_fallback(query_id); });
+    const std::uint32_t n_waiters = r.u32();
+    pending.waiters.reserve(n_waiters);
+    for (std::uint32_t j = 0; j < n_waiters && r.ok(); ++j) {
+      ArpWaiter waiter;
+      waiter.host_port = r.u64();
+      waiter.amac = MacAddress::from_u64(r.u64());
+      waiter.pmac = MacAddress::from_u64(r.u64());
+      waiter.ip = Ipv4Address(r.u32());
+      waiter.original = r.frame();
+      pending.waiters.push_back(std::move(waiter));
+    }
     pending_arps_.emplace(query_id, std::move(pending));
   }
   next_query_id_ = r.u32();
+  // The coalescer index is derived from pending_arps_; rebuild it.
+  pending_by_target_.clear();
+  for (const auto& [query_id, pending] : pending_arps_) {
+    pending_by_target_.emplace_back(pending.target.value(), query_id);
+  }
+  std::sort(pending_by_target_.begin(), pending_by_target_.end());
+  arp_negative_.clear();
+  const std::uint32_t n_negative = r.u32();
+  arp_negative_.reserve(n_negative);
+  for (std::uint32_t i = 0; i < n_negative && r.ok(); ++i) {
+    NegativeArp e;
+    e.ip = r.u32();
+    e.expires = r.i64();
+    arp_negative_.push_back(e);
+  }
 
   prunes_.clear();
   const std::uint32_t n_prunes = r.u32();
@@ -1315,7 +1476,8 @@ PortlandSwitch::TableBytes PortlandSwitch::table_bytes() const {
 
   b.other = (legacy_tables_ ? map_bytes(next_vmid_map_)
                             : vector_bytes(next_vmid_)) +
-            vector_bytes(reported_down_) + map_bytes(redirects_);
+            vector_bytes(reported_down_) + map_bytes(redirects_) +
+            vector_bytes(pending_by_target_) + vector_bytes(arp_negative_);
   return b;
 }
 

@@ -28,6 +28,7 @@
 #include <optional>
 #include <set>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/random.h"
@@ -120,6 +121,16 @@ class PortlandSwitch : public sim::Device {
   [[nodiscard]] TableBytes table_bytes() const;
 
  private:
+  /// A duplicate requester riding a coalesced in-flight ARP query: when
+  /// the one FM answer arrives, each waiter gets its own proxied reply
+  /// (or its own fallback broadcast on a miss).
+  struct ArpWaiter {
+    sim::PortId host_port = 0;
+    MacAddress amac;
+    MacAddress pmac;
+    Ipv4Address ip;
+    sim::FramePtr original;
+  };
   struct PendingArp {
     sim::PortId host_port = 0;
     MacAddress requester_amac;
@@ -128,6 +139,13 @@ class PortlandSwitch : public sim::Device {
     Ipv4Address target;
     sim::FramePtr original;
     std::unique_ptr<sim::Timer> timer;
+    std::vector<ArpWaiter> waiters;
+  };
+  /// One bounded negative-cache entry: the FM answered "not found" for
+  /// this IP at most arp_negative_ttl ago.
+  struct NegativeArp {
+    std::uint32_t ip = 0;
+    SimTime expires = 0;
   };
   struct Redirect {
     MacAddress new_pmac;
@@ -244,6 +262,17 @@ class PortlandSwitch : public sim::Device {
   void on_arp_response(const ArpResponse& m);
   void flood_arp_fallback(std::uint32_t query_id);
   void send_garp_to_sender(MacAddress old_pmac, MacAddress sender_pmac);
+  /// Loop-free broadcast of the original request for the primary
+  /// requester and every coalesced waiter (FM miss / query timeout).
+  void broadcast_pending_arp(const PendingArp& pending);
+  /// In-flight FM query for `target`, if any (coalescer index lookup).
+  [[nodiscard]] std::optional<std::uint32_t> pending_query_for(
+      Ipv4Address target) const;
+  void unindex_pending_target(Ipv4Address target, std::uint32_t query_id);
+  /// True while a negative-cache entry for `ip` is fresh (expired entries
+  /// are dropped on probe).
+  [[nodiscard]] bool negative_arp_fresh(Ipv4Address ip);
+  void note_negative_arp(Ipv4Address ip);
 
   // --- host registration ---
   HostEntry* ensure_host(sim::PortId port, MacAddress amac,
@@ -284,6 +313,14 @@ class PortlandSwitch : public sim::Device {
   std::map<MacAddress, Redirect> redirects_;  // old pmac -> new location
   std::map<std::uint32_t, PendingArp> pending_arps_;
   std::uint32_t next_query_id_ = 1;
+  /// Coalescer index over pending_arps_: (target IP, query id), sorted.
+  /// Derived state — rebuilt from pending_arps_ on restore. Consulted
+  /// only when config.arp_coalescing is on (duplicate IPs can appear
+  /// when it is off; the index tolerates them).
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> pending_by_target_;
+  /// Bounded negative ARP cache, sorted by IP; earliest expiry is evicted
+  /// when full.
+  std::vector<NegativeArp> arp_negative_;
 
   // Reroute state installed by the fabric manager. `prune_generation_` is
   // bumped on every PruneUpdate so the FIB knows to fold the new avoid

@@ -21,6 +21,27 @@ void patch_eth_dst(std::vector<std::uint8_t>& frame, MacAddress dst) {
   const auto& b = dst.bytes();
   std::copy(b.begin(), b.end(), frame.begin());
 }
+
+/// Log2 histogram bucket (in microseconds) for an ARP resolution latency.
+/// Benches sum these across hosts to report resolution percentiles.
+const char* arp_latency_bucket(SimDuration latency) {
+  static constexpr const char* kBuckets[] = {
+      "arp_latency_us_le_1",     "arp_latency_us_le_2",
+      "arp_latency_us_le_4",     "arp_latency_us_le_8",
+      "arp_latency_us_le_16",    "arp_latency_us_le_32",
+      "arp_latency_us_le_64",    "arp_latency_us_le_128",
+      "arp_latency_us_le_256",   "arp_latency_us_le_512",
+      "arp_latency_us_le_1024",  "arp_latency_us_le_2048",
+      "arp_latency_us_le_4096",  "arp_latency_us_le_8192",
+      "arp_latency_us_le_16384", "arp_latency_us_le_32768",
+      "arp_latency_us_over",
+  };
+  constexpr std::size_t kLast = std::size(kBuckets) - 1;
+  const auto us = static_cast<std::uint64_t>(latency / kMicrosecond);
+  std::size_t idx = 0;
+  while (idx < kLast && (1ull << idx) < us) ++idx;
+  return kBuckets[idx];
+}
 }  // namespace
 
 Host::Host(sim::Simulator& sim, std::string name, MacAddress mac,
@@ -271,6 +292,7 @@ void Host::send_resolved(Ipv4Address dst, std::vector<std::uint8_t> frame) {
   if (!p.timer) {
     p.timer = std::make_unique<sim::Timer>(sim());
     p.retries = 0;
+    p.first_request_at = sim().now();
     send_arp_request(dst);
     p.timer->schedule_after(config_.arp_retry_interval,
                             [this, dst] { arp_retry_tick(dst); });
@@ -318,6 +340,7 @@ void Host::save_state(sim::SnapshotWriter& w) const {
   for (const auto* kv : pending) {
     w.u32(kv->first.value());
     w.u32(static_cast<std::uint32_t>(kv->second.retries));
+    w.i64(kv->second.first_request_at);
     w.u32(static_cast<std::uint32_t>(kv->second.frames.size()));
     for (const std::vector<std::uint8_t>& frame : kv->second.frames) {
       w.blob(frame);
@@ -350,6 +373,7 @@ void Host::restore_state(sim::SnapshotReader& r) {
     const Ipv4Address dst(r.u32());
     Pending& p = pending_[dst];
     p.retries = static_cast<int>(r.u32());
+    p.first_request_at = r.i64();
     const std::uint32_t n_frames = r.u32();
     for (std::uint32_t j = 0; j < n_frames && r.ok(); ++j) {
       p.frames.push_back(r.blob());
@@ -388,6 +412,11 @@ void Host::restore_state(sim::SnapshotReader& r) {
 void Host::flush_pending(Ipv4Address dst, MacAddress mac) {
   const auto it = pending_.find(dst);
   if (it == pending_.end()) return;
+  if (it->second.first_request_at >= 0) {
+    counters().add("arp_resolutions");
+    counters().add(arp_latency_bucket(sim().now() -
+                                      it->second.first_request_at));
+  }
   std::deque<std::vector<std::uint8_t>> frames = std::move(it->second.frames);
   pending_.erase(it);
   for (auto& f : frames) {

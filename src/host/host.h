@@ -128,6 +128,9 @@ class Host : public sim::Device {
     std::deque<std::vector<std::uint8_t>> frames;
     int retries = 0;
     std::unique_ptr<sim::Timer> timer;
+    /// When the first ARP request for this destination went out; stamps
+    /// the resolution-latency histogram when the answer arrives (E22).
+    SimTime first_request_at = -1;
   };
   std::unordered_map<Ipv4Address, Pending> pending_;
 

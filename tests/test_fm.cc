@@ -7,6 +7,7 @@
 #include "core/fabric_manager.h"
 #include "core/multicast.h"
 #include "sim/simulator.h"
+#include "sim/snapshot.h"
 
 namespace portland::core {
 namespace {
@@ -333,6 +334,155 @@ TEST(FabricManager, LookupFastPath) {
   fx.fm.register_host_direct(ip, {pmac, MacAddress::from_u64(0x02001), 9, 0});
   EXPECT_EQ(fx.fm.lookup_pmac(ip), pmac);
   EXPECT_FALSE(fx.fm.lookup_pmac(Ipv4Address(1, 2, 3, 4)).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Sharded registry (E22) and the hot-standby delta stream.
+// ---------------------------------------------------------------------------
+
+TEST(FabricManager, ShardedRegistryServesPerShardEndpoints) {
+  sim::Simulator sim;
+  ControlPlane control(sim, micros(10));
+  PortlandConfig config;
+  config.fm_shards = 4;
+  FabricManager fm(sim, control, config);
+  ASSERT_EQ(fm.shard_count(), 4u);
+  std::vector<ControlMessage> inbox;
+  control.register_endpoint(
+      60, [&](const ControlMessage& m) { inbox.push_back(m); });
+
+  // Register 32 hosts, each at its owning shard's endpoint (as a sharded
+  // edge switch would).
+  std::vector<Ipv4Address> ips;
+  for (std::uint32_t i = 0; i < 32; ++i) {
+    const Ipv4Address ip(10, 0, 0, 1 + i);
+    ips.push_back(ip);
+    control.send(
+        static_cast<SwitchId>(kFmShardIdBase + fm.shard_of(ip)),
+        ControlMessage{60, HostRegister{
+                               ip, MacAddress::from_u64(0x020000000000ull + i),
+                               MacAddress::from_u64(0x000000010000ull + i),
+                               1}});
+  }
+  sim.run();
+  EXPECT_EQ(fm.host_count(), 32u);
+
+  // Queries at the shard endpoints answer exactly like the classic FM.
+  std::uint32_t qid = 1;
+  for (const Ipv4Address ip : ips) {
+    control.send(static_cast<SwitchId>(kFmShardIdBase + fm.shard_of(ip)),
+                 ControlMessage{60, ArpQuery{qid++, ip}});
+  }
+  const Ipv4Address absent(10, 9, 9, 9);
+  control.send(static_cast<SwitchId>(kFmShardIdBase + fm.shard_of(absent)),
+               ControlMessage{60, ArpQuery{qid++, absent}});
+  sim.run();
+  ASSERT_EQ(inbox.size(), 33u);
+  for (std::size_t i = 0; i + 1 < inbox.size(); ++i) {
+    EXPECT_TRUE(std::get<ArpResponse>(inbox[i].body).found) << i;
+  }
+  EXPECT_FALSE(std::get<ArpResponse>(inbox.back().body).found);
+
+  // Merged counters sum the per-shard slices, and the load really split
+  // across more than one shard.
+  EXPECT_EQ(fm.counters().get("arp_hits"), 32u);
+  EXPECT_EQ(fm.counters().get("arp_misses"), 1u);
+  std::size_t shards_serving = 0;
+  std::uint64_t per_shard_total = 0;
+  for (std::size_t s = 0; s < fm.shard_count(); ++s) {
+    const std::uint64_t q = fm.shard_counters(s).get("arp_queries");
+    shards_serving += q > 0 ? 1 : 0;
+    per_shard_total += q;
+  }
+  EXPECT_GE(shards_serving, 2u);
+  EXPECT_EQ(per_shard_total, 33u);
+
+  // The primary address still routes registry traffic internally, so
+  // unsharded senders keep working at any shard count.
+  inbox.clear();
+  control.send(kFabricManagerId, ControlMessage{60, ArpQuery{qid++, ips[0]}});
+  sim.run();
+  ASSERT_EQ(inbox.size(), 1u);
+  EXPECT_TRUE(std::get<ArpResponse>(inbox[0].body).found);
+  EXPECT_EQ(fm.lookup_pmac(ips[0]), MacAddress::from_u64(0x000000010000ull));
+}
+
+TEST(FabricManager, ReplicaFailoverRestoresStreamedState) {
+  sim::Simulator sim;
+  ControlPlane control(sim, micros(10));
+  PortlandConfig config;
+  config.fm_shards = 2;
+  config.fm_replica = true;
+  config.fm_replica_sync_interval = millis(10);
+  FabricManager fm(sim, control, config);
+  fm.start_replica_sync({0, 0}, 0);
+
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    const Ipv4Address ip(10, 0, 0, 1 + i);
+    control.send(
+        static_cast<SwitchId>(kFmShardIdBase + fm.shard_of(ip)),
+        ControlMessage{60, HostRegister{
+                               ip, MacAddress::from_u64(0x020000000000ull + i),
+                               MacAddress::from_u64(0x000000010000ull + i),
+                               1}});
+  }
+  sim.run_until(millis(55));  // several sync intervals stream the deltas
+  EXPECT_EQ(fm.host_count(), 16u);
+  EXPECT_GE(fm.replica_sections_held(), 2u);  // both registry shards synced
+
+  // A registration landing inside the dirty window (after the last sync)
+  // is exactly what a failover may lose — nothing more.
+  const Ipv4Address late(10, 0, 0, 99);
+  control.send(static_cast<SwitchId>(kFmShardIdBase + fm.shard_of(late)),
+               ControlMessage{60, HostRegister{
+                                      late, MacAddress::from_u64(0x02990000),
+                                      MacAddress::from_u64(0x00990000), 1}});
+  sim.run_until(millis(56));  // delivered, but the next sync hasn't run
+  EXPECT_EQ(fm.host_count(), 17u);
+
+  fm.failover_to_replica();
+  EXPECT_EQ(fm.host_count(), 16u);  // streamed state back, dirty window lost
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    EXPECT_TRUE(fm.lookup_pmac(Ipv4Address(10, 0, 0, 1 + i)).has_value()) << i;
+  }
+  EXPECT_FALSE(fm.lookup_pmac(late).has_value());
+  EXPECT_EQ(fm.counters().get("replica_failovers"), 1u);
+
+  // A cold failover (no replica restore) wipes everything instead.
+  fm.simulate_failover();
+  EXPECT_EQ(fm.host_count(), 0u);
+}
+
+TEST(FabricManager, SnapshotRedistributesAcrossShardCounts) {
+  sim::Simulator sim_a;
+  ControlPlane control_a(sim_a, micros(10));
+  PortlandConfig config_a;
+  config_a.fm_shards = 4;
+  FabricManager fm_a(sim_a, control_a, config_a);
+  for (std::uint32_t i = 0; i < 24; ++i) {
+    fm_a.register_host_direct(
+        Ipv4Address(10, 0, 1, i),
+        {MacAddress::from_u64(0x000000020000ull + i),
+         MacAddress::from_u64(0x020000000000ull + i), 7, 0});
+  }
+  std::vector<std::uint8_t> image;
+  sim::SnapshotWriter w(image);
+  fm_a.save_state(w);
+
+  // Restoring a 4-shard image into a single-shard FM re-homes every
+  // record under the new shard count.
+  sim::Simulator sim_b;
+  ControlPlane control_b(sim_b, micros(10));
+  FabricManager fm_b(sim_b, control_b, PortlandConfig{});
+  sim::SnapshotReader r(image);
+  fm_b.restore_state(r);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(fm_b.host_count(), 24u);
+  for (std::uint32_t i = 0; i < 24; ++i) {
+    EXPECT_EQ(fm_b.lookup_pmac(Ipv4Address(10, 0, 1, i)),
+              MacAddress::from_u64(0x000000020000ull + i))
+        << i;
+  }
 }
 
 TEST(ControlPlane, CountsPerTypeAndBytes) {

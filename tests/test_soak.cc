@@ -192,7 +192,8 @@ struct ParallelRunResult {
 ParallelRunResult run_parallel_soak(
     unsigned workers, sim::SchedulerKind scheduler = sim::SchedulerKind::kWheel,
     bool obs_on = false, bool burst = true, bool legacy_tables = false,
-    bool monitor_on = false) {
+    bool monitor_on = false, std::size_t fm_shards = 1,
+    bool fm_replica = false) {
   topo::FatTree tree(4);
   PortlandFabric::Options options;
   options.k = 4;
@@ -207,6 +208,8 @@ ParallelRunResult run_parallel_soak(
   options.burst = burst;
   options.config.tables = legacy_tables ? PortlandConfig::Tables::kLegacyMap
                                         : PortlandConfig::Tables::kCompact;
+  options.config.fm_shards = fm_shards;
+  options.config.fm_replica = fm_replica;
   PortlandFabric fabric(options);
 
   ParallelRunResult result;
@@ -588,6 +591,89 @@ TEST(Soak, CompactTablesAreInvisibleToExecution) {
   };
   expect_same_sim(compact1, legacy1, "compact vs legacy tables, 1 worker");
   expect_same_sim(compact1, legacy4, "compact vs legacy tables, 4 workers");
+}
+
+// Sharding the fabric manager's ARP/registry service is a pure control-
+// plane placement change: registry traffic flows to per-shard endpoints
+// instead of the primary, but every message still exists, carries the
+// same latency, and produces the same answer. The same chaos scenario —
+// failures, repairs, a VM migration, TCP, multicast — with the registry
+// split four ways must execute the identical simulation, down to every
+// (time, receiver, size) frame delivery and the executed-event count, at
+// 1 and at 4 workers. This is the equality proof behind the E22 bench.
+TEST(Soak, ShardedFmIsInvisibleToExecution) {
+  const ParallelRunResult single1 = run_parallel_soak(1);
+  const ParallelRunResult sharded1 =
+      run_parallel_soak(1, sim::SchedulerKind::kWheel, /*obs_on=*/false,
+                        /*burst=*/true, /*legacy_tables=*/false,
+                        /*monitor_on=*/false, /*fm_shards=*/4);
+  const ParallelRunResult sharded4 =
+      run_parallel_soak(4, sim::SchedulerKind::kWheel, /*obs_on=*/false,
+                        /*burst=*/true, /*legacy_tables=*/false,
+                        /*monitor_on=*/false, /*fm_shards=*/4);
+
+  EXPECT_GT(single1.trace.size(), 10'000u);  // the scenario really ran
+
+  const auto expect_same_sim = [](const ParallelRunResult& a,
+                                  const ParallelRunResult& b,
+                                  const char* label) {
+    EXPECT_EQ(a.executed, b.executed) << label;
+    EXPECT_EQ(a.final_now, b.final_now) << label;
+    EXPECT_EQ(a.probe_sent, b.probe_sent) << label;
+    EXPECT_EQ(a.probe_received, b.probe_received) << label;
+    EXPECT_EQ(a.tcp_delivered, b.tcp_delivered) << label;
+    EXPECT_EQ(a.tcp_corrupt, b.tcp_corrupt) << label;
+    EXPECT_EQ(a.mcast_rx, b.mcast_rx) << label;
+    EXPECT_EQ(a.link_tx_frames, b.link_tx_frames) << label;
+    EXPECT_EQ(a.link_dropped, b.link_dropped) << label;
+    ASSERT_EQ(a.trace.size(), b.trace.size()) << label;
+    EXPECT_TRUE(a.trace == b.trace) << label << ": traces diverged";
+  };
+  expect_same_sim(single1, sharded1, "single vs sharded FM, 1 worker");
+  expect_same_sim(sharded1, sharded4, "sharded FM, 1 vs 4 workers");
+}
+
+// The hot-standby delta stream adds control events of its own (the
+// periodic FmDelta syncs), so the replica run is not event-identical to
+// the plain one — but it must still be worker-count invariant, and the
+// data plane it carries along must behave exactly like the plain run.
+TEST(Soak, FmReplicaStreamIsWorkerCountInvariant) {
+  const ParallelRunResult replica1 =
+      run_parallel_soak(1, sim::SchedulerKind::kWheel, /*obs_on=*/false,
+                        /*burst=*/true, /*legacy_tables=*/false,
+                        /*monitor_on=*/false, /*fm_shards=*/4,
+                        /*fm_replica=*/true);
+  const ParallelRunResult replica4 =
+      run_parallel_soak(4, sim::SchedulerKind::kWheel, /*obs_on=*/false,
+                        /*burst=*/true, /*legacy_tables=*/false,
+                        /*monitor_on=*/false, /*fm_shards=*/4,
+                        /*fm_replica=*/true);
+
+  EXPECT_GT(replica1.trace.size(), 10'000u);
+
+  EXPECT_EQ(replica1.executed, replica4.executed);
+  EXPECT_EQ(replica1.final_now, replica4.final_now);
+  EXPECT_EQ(replica1.probe_sent, replica4.probe_sent);
+  EXPECT_EQ(replica1.probe_received, replica4.probe_received);
+  EXPECT_EQ(replica1.tcp_delivered, replica4.tcp_delivered);
+  EXPECT_EQ(replica1.tcp_corrupt, replica4.tcp_corrupt);
+  EXPECT_EQ(replica1.mcast_rx, replica4.mcast_rx);
+  EXPECT_EQ(replica1.link_tx_frames, replica4.link_tx_frames);
+  EXPECT_EQ(replica1.link_dropped, replica4.link_dropped);
+  ASSERT_EQ(replica1.trace.size(), replica4.trace.size());
+  EXPECT_TRUE(replica1.trace == replica4.trace)
+      << "replica frame traces diverged";
+
+  // The standby's stream is invisible to the data plane: same frame
+  // trace as the plain run (FmDelta messages ride the out-of-band
+  // control plane, never a link).
+  const ParallelRunResult plain1 = run_parallel_soak(1);
+  EXPECT_EQ(plain1.probe_sent, replica1.probe_sent);
+  EXPECT_EQ(plain1.probe_received, replica1.probe_received);
+  EXPECT_EQ(plain1.tcp_delivered, replica1.tcp_delivered);
+  ASSERT_EQ(plain1.trace.size(), replica1.trace.size());
+  EXPECT_TRUE(plain1.trace == replica1.trace)
+      << "replica stream perturbed the data plane";
 }
 
 // ---------------------------------------------------------------------------

@@ -151,6 +151,67 @@ TEST(FmFailover, MulticastTreeRebuilt) {
   EXPECT_EQ(delivered, before + 1);
 }
 
+TEST(FmFailover, ReplicaTakeoverUnderLiveTrafficBeatsColdRebuild) {
+  // Hot-standby contrast (E22): with the sharded FM streaming deltas to a
+  // replica, failover restores the registry immediately instead of waiting
+  // for the soft-state refresh cycle — while ARP queries and a UDP flow
+  // are in flight, and with the loop-freedom invariant checked throughout.
+  PortlandFabric::Options options;
+  options.k = 4;
+  options.seed = 71;
+  options.config.fm_shards = 0;  // auto: one registry shard per pod
+  options.config.fm_replica = true;
+  options.config.fm_replica_sync_interval = millis(50);
+  options.obs.convergence_monitor = true;
+  options.obs.check_invariants = true;
+  PortlandFabric fabric(options);
+  ASSERT_TRUE(fabric.run_until_converged());
+  FabricManager& fm = fabric.fabric_manager();
+  ASSERT_EQ(fm.shard_count(), 4u);
+  ASSERT_EQ(fm.host_count(), 16u);
+
+  host::Host& src = fabric.host_at(0, 0, 0);
+  host::Host& dst = fabric.host_at(3, 1, 1);
+  host::UdpFlowReceiver receiver(dst, 7001);
+  host::UdpFlowSender::Config cfg;
+  cfg.dst = dst.ip();
+  cfg.interval = millis(1);
+  host::UdpFlowSender sender(src, cfg);
+  sender.start();
+  // Steady state, several replica sync intervals deep.
+  fabric.sim().run_until(fabric.sim().now() + millis(200));
+  ASSERT_GE(fm.replica_sections_held(), 4u);
+
+  // Kick off a fresh resolution so an ArpQuery is in flight at the instant
+  // the primary dies.
+  fabric.host_at(1, 0, 0).send_udp(fabric.host_at(2, 1, 0).ip(), 26000,
+                                   26000, {1});
+  fabric.sim().run_until(fabric.sim().now() + micros(50));
+
+  fm.failover_to_replica();
+  // The streamed registry is back before a single refresh arrives.
+  EXPECT_EQ(fm.host_count(), 16u);
+  EXPECT_EQ(fm.counters().get("replica_failovers"), 1u);
+  fabric.sim().run_until(fabric.sim().now() + millis(300));
+  // The in-flight resolution completed and the flow never died.
+  EXPECT_TRUE(ping(fabric, fabric.host_at(1, 0, 1), fabric.host_at(2, 0, 1)));
+  EXPECT_GT(receiver.last_arrival_time(), fabric.sim().now() - millis(10));
+
+  // Cold contrast: the classic wipe loses everything until refreshes
+  // repopulate it (~1 s host refresh interval).
+  fm.simulate_failover();
+  EXPECT_EQ(fm.host_count(), 0u);
+  EXPECT_TRUE(ping(fabric, fabric.host_at(0, 1, 0), fabric.host_at(3, 0, 0)));
+  fabric.sim().run_until(fabric.sim().now() + seconds(2));
+  EXPECT_EQ(fm.host_count(), 16u);
+  EXPECT_EQ(fm.counters().get("failovers"), 2u);
+  EXPECT_GT(receiver.last_arrival_time(), fabric.sim().now() - millis(10));
+
+  // Neither takeover may ever forward a frame in a loop.
+  ASSERT_NE(fabric.convergence_monitor(), nullptr);
+  EXPECT_EQ(fabric.convergence_monitor()->loop_violations(), 0u);
+}
+
 TEST(Robustness, UnidirectionalLinkFailureIsDetectedAndRouted) {
   auto fabric = make_fabric(4, 66);
   host::Host& a = fabric->host_at(0, 0, 0);
